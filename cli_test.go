@@ -1,0 +1,105 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/testnfs"
+)
+
+// TestCLIAgainstLiveCell builds the deceit CLI and drives every command
+// against an in-process cell serving NFS on localhost TCP — the tool a
+// Deceit administrator actually uses for the paper's special commands.
+func TestCLIAgainstLiveCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI test skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "deceit")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/deceit")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build deceit: %v\n%s", err, out)
+	}
+
+	cell, err := testnfs.NewNFSCell(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cell.Close()
+	servers := strings.Join(cell.Addrs(), ",")
+
+	run := func(stdin string, args ...string) (string, error) {
+		t.Helper()
+		cmd := exec.Command(bin, append([]string{"-servers", servers}, args...)...)
+		if stdin != "" {
+			cmd.Stdin = strings.NewReader(stdin)
+		}
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+	mustRun := func(stdin string, args ...string) string {
+		t.Helper()
+		out, err := run(stdin, args...)
+		if err != nil {
+			t.Fatalf("deceit %v: %v\n%s", args, err, out)
+		}
+		return out
+	}
+
+	// mkdir + put + cat + ls.
+	mustRun("", "mkdir", "/docs")
+	mustRun("the paper text", "put", "/docs/deceit.txt")
+	if out := mustRun("", "cat", "/docs/deceit.txt"); out != "the paper text" {
+		t.Errorf("cat = %q", out)
+	}
+	if out := mustRun("", "ls", "/docs"); !strings.Contains(out, "deceit.txt") {
+		t.Errorf("ls = %q", out)
+	}
+
+	// stat shows the defaults; setparam changes them.
+	out := mustRun("", "stat", "/docs/deceit.txt")
+	if !strings.Contains(out, "minreplicas=1") || !strings.Contains(out, "version 1") {
+		t.Errorf("stat = %q", out)
+	}
+	mustRun("", "setparam", "/docs/deceit.txt", "minreplicas=2", "writesafety=2", "hotread=on")
+	out = mustRun("", "stat", "/docs/deceit.txt")
+	if !strings.Contains(out, "minreplicas=2") || !strings.Contains(out, "hotread=true") {
+		t.Errorf("stat after setparam = %q", out)
+	}
+
+	// addreplica / rmreplica (§3.1 method 3).
+	mustRun("", "addreplica", "/docs/deceit.txt", "srv1")
+	out = mustRun("", "stat", "/docs/deceit.txt")
+	if !strings.Contains(out, "srv1") {
+		t.Errorf("stat after addreplica = %q", out)
+	}
+	mustRun("", "rmreplica", "/docs/deceit.txt", "srv1")
+
+	// conflicts on a healthy cell is empty.
+	if out := mustRun("", "conflicts"); !strings.Contains(out, "no conflicts") {
+		t.Errorf("conflicts = %q", out)
+	}
+
+	// reconcile runs (no forks: zero entries recovered).
+	if out := mustRun("", "reconcile", "/docs"); !strings.Contains(out, "reconciled") {
+		t.Errorf("reconcile = %q", out)
+	}
+
+	// rm, then reading it fails.
+	mustRun("", "rm", "/docs/deceit.txt")
+	if out, err := run("", "cat", "/docs/deceit.txt"); err == nil {
+		t.Errorf("cat after rm succeeded: %q", out)
+	}
+
+	// Unknown command and bad usage fail cleanly.
+	if _, err := run("", "frobnicate"); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if _, err := run("", "setparam", "/docs", "bogus=1"); err == nil {
+		t.Error("bogus parameter accepted")
+	}
+}

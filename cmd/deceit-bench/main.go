@@ -1,0 +1,52 @@
+// Command deceit-bench regenerates every table and figure of the Deceit
+// paper's evaluation (see DESIGN.md's per-experiment index and
+// EXPERIMENTS.md for paper-vs-measured). Each experiment boots an
+// in-process multi-server cell on the simulated network, runs the paper's
+// scenario, and prints the resulting table.
+//
+//	deceit-bench            # run every experiment
+//	deceit-bench -exp C5    # run one experiment
+//	deceit-bench -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment id (e.g. T1, F4, C5)")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.Order {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := bench.Order
+	if *exp != "" {
+		if _, ok := bench.Experiments[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "deceit-bench: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		ids = []string{*exp}
+	}
+	failed := 0
+	for _, id := range ids {
+		t, err := bench.Experiments[id]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deceit-bench: %s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Println(t.Render())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,93 @@
+// Cells example (Figure 3, §2.2): two independent Deceit cells — say,
+// Cornell CS and MIT CS — each with its own name space, files and servers.
+// A user in the Cornell cell reaches the MIT cell through the global root:
+// the paper's "cd /priv/global/foo.cs.mit.edu" is spelled
+// "@host:port" here, and the Cornell cell acts as a client to MIT's.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/agent"
+	"repro/internal/server"
+	"repro/internal/testnfs"
+)
+
+func main() {
+	cornell, err := testnfs.NewNFSCell(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cornell.Close()
+	mit, err := testnfs.NewNFSCell(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mit.Close()
+	fmt.Printf("cornell cell: %v\nmit cell:     %v\n", cornell.Addrs(), mit.Addrs())
+
+	// Each cell has its own files.
+	agMIT, err := agent.Mount(mit.Addrs(), agent.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer agMIT.Close()
+	if err := agMIT.MkdirAll("/projects/x"); err != nil {
+		log.Fatal(err)
+	}
+	if err := agMIT.WriteFile("/projects/x/spec.txt", []byte("MIT project X specification")); err != nil {
+		log.Fatal(err)
+	}
+
+	agCornell, err := agent.Mount(cornell.Addrs(), agent.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer agCornell.Close()
+	if err := agCornell.WriteFile("/local-notes.txt", []byte("cornell-only file")); err != nil {
+		log.Fatal(err)
+	}
+
+	// Cross-cell access: pick a machine in the MIT cell and look it up
+	// through the global root. Mount and access restrictions apply as with
+	// any client (§2.2).
+	mitServer := mit.Nodes[0].Addr
+	remoteRoot, _, err := agCornell.Lookup(agCornell.Root(), server.GatewayPrefix+mitServer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	projects, _, err := agCornell.Lookup(remoteRoot, "projects")
+	if err != nil {
+		log.Fatal(err)
+	}
+	x, _, err := agCornell.Lookup(projects, "x")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, _, err := agCornell.Lookup(x, "spec.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := agCornell.Read(spec, 0, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cornell user reads MIT file: %q\n", data)
+
+	// Writes cross the boundary too; MIT sees them natively.
+	if _, err := agCornell.Write(spec, uint32(len(data)), []byte(" -- reviewed at Cornell")); err != nil {
+		log.Fatal(err)
+	}
+	back, err := agMIT.ReadFile("/projects/x/spec.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MIT sees the edit:          %q\n", back)
+
+	// The cells' name spaces stay disjoint: MIT has no local-notes.txt.
+	if _, err := agMIT.ReadFile("/local-notes.txt"); err == nil {
+		log.Fatal("cell isolation violated")
+	}
+	fmt.Println("cells scenario: OK")
+}

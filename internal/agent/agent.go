@@ -1,0 +1,713 @@
+// Package agent implements the Deceit client agent of §5.3: "the client
+// software which interfaces between the user process and the NFS protocol."
+// This is the paper's planned auxiliary user-process agent with full
+// functionality:
+//
+//   - caching: file and directory data as well as NFS handles and
+//     attributes are cached with a configurable TTL;
+//   - failover: "when one server fails, the agent must select another to
+//     continue operation" — Deceit servers are interchangeable and Deceit
+//     file handles are location-independent, so the agent simply re-issues
+//     the call against the next server on its list;
+//   - access shortcut: the agent can ask the control program where a
+//     file's replicas live and talk to a replica holder directly instead
+//     of paying the forwarding hop (Figure 8's third configuration).
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/nfsproto"
+	"repro/internal/server"
+	"repro/internal/sunrpc"
+	"repro/internal/xdr"
+)
+
+// NFSError wraps a non-OK NFS status.
+type NFSError struct {
+	Status nfsproto.Status
+}
+
+func (e *NFSError) Error() string { return "agent: " + e.Status.String() }
+
+// IsNotExist reports whether err is an NFSERR_NOENT.
+func IsNotExist(err error) bool {
+	var ne *NFSError
+	return errors.As(err, &ne) && ne.Status == nfsproto.ErrNoEnt
+}
+
+func statusErr(st nfsproto.Status) error {
+	if st == nfsproto.OK {
+		return nil
+	}
+	return &NFSError{Status: st}
+}
+
+// Options tunes the agent.
+type Options struct {
+	// CacheTTL bounds the attribute and data caches; 0 disables caching
+	// (Figure 8's thinnest configuration).
+	CacheTTL time.Duration
+	// MaxCachedFile bounds the size of files kept in the data cache.
+	MaxCachedFile int
+	// Shortcut enables direct connections to replica holders.
+	Shortcut bool
+	// UID/GID are sent as AUTH_UNIX credentials.
+	UID, GID uint32
+	// Machine is the client's name in credentials.
+	Machine string
+}
+
+func (o *Options) fill() {
+	if o.MaxCachedFile <= 0 {
+		o.MaxCachedFile = 1 << 20
+	}
+	if o.Machine == "" {
+		o.Machine = "deceit-agent"
+	}
+}
+
+// Agent is a user-space Deceit/NFS client.
+type Agent struct {
+	opts  Options
+	addrs []string
+
+	mu      sync.Mutex
+	cur     int
+	cli     *sunrpc.Client
+	root    nfsproto.Handle
+	attrs   map[nfsproto.Handle]attrEntry
+	data    map[nfsproto.Handle]dataEntry
+	servers map[string]*sunrpc.Client // shortcut connections by server id
+	closed  bool
+
+	// Stats for experiments.
+	Calls     uint64
+	CacheHits uint64
+	Failovers uint64
+}
+
+type attrEntry struct {
+	attr    nfsproto.FAttr
+	expires time.Time
+}
+
+type dataEntry struct {
+	data    []byte
+	mtime   nfsproto.Time
+	expires time.Time
+}
+
+// Mount connects to the first reachable server in addrs and returns an
+// agent rooted at the cell's name tree. The remaining addresses are the
+// failover list.
+func Mount(addrs []string, opts Options) (*Agent, error) {
+	opts.fill()
+	a := &Agent{
+		opts:    opts,
+		addrs:   append([]string(nil), addrs...),
+		attrs:   make(map[nfsproto.Handle]attrEntry),
+		data:    make(map[nfsproto.Handle]dataEntry),
+		servers: make(map[string]*sunrpc.Client),
+	}
+	if err := a.connectLocked(0); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// connectLocked dials addrs[i] and refreshes the root handle. a.mu may be
+// held by the caller or not; the method itself takes it.
+func (a *Agent) connectLocked(start int) error {
+	var lastErr error = errors.New("agent: no servers configured")
+	for off := 0; off < len(a.addrs); off++ {
+		i := (start + off) % len(a.addrs)
+		cli, err := sunrpc.Dial(a.addrs[i])
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		cli.SetUnixCred(sunrpc.UnixCred{
+			MachineName: a.opts.Machine, UID: a.opts.UID, GID: a.opts.GID,
+		})
+		e := xdr.NewEncoder(nil)
+		e.String("/")
+		raw, err := cli.Call(nfsproto.MountProgram, nfsproto.MountVersion, nfsproto.MountProcMnt, e.Bytes())
+		if err != nil {
+			cli.Close()
+			lastErr = err
+			continue
+		}
+		var fhs nfsproto.FHStatus
+		if err := xdr.Unmarshal(raw, &fhs); err != nil || fhs.Status != 0 {
+			cli.Close()
+			lastErr = fmt.Errorf("agent: mount failed on %s", a.addrs[i])
+			continue
+		}
+		a.mu.Lock()
+		if a.cli != nil {
+			a.cli.Close()
+		}
+		a.cli = cli
+		a.cur = i
+		a.root = fhs.Handle
+		a.mu.Unlock()
+		return nil
+	}
+	return lastErr
+}
+
+// Close disconnects the agent.
+func (a *Agent) Close() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.closed = true
+	if a.cli != nil {
+		a.cli.Close()
+	}
+	for _, c := range a.servers {
+		c.Close()
+	}
+}
+
+// Root returns the root directory handle.
+func (a *Agent) Root() nfsproto.Handle {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.root
+}
+
+// call performs one NFS RPC with transparent failover: a transport-level
+// failure rotates to the next server and re-issues the call. Deceit handles
+// stay valid across servers, so no state needs rebuilding (§2.1: "when one
+// machine fails, Deceit clients can connect to another machine and continue
+// operation").
+func (a *Agent) call(prog, vers, proc uint32, args []byte) ([]byte, error) {
+	for attempt := 0; attempt <= len(a.addrs); attempt++ {
+		a.mu.Lock()
+		if a.closed {
+			a.mu.Unlock()
+			return nil, sunrpc.ErrClosed
+		}
+		cli := a.cli
+		cur := a.cur
+		a.Calls++
+		a.mu.Unlock()
+
+		raw, err := cli.Call(prog, vers, proc, args)
+		if err == nil {
+			return raw, nil
+		}
+		var rpcErr *sunrpc.RPCError
+		if errors.As(err, &rpcErr) {
+			return nil, err // the server answered; not a connectivity issue
+		}
+		a.mu.Lock()
+		a.Failovers++
+		a.mu.Unlock()
+		if cerr := a.connectLocked(cur + 1); cerr != nil {
+			return nil, cerr
+		}
+	}
+	return nil, errors.New("agent: all servers unreachable")
+}
+
+func (a *Agent) cacheGetAttr(h nfsproto.Handle) (nfsproto.FAttr, bool) {
+	if a.opts.CacheTTL <= 0 {
+		return nfsproto.FAttr{}, false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ent, ok := a.attrs[h]
+	if !ok || time.Now().After(ent.expires) {
+		return nfsproto.FAttr{}, false
+	}
+	a.CacheHits++
+	return ent.attr, true
+}
+
+func (a *Agent) cachePutAttr(h nfsproto.Handle, attr nfsproto.FAttr) {
+	if a.opts.CacheTTL <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.attrs[h] = attrEntry{attr: attr, expires: time.Now().Add(a.opts.CacheTTL)}
+}
+
+func (a *Agent) invalidate(h nfsproto.Handle) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.attrs, h)
+	delete(a.data, h)
+}
+
+// Getattr fetches attributes, honoring the attribute cache.
+func (a *Agent) Getattr(h nfsproto.Handle) (nfsproto.FAttr, error) {
+	if attr, ok := a.cacheGetAttr(h); ok {
+		return attr, nil
+	}
+	raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcGetattr, xdr.Marshal(&h))
+	if err != nil {
+		return nfsproto.FAttr{}, err
+	}
+	var res nfsproto.AttrStat
+	if err := xdr.Unmarshal(raw, &res); err != nil {
+		return nfsproto.FAttr{}, err
+	}
+	if res.Status != nfsproto.OK {
+		return nfsproto.FAttr{}, statusErr(res.Status)
+	}
+	a.cachePutAttr(h, res.Attr)
+	return res.Attr, nil
+}
+
+// Setattr updates attributes.
+func (a *Agent) Setattr(h nfsproto.Handle, sa nfsproto.SAttr) (nfsproto.FAttr, error) {
+	a.invalidate(h)
+	args := nfsproto.SAttrArgs{File: h, Attr: sa}
+	raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcSetattr, xdr.Marshal(&args))
+	if err != nil {
+		return nfsproto.FAttr{}, err
+	}
+	var res nfsproto.AttrStat
+	if err := xdr.Unmarshal(raw, &res); err != nil {
+		return nfsproto.FAttr{}, err
+	}
+	if res.Status != nfsproto.OK {
+		return nfsproto.FAttr{}, statusErr(res.Status)
+	}
+	a.cachePutAttr(h, res.Attr)
+	return res.Attr, nil
+}
+
+// Lookup resolves name within dir.
+func (a *Agent) Lookup(dir nfsproto.Handle, name string) (nfsproto.Handle, nfsproto.FAttr, error) {
+	args := nfsproto.DirOpArgs{Dir: dir, Name: name}
+	raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcLookup, xdr.Marshal(&args))
+	if err != nil {
+		return nfsproto.Handle{}, nfsproto.FAttr{}, err
+	}
+	var res nfsproto.DirOpRes
+	if err := xdr.Unmarshal(raw, &res); err != nil {
+		return nfsproto.Handle{}, nfsproto.FAttr{}, err
+	}
+	if res.Status != nfsproto.OK {
+		return nfsproto.Handle{}, nfsproto.FAttr{}, statusErr(res.Status)
+	}
+	a.cachePutAttr(res.File, res.Attr)
+	return res.File, res.Attr, nil
+}
+
+// Read reads count bytes at off, honoring the data cache for whole files.
+func (a *Agent) Read(h nfsproto.Handle, off, count uint32) ([]byte, error) {
+	if a.opts.CacheTTL > 0 {
+		a.mu.Lock()
+		ent, ok := a.data[h]
+		if ok && time.Now().Before(ent.expires) {
+			a.CacheHits++
+			data := sliceBytes(ent.data, off, count)
+			a.mu.Unlock()
+			return data, nil
+		}
+		a.mu.Unlock()
+	}
+	args := nfsproto.ReadArgs{File: h, Offset: off, Count: count}
+	raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcRead, xdr.Marshal(&args))
+	if err != nil {
+		return nil, err
+	}
+	var res nfsproto.ReadRes
+	if err := xdr.Unmarshal(raw, &res); err != nil {
+		return nil, err
+	}
+	if res.Status != nfsproto.OK {
+		return nil, statusErr(res.Status)
+	}
+	a.cachePutAttr(h, res.Attr)
+	// Cache whole-file reads of small files.
+	if a.opts.CacheTTL > 0 && off == 0 && int(res.Attr.Size) == len(res.Data) && len(res.Data) <= a.opts.MaxCachedFile {
+		a.mu.Lock()
+		a.data[h] = dataEntry{
+			data:    res.Data,
+			mtime:   res.Attr.MTime,
+			expires: time.Now().Add(a.opts.CacheTTL),
+		}
+		a.mu.Unlock()
+	}
+	return res.Data, nil
+}
+
+func sliceBytes(data []byte, off, count uint32) []byte {
+	if int(off) >= len(data) {
+		return nil
+	}
+	end := int(off) + int(count)
+	if end > len(data) {
+		end = len(data)
+	}
+	out := make([]byte, end-int(off))
+	copy(out, data[off:end])
+	return out
+}
+
+// Write writes data at off.
+func (a *Agent) Write(h nfsproto.Handle, off uint32, data []byte) (nfsproto.FAttr, error) {
+	a.invalidate(h)
+	args := nfsproto.WriteArgs{File: h, Offset: off, Data: data}
+	raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcWrite, xdr.Marshal(&args))
+	if err != nil {
+		return nfsproto.FAttr{}, err
+	}
+	var res nfsproto.AttrStat
+	if err := xdr.Unmarshal(raw, &res); err != nil {
+		return nfsproto.FAttr{}, err
+	}
+	if res.Status != nfsproto.OK {
+		return nfsproto.FAttr{}, statusErr(res.Status)
+	}
+	a.cachePutAttr(h, res.Attr)
+	return res.Attr, nil
+}
+
+// Create makes a regular file.
+func (a *Agent) Create(dir nfsproto.Handle, name string, sa nfsproto.SAttr) (nfsproto.Handle, nfsproto.FAttr, error) {
+	a.invalidate(dir)
+	args := nfsproto.CreateArgs{Where: nfsproto.DirOpArgs{Dir: dir, Name: name}, Attr: sa}
+	return a.dirOpCall(nfsproto.ProcCreate, xdr.Marshal(&args))
+}
+
+// Mkdir makes a directory.
+func (a *Agent) Mkdir(dir nfsproto.Handle, name string, sa nfsproto.SAttr) (nfsproto.Handle, nfsproto.FAttr, error) {
+	a.invalidate(dir)
+	args := nfsproto.CreateArgs{Where: nfsproto.DirOpArgs{Dir: dir, Name: name}, Attr: sa}
+	return a.dirOpCall(nfsproto.ProcMkdir, xdr.Marshal(&args))
+}
+
+func (a *Agent) dirOpCall(proc uint32, args []byte) (nfsproto.Handle, nfsproto.FAttr, error) {
+	raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, proc, args)
+	if err != nil {
+		return nfsproto.Handle{}, nfsproto.FAttr{}, err
+	}
+	var res nfsproto.DirOpRes
+	if err := xdr.Unmarshal(raw, &res); err != nil {
+		return nfsproto.Handle{}, nfsproto.FAttr{}, err
+	}
+	if res.Status != nfsproto.OK {
+		return nfsproto.Handle{}, nfsproto.FAttr{}, statusErr(res.Status)
+	}
+	a.cachePutAttr(res.File, res.Attr)
+	return res.File, res.Attr, nil
+}
+
+// Remove unlinks a file (or one version via "name;N").
+func (a *Agent) Remove(dir nfsproto.Handle, name string) error {
+	a.invalidate(dir)
+	args := nfsproto.DirOpArgs{Dir: dir, Name: name}
+	return a.statusCall(nfsproto.ProcRemove, xdr.Marshal(&args))
+}
+
+// Rmdir removes an empty directory.
+func (a *Agent) Rmdir(dir nfsproto.Handle, name string) error {
+	a.invalidate(dir)
+	args := nfsproto.DirOpArgs{Dir: dir, Name: name}
+	return a.statusCall(nfsproto.ProcRmdir, xdr.Marshal(&args))
+}
+
+// Rename moves a name.
+func (a *Agent) Rename(fromDir nfsproto.Handle, fromName string, toDir nfsproto.Handle, toName string) error {
+	a.invalidate(fromDir)
+	a.invalidate(toDir)
+	args := nfsproto.RenameArgs{
+		From: nfsproto.DirOpArgs{Dir: fromDir, Name: fromName},
+		To:   nfsproto.DirOpArgs{Dir: toDir, Name: toName},
+	}
+	return a.statusCall(nfsproto.ProcRename, xdr.Marshal(&args))
+}
+
+// Link makes a hard link.
+func (a *Agent) Link(file nfsproto.Handle, dir nfsproto.Handle, name string) error {
+	a.invalidate(file)
+	a.invalidate(dir)
+	args := nfsproto.LinkArgs{From: file, To: nfsproto.DirOpArgs{Dir: dir, Name: name}}
+	return a.statusCall(nfsproto.ProcLink, xdr.Marshal(&args))
+}
+
+// Symlink makes a symbolic link.
+func (a *Agent) Symlink(dir nfsproto.Handle, name, target string) error {
+	a.invalidate(dir)
+	args := nfsproto.SymlinkArgs{
+		From: nfsproto.DirOpArgs{Dir: dir, Name: name},
+		To:   target,
+		Attr: nfsproto.SAttr{Mode: nfsproto.NoValue, UID: nfsproto.NoValue, GID: nfsproto.NoValue, Size: nfsproto.NoValue, ATime: nfsproto.NoTime, MTime: nfsproto.NoTime},
+	}
+	return a.statusCall(nfsproto.ProcSymlink, xdr.Marshal(&args))
+}
+
+// Readlink reads a symlink target.
+func (a *Agent) Readlink(h nfsproto.Handle) (string, error) {
+	raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcReadlink, xdr.Marshal(&h))
+	if err != nil {
+		return "", err
+	}
+	var res nfsproto.ReadlinkRes
+	if err := xdr.Unmarshal(raw, &res); err != nil {
+		return "", err
+	}
+	if res.Status != nfsproto.OK {
+		return "", statusErr(res.Status)
+	}
+	return res.Path, nil
+}
+
+// Readdir lists a directory completely, following cookies.
+func (a *Agent) Readdir(dir nfsproto.Handle) ([]nfsproto.DirEntry, error) {
+	var out []nfsproto.DirEntry
+	cookie := uint32(0)
+	for {
+		args := nfsproto.ReaddirArgs{Dir: dir, Cookie: cookie, Count: 4096}
+		raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcReaddir, xdr.Marshal(&args))
+		if err != nil {
+			return nil, err
+		}
+		var res nfsproto.ReaddirRes
+		if err := xdr.Unmarshal(raw, &res); err != nil {
+			return nil, err
+		}
+		if res.Status != nfsproto.OK {
+			return nil, statusErr(res.Status)
+		}
+		out = append(out, res.Entries...)
+		if res.EOF || len(res.Entries) == 0 {
+			return out, nil
+		}
+		cookie = res.Entries[len(res.Entries)-1].Cookie
+	}
+}
+
+// Statfs queries filesystem statistics.
+func (a *Agent) Statfs() (nfsproto.StatfsRes, error) {
+	h := a.Root()
+	raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcStatfs, xdr.Marshal(&h))
+	if err != nil {
+		return nfsproto.StatfsRes{}, err
+	}
+	var res nfsproto.StatfsRes
+	if err := xdr.Unmarshal(raw, &res); err != nil {
+		return nfsproto.StatfsRes{}, err
+	}
+	if res.Status != nfsproto.OK {
+		return nfsproto.StatfsRes{}, statusErr(res.Status)
+	}
+	return res, nil
+}
+
+func (a *Agent) statusCall(proc uint32, args []byte) error {
+	raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, proc, args)
+	if err != nil {
+		return err
+	}
+	d := xdr.NewDecoder(raw)
+	st := nfsproto.Status(d.Uint32())
+	if d.Err() != nil {
+		return d.Err()
+	}
+	return statusErr(st)
+}
+
+// ---------------------------------------------------------- path helpers --
+
+// Walk resolves a slash-separated path from the root, following the
+// version-qualified name syntax in the final component.
+func (a *Agent) Walk(p string) (nfsproto.Handle, nfsproto.FAttr, error) {
+	h := a.Root()
+	attr, err := a.Getattr(h)
+	if err != nil {
+		return nfsproto.Handle{}, nfsproto.FAttr{}, err
+	}
+	for _, part := range strings.Split(path.Clean("/"+p), "/") {
+		if part == "" || part == "." {
+			continue
+		}
+		h2, a2, err := a.Lookup(h, part)
+		if err != nil {
+			return nfsproto.Handle{}, nfsproto.FAttr{}, err
+		}
+		h, attr = h2, a2
+	}
+	return h, attr, nil
+}
+
+// ReadFile reads a whole file by path.
+func (a *Agent) ReadFile(p string) ([]byte, error) {
+	h, attr, err := a.Walk(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, attr.Size)
+	off := uint32(0)
+	for {
+		chunk, err := a.Read(h, off, 8192)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+		off += uint32(len(chunk))
+		if len(chunk) < 8192 {
+			return out, nil
+		}
+	}
+}
+
+// WriteFile creates (or truncates) the file at path and writes data.
+func (a *Agent) WriteFile(p string, data []byte) error {
+	dir, name := path.Split(path.Clean("/" + p))
+	dh, _, err := a.Walk(dir)
+	if err != nil {
+		return err
+	}
+	fh, _, err := a.Create(dh, name, nfsproto.SAttr{
+		Mode: 0o644, UID: nfsproto.NoValue, GID: nfsproto.NoValue,
+		Size: nfsproto.NoValue, ATime: nfsproto.NoTime, MTime: nfsproto.NoTime,
+	})
+	if err != nil {
+		return err
+	}
+	off := uint32(0)
+	for len(data) > 0 {
+		n := len(data)
+		if n > 8192 {
+			n = 8192
+		}
+		if _, err := a.Write(fh, off, data[:n]); err != nil {
+			return err
+		}
+		off += uint32(n)
+		data = data[n:]
+	}
+	return nil
+}
+
+// MkdirAll creates every directory on the path.
+func (a *Agent) MkdirAll(p string) error {
+	h := a.Root()
+	for _, part := range strings.Split(path.Clean("/"+p), "/") {
+		if part == "" || part == "." {
+			continue
+		}
+		h2, _, err := a.Lookup(h, part)
+		if err == nil {
+			h = h2
+			continue
+		}
+		if !IsNotExist(err) {
+			return err
+		}
+		h2, _, err = a.Mkdir(h, part, nfsproto.SAttr{
+			Mode: 0o755, UID: nfsproto.NoValue, GID: nfsproto.NoValue,
+			Size: nfsproto.NoValue, ATime: nfsproto.NoTime, MTime: nfsproto.NoTime,
+		})
+		if err != nil {
+			return err
+		}
+		h = h2
+	}
+	return nil
+}
+
+// -------------------------------------------------------- special cmds --
+
+// FileStat returns the Deceit-specific state of a file: versions, replicas,
+// token holders and parameters ("locate all replicas", "list all versions").
+func (a *Agent) FileStat(h nfsproto.Handle) (server.CtlStatRes, error) {
+	raw, err := a.call(server.CtlProgram, server.CtlVersion, server.CtlStat, xdr.Marshal(&h))
+	if err != nil {
+		return server.CtlStatRes{}, err
+	}
+	var res server.CtlStatRes
+	if err := xdr.Unmarshal(raw, &res); err != nil {
+		return server.CtlStatRes{}, err
+	}
+	if res.Status != 0 {
+		return res, statusErr(nfsproto.Status(res.Status))
+	}
+	return res, nil
+}
+
+// SetParams changes a file's semantic parameters (§4).
+func (a *Agent) SetParams(h nfsproto.Handle, p server.CtlParams) error {
+	e := xdr.NewEncoder(nil)
+	h.MarshalXDR(e)
+	p.MarshalXDR(e)
+	return a.ctlStatusCall(server.CtlSetParams, e.Bytes())
+}
+
+// AddReplica forces a replica of version index idx (0 = current) onto the
+// named server.
+func (a *Agent) AddReplica(h nfsproto.Handle, idx uint32, srv string) error {
+	e := xdr.NewEncoder(nil)
+	h.MarshalXDR(e)
+	e.Uint32(idx)
+	e.String(srv)
+	return a.ctlStatusCall(server.CtlAddReplica, e.Bytes())
+}
+
+// RemoveReplica deletes the replica on the named server.
+func (a *Agent) RemoveReplica(h nfsproto.Handle, idx uint32, srv string) error {
+	e := xdr.NewEncoder(nil)
+	h.MarshalXDR(e)
+	e.Uint32(idx)
+	e.String(srv)
+	return a.ctlStatusCall(server.CtlRemoveReplica, e.Bytes())
+}
+
+// ReconcileDir merges every version of a partitioned directory into the
+// current one, returning the number of recovered entries (§2.1's "reconcile
+// directory versions" special command).
+func (a *Agent) ReconcileDir(h nfsproto.Handle) (int, error) {
+	a.invalidate(h)
+	raw, err := a.call(server.CtlProgram, server.CtlVersion, server.CtlReconcileDir, xdr.Marshal(&h))
+	if err != nil {
+		return 0, err
+	}
+	d := xdr.NewDecoder(raw)
+	st := nfsproto.Status(d.Uint32())
+	merged := int(d.Uint32())
+	if err := d.Err(); err != nil {
+		return 0, err
+	}
+	return merged, statusErr(st)
+}
+
+// Conflicts fetches the server's conflict log (§3.6).
+func (a *Agent) Conflicts() ([]string, error) {
+	raw, err := a.call(server.CtlProgram, server.CtlVersion, server.CtlConflicts, nil)
+	if err != nil {
+		return nil, err
+	}
+	d := xdr.NewDecoder(raw)
+	st := nfsproto.Status(d.Uint32())
+	if st != nfsproto.OK {
+		return nil, statusErr(st)
+	}
+	n := d.Uint32()
+	var out []string
+	for i := uint32(0); i < n && i < 65536; i++ {
+		out = append(out, d.String())
+	}
+	return out, d.Err()
+}
+
+func (a *Agent) ctlStatusCall(proc uint32, args []byte) error {
+	raw, err := a.call(server.CtlProgram, server.CtlVersion, proc, args)
+	if err != nil {
+		return err
+	}
+	d := xdr.NewDecoder(raw)
+	return statusErr(nfsproto.Status(d.Uint32()))
+}

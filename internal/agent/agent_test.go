@@ -1,0 +1,439 @@
+package agent
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/nfsproto"
+	"repro/internal/testnfs"
+)
+
+// newCell boots an n-server Deceit cell speaking NFS over localhost TCP.
+func newCell(t *testing.T, n int) *testnfs.NFSCell {
+	t.Helper()
+	c, err := testnfs.NewNFSCell(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func mount(t *testing.T, c *testnfs.NFSCell, opts Options) *Agent {
+	t.Helper()
+	ag, err := Mount(c.Addrs(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ag.Close)
+	return ag
+}
+
+func TestMountFailsWithNoServers(t *testing.T) {
+	if _, err := Mount(nil, Options{}); err == nil {
+		t.Fatal("mount with no addresses succeeded")
+	}
+	if _, err := Mount([]string{"127.0.0.1:1"}, Options{}); err == nil {
+		t.Fatal("mount against a dead address succeeded")
+	}
+}
+
+func TestWalkReadWriteFile(t *testing.T) {
+	c := newCell(t, 1)
+	ag := mount(t, c, Options{})
+
+	if err := ag.MkdirAll("/home/siegel"); err != nil {
+		t.Fatal(err)
+	}
+	content := []byte("thesis draft, chapter 1")
+	if err := ag.WriteFile("/home/siegel/thesis.tex", content); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ag.ReadFile("/home/siegel/thesis.tex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Errorf("read back %q", got)
+	}
+
+	// Walk resolves intermediate directories and the file itself.
+	h, attr, err := ag.Walk("/home/siegel/thesis.tex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Size != uint32(len(content)) {
+		t.Errorf("attr.Size = %d, want %d", attr.Size, len(content))
+	}
+	if _, err := ag.Read(h, 0, 4096); err != nil {
+		t.Fatal(err)
+	}
+
+	// Missing paths surface as NFSERR_NOENT.
+	if _, _, err := ag.Walk("/home/siegel/missing.tex"); !IsNotExist(err) {
+		t.Errorf("walk missing = %v, want IsNotExist", err)
+	}
+	if _, err := ag.ReadFile("/nope"); !IsNotExist(err) {
+		t.Errorf("read missing = %v, want IsNotExist", err)
+	}
+}
+
+func TestWriteFileOverwritesAndTruncates(t *testing.T) {
+	c := newCell(t, 1)
+	ag := mount(t, c, Options{})
+
+	if err := ag.WriteFile("/f.dat", []byte(strings.Repeat("long", 64))); err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.WriteFile("/f.dat", []byte("short")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ag.ReadFile("/f.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "short" {
+		t.Errorf("after overwrite: %q", got)
+	}
+}
+
+func TestDirectoryOps(t *testing.T) {
+	c := newCell(t, 1)
+	ag := mount(t, c, Options{})
+
+	if err := ag.MkdirAll("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	// MkdirAll is idempotent.
+	if err := ag.MkdirAll("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.WriteFile("/a/b/c/x.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	bh, _, err := ag.Walk("/a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ag.Readdir(bh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range entries {
+		if e.Name == "c" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("readdir /a/b = %v, missing c", entries)
+	}
+
+	// Rename and remove through the protocol ops.
+	ch, _, err := ag.Walk("/a/b/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.Rename(ch, "x.txt", ch, "y.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ag.Walk("/a/b/c/x.txt"); !IsNotExist(err) {
+		t.Errorf("old name still resolves: %v", err)
+	}
+	if _, err := ag.ReadFile("/a/b/c/y.txt"); err != nil {
+		t.Errorf("new name unreadable: %v", err)
+	}
+	if err := ag.Remove(ch, "y.txt"); err != nil {
+		t.Fatal(err)
+	}
+	bh2, _, err := ag.Walk("/a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.Rmdir(bh2, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ag.Walk("/a/b/c"); !IsNotExist(err) {
+		t.Errorf("rmdir'd directory still resolves: %v", err)
+	}
+}
+
+func TestSymlinkThroughAgent(t *testing.T) {
+	c := newCell(t, 1)
+	ag := mount(t, c, Options{})
+
+	if err := ag.WriteFile("/target.txt", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	root := ag.Root()
+	if err := ag.Symlink(root, "alias", "/target.txt"); err != nil {
+		t.Fatal(err)
+	}
+	lh, _, err := ag.Lookup(root, "alias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := ag.Readlink(lh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt != "/target.txt" {
+		t.Errorf("readlink = %q", tgt)
+	}
+}
+
+func TestCacheHitsAndInvalidation(t *testing.T) {
+	c := newCell(t, 1)
+	ag := mount(t, c, Options{CacheTTL: time.Minute})
+
+	if err := ag.WriteFile("/cached.txt", []byte("version one")); err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := ag.Walk("/cached.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ag.Read(h, 0, 4096); err != nil {
+		t.Fatal(err)
+	}
+	calls := ag.Calls
+	for i := 0; i < 10; i++ {
+		if _, err := ag.Read(h, 0, 4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ag.Calls != calls {
+		t.Errorf("cached reads issued %d RPCs", ag.Calls-calls)
+	}
+	if ag.CacheHits == 0 {
+		t.Error("no cache hits recorded")
+	}
+
+	// A write through this agent invalidates its own cache entry.
+	if _, err := ag.Write(h, 0, []byte("VERSION TWO")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ag.Read(h, 0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "VERSION TWO") {
+		t.Errorf("read after write = %q", data)
+	}
+}
+
+func TestCacheTTLExpires(t *testing.T) {
+	c := newCell(t, 1)
+	ag := mount(t, c, Options{CacheTTL: 30 * time.Millisecond})
+
+	if err := ag.WriteFile("/ttl.txt", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := ag.Walk("/ttl.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ag.Read(h, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second agent writes behind our back; after the TTL the update is
+	// visible (the paper's bounded update-propagation delay).
+	ag2 := mount(t, c, Options{})
+	if err := ag2.WriteFile("/ttl.txt", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		data, err := ag.Read(h, 0, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) == "new" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cache never expired; still reading %q", data)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestFailoverMidSession(t *testing.T) {
+	c := newCell(t, 3)
+	ag := mount(t, c, Options{})
+
+	if err := ag.WriteFile("/survive.txt", []byte("important")); err != nil {
+		t.Fatal(err)
+	}
+	// Replicate the file and the root directory off the doomed server: at
+	// the default minimum replica level of 1 the only replica would die
+	// with it (§4 — availability is a per-file choice, not a default).
+	h, _, err := ag.Walk("/survive.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.AddReplica(h, 0, "srv1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.AddReplica(ag.Root(), 0, "srv1"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	// Kill the server the agent mounted (the first address).
+	c.CrashNFS(0)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		data, err := ag.ReadFile("/survive.txt")
+		if err == nil && string(data) == "important" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("agent never failed over: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if ag.Failovers == 0 {
+		t.Error("failover not counted")
+	}
+}
+
+func TestControlOpsThroughAgent(t *testing.T) {
+	c := newCell(t, 2)
+	ag := mount(t, c, Options{})
+
+	if err := ag.WriteFile("/ctl.txt", []byte("managed")); err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := ag.Walk("/ctl.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// FileStat exposes the special commands' view: versions and replicas.
+	st, err := ag.FileStat(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Versions) == 0 {
+		t.Fatalf("stat = %+v, want at least one version", st)
+	}
+
+	// Force a replica onto srv1 and verify it shows up (§3.1 method 3).
+	if err := ag.AddReplica(h, 0, "srv1"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err = ag.FileStat(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(st.Versions) > 0 && len(st.Versions[0].Replicas) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never landed: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := ag.RemoveReplica(h, 0, "srv1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// No conflicts on a healthy cell.
+	conflicts, err := ag.Conflicts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 0 {
+		t.Errorf("conflicts = %v", conflicts)
+	}
+}
+
+func TestConcurrentAgentUse(t *testing.T) {
+	c := newCell(t, 1)
+	ag := mount(t, c, Options{CacheTTL: time.Minute})
+
+	if err := ag.MkdirAll("/conc"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := fmt.Sprintf("/conc/file-%d.txt", g)
+			for i := 0; i < 5; i++ {
+				if err := ag.WriteFile(p, []byte(fmt.Sprintf("g%d-i%d", g, i))); err != nil {
+					errs <- fmt.Errorf("%s write %d: %w", p, i, err)
+					return
+				}
+				if _, err := ag.ReadFile(p); err != nil {
+					errs <- fmt.Errorf("%s read %d: %w", p, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestGetattrSetattr(t *testing.T) {
+	c := newCell(t, 1)
+	ag := mount(t, c, Options{})
+
+	if err := ag.WriteFile("/attr.txt", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := ag.Walk("/attr.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attr, err := ag.Getattr(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Size != 10 {
+		t.Errorf("size = %d", attr.Size)
+	}
+	// Truncate via SETATTR.
+	sa := nfsproto.SAttr{Mode: nfsproto.NoValue, UID: nfsproto.NoValue,
+		GID: nfsproto.NoValue, Size: 4,
+		ATime: nfsproto.Time{Sec: nfsproto.NoValue, USec: nfsproto.NoValue},
+		MTime: nfsproto.Time{Sec: nfsproto.NoValue, USec: nfsproto.NoValue}}
+	if _, err := ag.Setattr(h, sa); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ag.ReadFile("/attr.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "0123" {
+		t.Errorf("after truncate = %q", data)
+	}
+}
+
+func TestStatfsThroughAgent(t *testing.T) {
+	c := newCell(t, 1)
+	ag := mount(t, c, Options{})
+	res, err := ag.Statfs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BSize == 0 || res.Blocks == 0 {
+		t.Errorf("statfs = %+v", res)
+	}
+}

@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/testutil"
+)
+
+// This file holds the ablation experiments for the two §3.3 protocol
+// optimizations the paper describes but does not implement ("Deceit
+// currently uses neither of these optimizations"). They quantify what the
+// paper left on the table.
+
+func init() {
+	Experiments["A1"] = RunA1
+	Experiments["A2"] = RunA2
+	Experiments["A3"] = RunA3
+	Order = append(Order, "A1", "A2", "A3")
+}
+
+// ablationCell builds a cell with n servers and one segment replicated on
+// the first `replicas` of them, seeded and stable.
+func ablationCell(n int, copts core.Options, params core.Params, replicas int) (*testutil.Cell, core.SegID, error) {
+	c := testutil.NewCellOpts(n, testutil.FastISISOpts(), copts)
+	cx, cancel := ctx()
+	defer cancel()
+	id, err := c.Nodes[0].Core.Create(cx, params)
+	if err != nil {
+		c.Close()
+		return nil, 0, err
+	}
+	if _, err := c.Nodes[0].Core.Write(cx, id, core.WriteReq{Data: []byte("seed"), Truncate: true}); err != nil {
+		c.Close()
+		return nil, 0, err
+	}
+	for r := 1; r < replicas; r++ {
+		if err := c.Nodes[0].Core.AddReplica(cx, id, 0, c.IDs[r]); err != nil {
+			// One retry: blast transfers can time out transiently under load.
+			if err := c.Nodes[0].Core.AddReplica(cx, id, 0, c.IDs[r]); err != nil {
+				c.Close()
+				return nil, 0, err
+			}
+		}
+	}
+	if err := waitStable(cx, c.Nodes[0].Core, id); err != nil {
+		c.Close()
+		return nil, 0, err
+	}
+	return c, id, nil
+}
+
+// RunA1 measures §3.3 optimization 1 (piggybacking the update on the token
+// request). Writers alternate so every write needs the token; the combined
+// cast folds token pass, stability notification, and update into one
+// total-order slot.
+func RunA1() (*Table, error) {
+	t := &Table{
+		ID:     "A1",
+		Title:  "ablation: §3.3 optimization 1 — update piggybacked on token request (alternating writers)",
+		Header: []string{"piggyback", "latency/write", "msgs/write"},
+	}
+	const iters = 400
+	for _, on := range []bool{false, true} {
+		copts := testutil.FastCoreOpts()
+		copts.Piggyback = on
+		params := core.DefaultParams()
+		params.MinReplicas = 3
+		c, id, err := ablationCell(3, copts, params, 3)
+		if err != nil {
+			return nil, err
+		}
+		cx, cancel := ctx()
+		payload := []byte("alternating-writer-payload")
+		c.Net.ResetStats()
+		i := 0
+		avg := timeAvg(iters, func() error {
+			srv := c.Nodes[i%2].Core
+			i++
+			_, err := srv.Write(cx, id, core.WriteReq{Off: 0, Data: payload})
+			return err
+		})
+		msgs := float64(c.Net.Stats().Sent) / float64(iters)
+		cancel()
+		c.Close()
+		label := "off"
+		if on {
+			label = "on"
+		}
+		t.Rows = append(t.Rows, []string{label, ms(avg), fmt.Sprintf("%.1f", msgs)})
+	}
+	t.Notes = append(t.Notes,
+		"every write must move the token; with the optimization the token pass,",
+		"the §3.4 unstable mark, and the update share one communication round,",
+		"so per-write message cost roughly halves (heartbeats included in counts)")
+	return t, nil
+}
+
+// RunA2 measures §3.3 optimization 2 (passing a single update to the token
+// holder). One server streams appends (it wants to keep the token) while a
+// second does whole-file single-shot overwrites between bursts.
+func RunA2() (*Table, error) {
+	t := &Table{
+		ID:     "A2",
+		Title:  "ablation: §3.3 optimization 2 — single updates passed to the token holder",
+		Header: []string{"forwarding", "latency/mixed-op", "msgs/mixed-op", "token moved"},
+	}
+	const iters = 200
+	for _, on := range []bool{false, true} {
+		copts := testutil.FastCoreOpts()
+		copts.ForwardSingles = on
+		params := core.DefaultParams()
+		params.MinReplicas = 2
+		params.Stability = false
+		c, id, err := ablationCell(2, copts, params, 2)
+		if err != nil {
+			return nil, err
+		}
+		cx, cancel := ctx()
+		stream, oneShot := c.Nodes[0].Core, c.Nodes[1].Core
+		small := []byte("whole-file overwrite")
+		chunk := []byte("streamed")
+		c.Net.ResetStats()
+		avg := timeAvg(iters, func() error {
+			if _, err := oneShot.Write(cx, id, core.WriteReq{Data: small, Truncate: true}); err != nil {
+				return err
+			}
+			for j := 0; j < 3; j++ {
+				if _, err := stream.Write(cx, id, core.WriteReq{Off: int64(len(small)), Data: chunk}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		msgs := float64(c.Net.Stats().Sent) / float64(iters)
+		// Probe whether a one-shot overwrite steals the token: write once
+		// from B and inspect the holder before A writes again.
+		if _, err := oneShot.Write(cx, id, core.WriteReq{Data: small, Truncate: true}); err != nil {
+			cancel()
+			c.Close()
+			return nil, err
+		}
+		info, err := stream.Stat(cx, id)
+		if err != nil {
+			cancel()
+			c.Close()
+			return nil, err
+		}
+		moved := "yes"
+		if len(info.Versions) == 1 && info.Versions[0].Holder == stream.ID() {
+			moved = "no"
+		}
+		cancel()
+		c.Close()
+		label := "off"
+		if on {
+			label = "on"
+		}
+		t.Rows = append(t.Rows, []string{label, ms(avg), fmt.Sprintf("%.1f", msgs), moved})
+	}
+	t.Notes = append(t.Notes,
+		"a mixed op is one single-shot overwrite by server B plus a 3-append burst",
+		"by the streaming server A; with forwarding on, B never steals the token,",
+		"so A's stream never pays re-acquisition and total messages drop")
+	return t, nil
+}
+
+// RunA3 measures the §7 future-work hot-file mode against the problem the
+// paper names: "certain files and directories such as the root directory
+// will be accessed very frequently by all servers." Five servers read the
+// same segment under injected link latency; without the mode only one
+// replica exists and four servers forward every read.
+func RunA3() (*Table, error) {
+	t := &Table{
+		ID:     "A3",
+		Title:  "ablation: §7 hot-file mode — every server reads the root directory (1ms links)",
+		Header: []string{"hot-read", "latency/read", "msgs/read", "replicas"},
+	}
+	const servers = 5
+	const iters = 200
+	for _, on := range []bool{false, true} {
+		params := core.DefaultParams()
+		params.HotRead = on
+		c, id, err := ablationCell(servers, testutil.FastCoreOpts(), params, 1)
+		if err != nil {
+			return nil, err
+		}
+		cx, cancel := ctx()
+		// Warm up: every server touches the file once; with hot-read on,
+		// wait until the replicas land everywhere.
+		for i := 0; i < servers; i++ {
+			if _, _, err := c.Nodes[i].Core.Read(cx, id, 0, 0, -1); err != nil {
+				cancel()
+				c.Close()
+				return nil, err
+			}
+		}
+		replicas := 1
+		if on {
+			deadline := 100
+			for ; deadline > 0; deadline-- {
+				info, err := c.Nodes[0].Core.Stat(cx, id)
+				if err == nil && len(info.Versions) == 1 {
+					replicas = len(info.Versions[0].Replicas)
+				}
+				if replicas == servers {
+					break
+				}
+				// Re-touch so stragglers re-request their replica; give the
+				// one-at-a-time blast transfers room to run.
+				for i := 0; i < servers; i++ {
+					_, _, _ = c.Nodes[i].Core.Read(cx, id, 0, 0, -1)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+		c.Net.SetLatency(time.Millisecond, 0)
+		c.Net.ResetStats()
+		i := 0
+		avg := timeAvg(iters, func() error {
+			srv := c.Nodes[i%servers].Core
+			i++
+			_, _, err := srv.Read(cx, id, 0, 0, -1)
+			return err
+		})
+		msgs := float64(c.Net.Stats().Sent) / float64(iters)
+		cancel()
+		c.Close()
+		label := "off"
+		if on {
+			label = "on"
+		}
+		t.Rows = append(t.Rows, []string{label, ms(avg), fmt.Sprintf("%.1f", msgs),
+			fmt.Sprintf("%d/%d", replicas, servers)})
+	}
+	t.Notes = append(t.Notes,
+		"with hot-read on, every server grows a replica during warm-up and all",
+		"reads are local; off, 4 of 5 servers pay a forwarding round trip per read")
+	return t, nil
+}

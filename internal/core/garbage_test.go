@@ -1,0 +1,51 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// Decoders face bytes from the network; arbitrary garbage must produce an
+// error (or harmless zero values), never a panic or runaway allocation.
+func TestGarbageDecodingNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 5000; i++ {
+		buf := make([]byte, rng.Intn(200))
+		rng.Read(buf)
+		var cm castMsg
+		_ = wire.Unmarshal(buf, &cm)
+		var cr castReply
+		_ = wire.Unmarshal(buf, &cr)
+		var dm directMsg
+		_ = wire.Unmarshal(buf, &dm)
+		var ss segSnapshot
+		_ = wire.Unmarshal(buf, &ss)
+		var p Params
+		_ = wire.Unmarshal(buf, &p)
+	}
+}
+
+// Truncations of valid messages are the common corruption; every prefix of
+// a real message must decode with an error, not a panic.
+func TestTruncatedMessagesError(t *testing.T) {
+	full := wire.Marshal(&castMsg{
+		Op: opUpdate, Major: 7, Off: 42,
+		Data:   []byte("payload bytes"),
+		Params: DefaultParams(),
+	})
+	for n := 0; n < len(full); n++ {
+		var cm castMsg
+		if err := wire.Unmarshal(full[:n], &cm); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", n, len(full))
+		}
+	}
+	var cm castMsg
+	if err := wire.Unmarshal(full, &cm); err != nil {
+		t.Fatalf("full message failed to decode: %v", err)
+	}
+	if cm.Major != 7 || string(cm.Data) != "payload bytes" {
+		t.Errorf("decoded %+v", cm)
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// Tests for the §7 future-work read-optimized "hot file" mode: files such
+// as the root directory that every server reads constantly and writes
+// rarely. HotRead files self-replicate onto every server that touches them
+// and writes wait for all available replicas, so steady-state reads never
+// leave their server.
+
+func replicaCount(t *testing.T, s *Server, id SegID) int {
+	t.Helper()
+	ctx := ctxT(t, 5*time.Second)
+	info, err := s.Stat(ctx, id)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, v := range info.Versions {
+		if v.Major == info.Current {
+			n = len(v.Replicas)
+		}
+	}
+	return n
+}
+
+func TestHotReadSelfReplicatesOnEveryReader(t *testing.T) {
+	c := newTestCluster(t, 4)
+	ctx := ctxT(t, 20*time.Second)
+	a := c.nodes[0].srv
+
+	params := DefaultParams()
+	params.HotRead = true
+	id, err := a.Create(ctx, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write(ctx, id, WriteReq{Data: []byte("/bin /usr /home")}); err != nil {
+		t.Fatal(err)
+	}
+	waitStable(t, a, id)
+
+	// Each server reads once; unlike plain forwarding (migration off), a
+	// replica must land on every reader.
+	for i := 1; i < 4; i++ {
+		data, _, err := c.nodes[i].srv.Read(ctx, id, 0, 0, -1)
+		if err != nil {
+			t.Fatalf("read via node %d: %v", i, err)
+		}
+		if string(data) != "/bin /usr /home" {
+			t.Errorf("node %d read %q", i, data)
+		}
+	}
+	waitUntil(t, 10*time.Second, "replicas on all 4 servers", func() bool {
+		return replicaCount(t, a, id) == 4
+	})
+}
+
+func TestHotReadWriteReachesAllReplicasBeforeReturn(t *testing.T) {
+	c := newTestCluster(t, 3)
+	ctx := ctxT(t, 20*time.Second)
+	a := c.nodes[0].srv
+
+	params := DefaultParams()
+	params.HotRead = true
+	params.WriteSafety = 1 // HotRead must raise this to all replicas
+	id, err := a.Create(ctx, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write(ctx, id, WriteReq{Data: []byte("v0")}); err != nil {
+		t.Fatal(err)
+	}
+	waitStable(t, a, id)
+	for i := 1; i < 3; i++ {
+		if _, _, err := c.nodes[i].srv.Read(ctx, id, 0, 0, -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, 10*time.Second, "replicas everywhere", func() bool {
+		return replicaCount(t, a, id) == 3
+	})
+	waitStable(t, a, id)
+
+	// The write returns only after every available replica acked, so every
+	// server's local copy is current the moment the call completes.
+	pair, err := a.Write(ctx, id, WriteReq{Off: 0, Data: []byte("v1"), Truncate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		nd := c.nodes[i]
+		nd.srv.mu.Lock()
+		sg := nd.srv.segs[id]
+		nd.srv.mu.Unlock()
+		if sg == nil {
+			t.Fatalf("node %d lost the segment", i)
+		}
+		sg.mu.Lock()
+		var got string
+		var gotPair bool
+		for _, rep := range sg.local {
+			got = string(rep.data)
+			gotPair = rep.pair == pair
+		}
+		sg.mu.Unlock()
+		if got != "v1" || !gotPair {
+			t.Errorf("node %d local replica = %q (current pair: %v) immediately after write", i, got, gotPair)
+		}
+	}
+}
+
+func TestHotReadSurvivesReplicaCrash(t *testing.T) {
+	c := newTestCluster(t, 3)
+	ctx := ctxT(t, 20*time.Second)
+	a := c.nodes[0].srv
+
+	params := DefaultParams()
+	params.HotRead = true
+	id, err := a.Create(ctx, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write(ctx, id, WriteReq{Data: []byte("root")}); err != nil {
+		t.Fatal(err)
+	}
+	waitStable(t, a, id)
+	for i := 1; i < 3; i++ {
+		if _, _, err := c.nodes[i].srv.Read(ctx, id, 0, 0, -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, 10*time.Second, "replicas everywhere", func() bool {
+		return replicaCount(t, a, id) == 3
+	})
+
+	// A crashed replica holder must not wedge writes: the effective safety
+	// is every *available* replica, which shrinks with the view.
+	c.crash(2)
+	waitUntil(t, 5*time.Second, "crash view", func() bool {
+		return fileGroupViewSize(c, 0, id) == 2
+	})
+	if _, err := a.Write(ctx, id, WriteReq{Off: 0, Data: []byte("still writable"), Truncate: true}); err != nil {
+		t.Fatalf("write after replica crash: %v", err)
+	}
+	data, _, err := c.nodes[1].srv.Read(ctx, id, 0, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "still writable" {
+		t.Errorf("data = %q", data)
+	}
+}

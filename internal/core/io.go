@@ -1,0 +1,831 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/isis"
+	"repro/internal/simnet"
+	"repro/internal/version"
+)
+
+// readOnce attempts one read. It may return ErrBusy for transient
+// conditions, in which case Read retries.
+func (s *Server) readOnce(ctx context.Context, id SegID, major uint64, off, n int64) ([]byte, version.Pair, error) {
+	sg, err := s.openSegment(ctx, id)
+	if err != nil {
+		return nil, version.Pair{}, err
+	}
+	sg.mu.Lock()
+	if sg.dissolved {
+		sg.mu.Unlock()
+		return nil, version.Pair{}, ErrBusy
+	}
+	if sg.deleted {
+		sg.mu.Unlock()
+		return nil, version.Pair{}, ErrNotFound
+	}
+	if major == 0 {
+		major = sg.currentMajorLocked()
+	}
+	ms := sg.majors[major]
+	if ms == nil {
+		sg.mu.Unlock()
+		return nil, version.Pair{}, ErrNotFound
+	}
+	params := sg.params
+	holder := ms.holder
+	holderIn := holder != "" && sg.view.Contains(holder)
+	unstable := ms.unstable && params.Stability
+	rep := sg.local[major]
+	grp := sg.group
+	view := sg.view
+	replicas := ms.replicaList()
+
+	// A replica whose pair lags the group-agreed pair missed updates while
+	// this server was crashed or partitioned (§3.6 "Non-token Replica
+	// Crash"). It must never serve reads; refresh it in the background and
+	// forward like a server with no replica.
+	stale := rep != nil && rep.pair != ms.pair
+	// The inverse lie: the group record lists us as a replica holder but
+	// the data is gone (partial recovery). Correct the record so readers
+	// and forks stop routing to phantom data.
+	phantom := rep == nil && ms.replicas[s.id]
+
+	// Fast path: serve from the local replica. While the file is unstable,
+	// only the token holder's replica may serve reads (§3.4: "after
+	// stability notification, all file reads and inquiries are forwarded to
+	// the token holder"). A recovering segment (group not yet rejoined or
+	// inside the recreation grace window) must not serve its possibly-
+	// obsolete pre-crash state (§3.6 "Non-token Replica Crash": the
+	// recovering server first checks with the token holder).
+	if rep != nil && !stale && sg.readyLocked() && (!unstable || holder == s.id) {
+		data, pair := sliceReplica(rep, off, n)
+		sg.mu.Unlock()
+		return data, pair, nil
+	}
+	sg.mu.Unlock()
+
+	if stale {
+		go s.refreshReplica(sg, major)
+	}
+	if phantom {
+		go s.dropPhantomReplica(sg, major)
+	}
+
+	// Trigger migration in the background before forwarding (§3.1 method 4).
+	// Hot-read files (§7's read-optimized mode) self-replicate onto every
+	// server that touches them regardless of the Migration parameter.
+	if rep == nil && (params.Migration || params.HotRead) {
+		go s.requestMigration(sg, major)
+	}
+
+	if unstable {
+		if holderIn && holder != s.id {
+			data, pair, err := s.directRead(ctx, holder, id, major, off, n)
+			if err == nil {
+				return data, pair, nil
+			}
+			// Fall through to the §3.6 failure path.
+		}
+		return s.readAfterHolderFailure(ctx, sg, major, off, n)
+	}
+
+	// Stable but no local replica: forward to any available replica,
+	// preferring the holder (Figure 2's server-to-server forwarding).
+	targets := make([]simnet.NodeID, 0, len(replicas)+1)
+	if holderIn {
+		targets = append(targets, holder)
+	}
+	for _, r := range replicas {
+		if r != holder && r != s.id && view.Contains(r) {
+			targets = append(targets, r)
+		}
+	}
+	for _, t := range targets {
+		data, pair, err := s.directRead(ctx, t, id, major, off, n)
+		if err == nil {
+			return data, pair, nil
+		}
+	}
+	if grp == nil {
+		return nil, version.Pair{}, ErrBusy
+	}
+	return nil, version.Pair{}, ErrBusy
+}
+
+// sliceReplica extracts [off, off+n) from a replica, clamped to its size.
+func sliceReplica(rep *localReplica, off, n int64) ([]byte, version.Pair) {
+	size := int64(len(rep.data))
+	if off >= size || off < 0 {
+		return nil, rep.pair
+	}
+	end := size
+	if n >= 0 && off+n < size {
+		end = off + n
+	}
+	out := make([]byte, end-off)
+	copy(out, rep.data[off:end])
+	return out, rep.pair
+}
+
+// readAfterHolderFailure implements §3.6 ("Stability Notification in the
+// Presence of Failure"): when a reader holds (or finds) an unstable replica
+// and cannot contact the token holder, it broadcasts to the file group to
+// find a stable replica; if none exists it forces the most up-to-date
+// replica stable and destroys obsolete ones.
+func (s *Server) readAfterHolderFailure(ctx context.Context, sg *segment, major uint64, off, n int64) ([]byte, version.Pair, error) {
+	sg.mu.Lock()
+	grp := sg.group
+	sg.mu.Unlock()
+	if grp == nil {
+		return nil, version.Pair{}, ErrBusy
+	}
+	cctx, cancel := context.WithTimeout(ctx, s.opts.OpTimeout)
+	defer cancel()
+	replies, err := grp.Cast(cctx, encodeCast(&castMsg{Op: opInquiry, Major: major}), isis.All)
+	if err != nil {
+		return nil, version.Pair{}, ErrBusy
+	}
+
+	var best *castReply
+	var bestFrom simnet.NodeID
+	var stableFrom simnet.NodeID
+	var obsolete []simnet.NodeID
+	states := make(map[simnet.NodeID]*castReply)
+	for _, r := range replies {
+		cr, err := decodeReply(r.Data)
+		if err != nil || cr.Err != "" || !cr.IsReplica {
+			continue
+		}
+		states[r.From] = cr
+		if cr.Stable && stableFrom == "" {
+			stableFrom = r.From
+		}
+		if best == nil || cr.Pair.Sub > best.Pair.Sub {
+			best, bestFrom = cr, r.From
+		}
+	}
+	if stableFrom != "" {
+		if stableFrom == s.id {
+			return s.readLocal(sg, major, off, n)
+		}
+		return s.directRead(ctx, stableFrom, sg.id, major, off, n)
+	}
+	if best == nil {
+		return nil, version.Pair{}, ErrBusy
+	}
+	for from, cr := range states {
+		if cr.Pair.Sub < best.Pair.Sub {
+			obsolete = append(obsolete, from)
+		}
+	}
+	_, err = s.castOne(ctx, sg, &castMsg{
+		Op:    opForceStable,
+		Major: major,
+		Pair:  best.Pair,
+		Data:  encodeTargets(obsolete),
+	})
+	if err != nil {
+		return nil, version.Pair{}, ErrBusy
+	}
+	if bestFrom == s.id {
+		return s.readLocal(sg, major, off, n)
+	}
+	return s.directRead(ctx, bestFrom, sg.id, major, off, n)
+}
+
+func (s *Server) readLocal(sg *segment, major uint64, off, n int64) ([]byte, version.Pair, error) {
+	sg.mu.Lock()
+	defer sg.mu.Unlock()
+	rep := sg.local[major]
+	if rep == nil {
+		return nil, version.Pair{}, ErrBusy
+	}
+	data, pair := sliceReplica(rep, off, n)
+	return data, pair, nil
+}
+
+// ----------------------------------------------------------------- write --
+
+// writeOnce attempts one write: token acquisition if needed (§3.3),
+// stability notification at stream start (§3.4), then the totally ordered
+// update collecting the write-safety number of replica replies (§4) — the
+// Table 1 sequence.
+func (s *Server) writeOnce(ctx context.Context, id SegID, req WriteReq) (version.Pair, error) {
+	sg, err := s.openSegment(ctx, id)
+	if err != nil {
+		return version.Pair{}, err
+	}
+	sg.mu.Lock()
+	if sg.dissolved {
+		sg.mu.Unlock()
+		return version.Pair{}, ErrBusy
+	}
+	if sg.deleted {
+		sg.mu.Unlock()
+		return version.Pair{}, ErrNotFound
+	}
+	major := req.Major
+	if major == 0 {
+		major = sg.currentMajorLocked()
+	}
+	ms := sg.majors[major]
+	if ms == nil {
+		sg.mu.Unlock()
+		return version.Pair{}, ErrNotFound
+	}
+	params := sg.params
+	holder := ms.holder
+	holderIn := holder != "" && sg.view.Contains(holder)
+	grp := sg.group
+	ready := sg.readyLocked()
+	sg.mu.Unlock()
+	if grp == nil || !ready {
+		// Not joined yet, or inside the post-recovery grace window: writing
+		// through a possibly-obsolete recreated group would fork the file.
+		return version.Pair{}, ErrBusy
+	}
+
+	// §3.3 optimization 2: "pass an update to the current token holder
+	// instead of requesting the token if it is likely that there will be
+	// only one update." The token stays where it is; on any transient
+	// failure we fall through to the normal token path.
+	if holder != s.id && holderIn && !req.noForward && s.shouldForward(req) {
+		pair, err, definitive := s.forwardWrite(ctx, holder, id, req)
+		if definitive {
+			return pair, err
+		}
+	}
+
+	// §3.3 optimization 1: piggyback the update on the token request, one
+	// communication round for token pass + stability notification + update.
+	// Every write goes through the combined cast, including writes while
+	// holding the token (the state machine grants a held token trivially),
+	// so a locally stale holder view can never send a doomed plain update.
+	if s.opts.Piggyback {
+		return s.writePiggyback(ctx, sg, major, req, params)
+	}
+
+	// Precondition 1 (Table 1): hold the token. "A server that lacks a
+	// token must acquire it before distributing an update... it is only done
+	// for the first in a series of updates."
+	if holder != s.id {
+		granted, err := s.acquireToken(ctx, sg, major)
+		if err != nil {
+			return version.Pair{}, err
+		}
+		major = granted
+		// The holder's replica is the primary during instability; make sure
+		// we actually have one before updating (§3.4).
+		if err := s.ensureLocalReplica(ctx, sg, major); err != nil {
+			return version.Pair{}, err
+		}
+	}
+
+	// Precondition 2 (Table 1): mark replicas unstable before the first
+	// update of a stream. "All available replicas must be so notified
+	// before any updates can occur."
+	sg.mu.Lock()
+	ms = sg.majors[major]
+	if ms == nil {
+		sg.mu.Unlock()
+		return version.Pair{}, ErrBusy
+	}
+	needNotify := params.Stability && !ms.unstable
+	sg.mu.Unlock()
+	if needNotify {
+		nctx, cancel := context.WithTimeout(ctx, s.opts.OpTimeout)
+		replies, err := grp.Cast(nctx, encodeCast(&castMsg{Op: opMarkUnstable, Major: major}), isis.All)
+		cancel()
+		if err != nil {
+			return version.Pair{}, ErrBusy
+		}
+		for _, r := range replies {
+			if cr, derr := decodeReply(r.Data); derr == nil && cr.Err != "" {
+				return version.Pair{}, replyErr(cr.Err)
+			}
+		}
+	}
+
+	// The distributed update itself: one communication round (§3.3).
+	call, err := grp.CastCall(encodeCast(&castMsg{
+		Op:       opUpdate,
+		Major:    major,
+		Off:      req.Off,
+		Data:     req.Data,
+		Truncate: req.Truncate,
+		Expect:   req.Expect,
+	}))
+	if err != nil {
+		if errors.Is(err, isis.ErrDissolved) {
+			return version.Pair{}, ErrBusy
+		}
+		return version.Pair{}, err
+	}
+
+	// Background maintenance: count all replies for replica regeneration
+	// (§3.1 method 1) and schedule the return to stability (§3.4).
+	defer func() {
+		go s.finishWrite(sg, major, call)
+		s.scheduleStability(sg, major)
+	}()
+
+	safety := s.effectiveSafety(sg, major, params)
+	if safety <= 0 {
+		// Asynchronous unsafe write: return before any replica replies (§4).
+		return version.Pair{}, nil
+	}
+	return s.waitWrite(ctx, call, safety, s.stabilityAckNode(params))
+}
+
+// stabilityAckNode returns the node whose update reply a write must include
+// before returning. With stability notification on, reads of the unstable
+// file forward to the token holder, so §3.4 requires "the token holder's
+// replica ... be updated before a write can return to a client" — and the
+// updater is always the holder, i.e. this server.
+func (s *Server) stabilityAckNode(params Params) simnet.NodeID {
+	if params.Stability {
+		return s.id
+	}
+	return ""
+}
+
+// effectiveSafety returns the number of replica acknowledgements a write
+// must collect: the write safety level (§4), raised to every available
+// replica for hot-read files (§7's read-optimized mode, which keeps all
+// replicas current so reads never leave their server).
+func (s *Server) effectiveSafety(sg *segment, major uint64, params Params) int {
+	safety := params.WriteSafety
+	if !params.HotRead {
+		return safety
+	}
+	sg.mu.Lock()
+	defer sg.mu.Unlock()
+	if ms := sg.majors[major]; ms != nil {
+		if n := ms.availableReplicas(sg.view); n > safety {
+			safety = n
+		}
+	}
+	return safety
+}
+
+// waitWrite collects replies until k replica servers have acknowledged the
+// update (one of which must be mustFrom, if non-empty — the token holder
+// under stability notification, §3.4), the call completes with fewer than k
+// live replicas (degrading to fully synchronous, §4), or ctx expires.
+func (s *Server) waitWrite(ctx context.Context, call *isis.Call, k int, mustFrom simnet.NodeID) (version.Pair, error) {
+	want := 1
+	for {
+		wctx, cancel := context.WithTimeout(ctx, s.opts.OpTimeout)
+		replies, err := call.Wait(wctx, want)
+		cancel()
+		var pair version.Pair
+		acks := 0
+		haveMust := mustFrom == ""
+		for _, r := range replies {
+			cr, derr := decodeReply(r.Data)
+			if derr != nil {
+				continue
+			}
+			if cr.Err != "" {
+				return version.Pair{}, replyErr(cr.Err)
+			}
+			pair = cr.Pair
+			if cr.IsReplica {
+				acks++
+			}
+			if r.From == mustFrom {
+				haveMust = true
+			}
+		}
+		if acks >= k && haveMust {
+			return pair, nil
+		}
+		select {
+		case <-call.Done():
+			if cerr := call.Err(); cerr != nil {
+				return version.Pair{}, ErrBusy
+			}
+			// Fewer live replicas than the safety level degrades to fully
+			// synchronous (§4) — but at least one replica must actually
+			// have applied the data, or nothing durable exists and the
+			// write must not be acknowledged.
+			if len(replies) > 0 && acks > 0 {
+				return pair, nil
+			}
+			return version.Pair{}, ErrBusy
+		default:
+		}
+		if err != nil {
+			if errors.Is(err, isis.ErrDissolved) {
+				return version.Pair{}, ErrBusy
+			}
+			return pair, err
+		}
+		want = len(replies) + 1
+	}
+}
+
+// shouldForward decides whether a write is "likely the only update" in the
+// paper's sense: the caller said so explicitly, or the heuristic matches (a
+// small file overwritten whole in a single update, §3.3).
+func (s *Server) shouldForward(req WriteReq) bool {
+	if req.ViaHolder {
+		return true
+	}
+	return s.opts.ForwardSingles && req.Truncate && req.Off == 0 &&
+		len(req.Data) <= s.opts.ForwardMax
+}
+
+// forwardWrite sends the update to the current token holder over the direct
+// channel (§3.3 optimization 2). definitive reports whether the outcome —
+// success or a real error such as a version conflict — settles the write;
+// when false the caller retries through the token-acquisition path.
+func (s *Server) forwardWrite(ctx context.Context, to simnet.NodeID, id SegID, req WriteReq) (version.Pair, error, bool) {
+	fctx, cancel := context.WithTimeout(ctx, s.opts.OpTimeout)
+	defer cancel()
+	resp, err := s.directCall(fctx, to, &directMsg{
+		Kind: dmWriteReq, Seg: id, Major: req.Major,
+		Off: req.Off, Data: req.Data, Truncate: req.Truncate, Expect: req.Expect,
+	})
+	if err != nil {
+		return version.Pair{}, nil, false
+	}
+	switch resp.Err {
+	case "":
+		return resp.Pair, nil, true
+	case "conflict":
+		return version.Pair{}, ErrVersionConflict, true
+	case "no such version":
+		return version.Pair{}, ErrNotFound, true
+	case "unavailable":
+		return version.Pair{}, ErrWriteUnavailable, true
+	default:
+		// The holder was shutting down, lost the token, or timed out:
+		// not settled; acquire the token ourselves.
+		return version.Pair{}, nil, false
+	}
+}
+
+// writePiggyback performs a non-holder write as a single opTokenUpdate cast
+// (§3.3 optimization 1). The cast's total-order slot simultaneously passes
+// (or generates) the token, marks replicas unstable when stability
+// notification is on, and applies the update at every replica.
+func (s *Server) writePiggyback(ctx context.Context, sg *segment, major uint64, req WriteReq, params Params) (version.Pair, error) {
+	sg.mu.Lock()
+	grp := sg.group
+	dissolved := sg.dissolved
+	sg.mu.Unlock()
+	if grp == nil || dissolved {
+		return version.Pair{}, ErrBusy
+	}
+	call, err := grp.CastCall(encodeCast(&castMsg{
+		Op:       opTokenUpdate,
+		Major:    major,
+		NewMajor: s.majAlloc.Next(),
+		Off:      req.Off,
+		Data:     req.Data,
+		Truncate: req.Truncate,
+		Expect:   req.Expect,
+		HasData:  s.ensureDataForFork(sg, major),
+	}))
+	if err != nil {
+		if errors.Is(err, isis.ErrDissolved) {
+			return version.Pair{}, ErrBusy
+		}
+		return version.Pair{}, err
+	}
+	wctx, cancel := context.WithTimeout(ctx, s.opts.OpTimeout)
+	replies, err := call.Wait(wctx, 1)
+	cancel()
+	if err != nil || len(replies) == 0 {
+		return version.Pair{}, ErrBusy
+	}
+	first, derr := decodeReply(replies[0].Data)
+	if derr != nil {
+		return version.Pair{}, ErrBusy
+	}
+	switch first.Outcome {
+	case tokUnavailable:
+		return version.Pair{}, ErrWriteUnavailable
+	case tokBusy:
+		return version.Pair{}, ErrBusy
+	}
+	if first.Err != "" {
+		return version.Pair{}, replyErr(first.Err)
+	}
+	granted := first.Major
+
+	// We are the holder now; while the file is unstable, reads forward to
+	// us, so grow a local replica in the background rather than spending a
+	// synchronous round on it (readers retry until it lands).
+	sg.mu.Lock()
+	_, haveReplica := sg.local[granted]
+	sg.mu.Unlock()
+	if !haveReplica {
+		go func() {
+			bctx, bcancel := context.WithTimeout(context.Background(), 2*s.opts.OpTimeout)
+			defer bcancel()
+			_ = s.ensureLocalReplica(bctx, sg, granted)
+		}()
+	}
+
+	defer func() {
+		go s.finishWrite(sg, granted, call)
+		s.scheduleStability(sg, granted)
+	}()
+	safety := s.effectiveSafety(sg, granted, params)
+	if params.Stability {
+		// The cast carried the token pass: every available member must have
+		// applied it before we act as the new holder, or a deposed holder
+		// could briefly serve stale reads (see acquireToken).
+		actx, acancel := context.WithTimeout(ctx, s.opts.OpTimeout)
+		_, _ = call.Wait(actx, isis.All)
+		acancel()
+	}
+	if safety <= 0 {
+		return version.Pair{}, nil
+	}
+	return s.waitWrite(ctx, call, safety, s.stabilityAckNode(params))
+}
+
+// acquireToken runs the §3.3/§3.5 token protocol: request the token; if the
+// holder is unreachable a new token (and major version) may be generated
+// subject to the write availability level. It returns the major version the
+// caller now holds the token for.
+//
+// The request waits for every available member's reply, not just the first:
+// under stability notification, readers forward to the holder recorded in
+// their local state, so the deposed holder must have applied the pass
+// before the new holder's first update — otherwise it would briefly serve
+// stale reads as a self-believed holder. Like the unstable-mark round, this
+// cost is paid once per write stream (§3.3).
+func (s *Server) acquireToken(ctx context.Context, sg *segment, major uint64) (uint64, error) {
+	proposed := s.majAlloc.Next()
+	r, err := s.castAll(ctx, sg, &castMsg{
+		Op: opTokenRequest, Major: major, NewMajor: proposed,
+		HasData: s.ensureDataForFork(sg, major),
+	})
+	if err != nil {
+		return 0, err
+	}
+	switch r.Outcome {
+	case tokGranted:
+		return major, nil
+	case tokGrantedNew:
+		return r.Major, nil
+	case tokUnavailable:
+		return 0, ErrWriteUnavailable
+	default:
+		return 0, ErrBusy
+	}
+}
+
+// ensureDataForFork reports whether this server holds major's data, first
+// trying to pull it directly from a reachable replica when the token holder
+// is unreachable (the token-regeneration case: "replicas corresponding to
+// the new token are generated by copying the original replica", §3.5 — so
+// the regenerating server must have a copy to fork from).
+func (s *Server) ensureDataForFork(sg *segment, major uint64) bool {
+	sg.mu.Lock()
+	_, have := sg.local[major]
+	ms := sg.majors[major]
+	var holderIn bool
+	var peers []simnet.NodeID
+	if ms != nil {
+		holderIn = ms.holder != "" && sg.view.Contains(ms.holder)
+		for r := range ms.replicas {
+			if r != s.id && sg.view.Contains(r) {
+				peers = append(peers, r)
+			}
+		}
+	}
+	sg.mu.Unlock()
+	if have {
+		return true
+	}
+	if holderIn {
+		// Normal token pass expected; no fork, no data needed up front.
+		return false
+	}
+	for _, p := range peers {
+		if s.pullReplicaFrom(sg, major, p) {
+			sg.mu.Lock()
+			_, have = sg.local[major]
+			sg.mu.Unlock()
+			if have {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ensureLocalReplica makes this server a replica holder of major, pulling
+// data through the regular transfer flow if necessary.
+func (s *Server) ensureLocalReplica(ctx context.Context, sg *segment, major uint64) error {
+	sg.mu.Lock()
+	_, have := sg.local[major]
+	ms := sg.majors[major]
+	sg.mu.Unlock()
+	if have || ms == nil {
+		return nil
+	}
+	if _, err := s.castOne(ctx, sg, &castMsg{Op: opRequestReplica, Major: major, Target: s.id}); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(2 * s.opts.OpTimeout)
+	for time.Now().Before(deadline) {
+		sg.mu.Lock()
+		_, have = sg.local[major]
+		sg.mu.Unlock()
+		if have {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(s.opts.RetryDelay):
+		}
+	}
+	return ErrBusy
+}
+
+// finishWrite performs the holder's post-update maintenance (Table 1): count
+// update replies; if fewer than the minimum replica level replied, generate
+// new replicas; if more than the maximum, delete surplus replicas LRU-first.
+func (s *Server) finishWrite(sg *segment, major uint64, call *isis.Call) {
+	select {
+	case <-call.Done():
+	case <-time.After(2 * s.opts.OpTimeout):
+		return
+	case <-s.done:
+		return
+	}
+	acks := 0
+	for _, r := range call.Replies() {
+		if cr, err := decodeReply(r.Data); err == nil && cr.OK && cr.IsReplica {
+			acks++
+		}
+	}
+
+	sg.mu.Lock()
+	ms := sg.majors[major]
+	if ms == nil || ms.holder != s.id || sg.deleted {
+		sg.mu.Unlock()
+		return
+	}
+	params := sg.params
+	view := sg.view
+	replicas := ms.replicaList()
+	disabled := sg.tokenDisabledLocked(ms)
+	sg.mu.Unlock()
+	if disabled {
+		// Medium availability with a minority of the replicas reachable: we
+		// may be the partitioned side, and growing fresh replicas here would
+		// manufacture a replica-majority and fork the file. Write access
+		// stays lost until the replicas return (§4: "some replicas may
+		// occasionally be read only").
+		return
+	}
+
+	// Hot-read files keep a replica on every group member (§7's
+	// read-optimized mode), so the regeneration target is the whole view.
+	minReplicas := params.MinReplicas
+	if params.HotRead && len(view.Members) > minReplicas {
+		minReplicas = len(view.Members)
+	}
+	if acks < minReplicas {
+		// Regenerate replicas on members that lack one (§3.1 method 1),
+		// recruiting other cell servers into the file group when the current
+		// membership is too small to satisfy the level.
+		have := make(map[simnet.NodeID]bool, len(replicas))
+		for _, r := range replicas {
+			have[r] = true
+		}
+		candidates := append([]simnet.NodeID(nil), view.Members...)
+		inView := make(map[simnet.NodeID]bool, len(view.Members))
+		for _, m := range view.Members {
+			inView[m] = true
+		}
+		for _, p := range s.proc.Peers() {
+			if !inView[p] {
+				candidates = append(candidates, p)
+			}
+		}
+		needed := minReplicas - acks
+		for _, m := range candidates {
+			if needed <= 0 {
+				break
+			}
+			if !have[m] && s.runTransfer(sg, major, m) {
+				needed--
+			}
+		}
+	}
+
+	maxR := params.MaxReplicas
+	if maxR > 0 && maxR < params.MinReplicas {
+		maxR = params.MinReplicas
+	}
+	if maxR > 0 && len(replicas) > maxR {
+		// Delete surplus replicas, oldest first, never the holder's (§3.1:
+		// "deleted in least-recently-used order").
+		excess := len(replicas) - maxR
+		ctx, cancel := context.WithTimeout(context.Background(), s.opts.OpTimeout)
+		defer cancel()
+		for _, r := range replicas {
+			if excess <= 0 {
+				break
+			}
+			if r == s.id {
+				continue
+			}
+			if _, err := s.castOne(ctx, sg, &castMsg{Op: opDeleteReplica, Major: major, Target: r}); err == nil {
+				excess--
+			}
+		}
+	}
+}
+
+// scheduleStability (re)arms the timer that returns the file to stability
+// "after a short period of no write activity" (§3.4).
+func (s *Server) scheduleStability(sg *segment, major uint64) {
+	sg.mu.Lock()
+	defer sg.mu.Unlock()
+	if !sg.params.Stability {
+		return
+	}
+	sg.lastWrite = time.Now()
+	if sg.stabTimer != nil {
+		sg.stabTimer.Stop()
+	}
+	sg.stabTimer = time.AfterFunc(s.opts.StabilityDelay, func() {
+		s.maybeMarkStable(sg, major)
+	})
+}
+
+func (s *Server) maybeMarkStable(sg *segment, major uint64) {
+	sg.mu.Lock()
+	ms := sg.majors[major]
+	if ms == nil || ms.holder != s.id || !ms.unstable || sg.deleted || sg.group == nil {
+		sg.mu.Unlock()
+		return
+	}
+	if time.Since(sg.lastWrite) < s.opts.StabilityDelay/2 {
+		// A write slipped in; the timer will be rearmed by its scheduler.
+		sg.mu.Unlock()
+		return
+	}
+	grp := sg.group
+	sg.mu.Unlock()
+	_ = grp.CastAsync(encodeCast(&castMsg{Op: opMarkStable, Major: major}))
+}
+
+// requestMigration asks the holder to create a local replica after a
+// forwarded access (§3.1 method 4: "as a background activity, a local
+// non-volatile replica is generated ... to speed future reads"; "each client
+// slowly gathers its working set of files to the server to which it has
+// connected"). Because the holder runs one transfer at a time, the request
+// is retried until the replica lands or the attempts run out; concurrent
+// calls for the same major coalesce.
+func (s *Server) requestMigration(sg *segment, major uint64) {
+	sg.mu.Lock()
+	if sg.migrating == nil {
+		sg.migrating = make(map[uint64]bool)
+	}
+	if sg.migrating[major] {
+		sg.mu.Unlock()
+		return
+	}
+	sg.migrating[major] = true
+	sg.mu.Unlock()
+	defer func() {
+		sg.mu.Lock()
+		delete(sg.migrating, major)
+		sg.mu.Unlock()
+	}()
+
+	for attempt := 0; attempt < 20; attempt++ {
+		sg.mu.Lock()
+		ms := sg.majors[major]
+		done := ms == nil || ms.replicas[s.id] || sg.deleted
+		busy := ms != nil && ms.transferring
+		sg.mu.Unlock()
+		if done {
+			return
+		}
+		if !busy {
+			ctx, cancel := context.WithTimeout(context.Background(), s.opts.OpTimeout)
+			_, _ = s.castOne(ctx, sg, &castMsg{Op: opRequestReplica, Major: major, Target: s.id})
+			cancel()
+		}
+		select {
+		case <-s.done:
+			return
+		case <-time.After(4 * s.opts.RetryDelay):
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests reproduce Figure 5 of the paper: the global one-copy
+// serializability anomaly and its prevention by stability notification
+// (§3.4).
+//
+// Setup: file x is replicated on servers A and B; file y lives only on A.
+// Client c1 (connected to A) appends to x and then appends to y. Client c2
+// reads y through A and then reads x through B. If c2 observes the new y but
+// the old x, the pair of files violates global one-copy serializability even
+// though each file is individually one-copy serializable.
+//
+// Without stability notification and with write safety 1, the write to x
+// returns after the holder's own replica applies it, while B's replica
+// applies only after the (deliberately slow) network delivers the update —
+// an open window in which the anomaly is observable. With stability
+// notification, the write to x cannot begin until B has marked its replica
+// unstable, and B forwards reads of unstable files to the token holder, so
+// the anomaly is impossible.
+
+func onecopySetup(t *testing.T, stability bool) (c *testCluster, x, y SegID) {
+	t.Helper()
+	// The experiment runs with 100ms injected latency; failure detection
+	// must be patient enough not to suspect slow-but-live members.
+	iopts := testISISOpts()
+	iopts.SuspectTimeout = 800 * time.Millisecond
+	c = newTestClusterOpts(t, 2, iopts)
+	ctx := ctxT(t, 20*time.Second)
+	a := c.nodes[0].srv
+
+	params := DefaultParams()
+	params.WriteSafety = 1
+	params.Stability = stability
+	var err error
+	x, err = a.Create(ctx, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err = a.Create(ctx, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write(ctx, x, WriteReq{Data: []byte("0")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write(ctx, y, WriteReq{Data: []byte("0")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddReplica(ctx, x, 0, c.ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	waitStable(t, a, x)
+	waitStable(t, a, y)
+	return c, x, y
+}
+
+func TestF5AnomalyObservableWithoutStability(t *testing.T) {
+	c, x, y := onecopySetup(t, false)
+	ctx := ctxT(t, 20*time.Second)
+	a, b := c.nodes[0].srv, c.nodes[1].srv
+
+	// Slow the network so B's replica of x lags the holder's.
+	c.net.SetLatency(100*time.Millisecond, 0)
+
+	// c1: append to x, then to y (both return after the holder's reply).
+	if _, err := a.Write(ctx, x, WriteReq{Off: 0, Data: []byte("1"), Truncate: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write(ctx, y, WriteReq{Off: 0, Data: []byte("1"), Truncate: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	// c2: read y via A — must see the new value...
+	yv, _, err := a.Read(ctx, y, 0, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...then read x via B's local replica, which has not yet applied the
+	// update: the Figure 5 anomaly.
+	xv, _, err := b.Read(ctx, x, 0, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(yv) != "1" {
+		t.Fatalf("y via A = %q, want 1", yv)
+	}
+	if string(xv) != "0" {
+		// Not a correctness failure of Deceit — the anomaly is permitted in
+		// this mode — but the test documents that the window really exists.
+		t.Skipf("anomaly window not observed (x=%q); timing too tight", xv)
+	}
+}
+
+func TestF5StabilityNotificationPreventsAnomaly(t *testing.T) {
+	c, x, y := onecopySetup(t, true)
+	ctx := ctxT(t, 30*time.Second)
+	a, b := c.nodes[0].srv, c.nodes[1].srv
+
+	c.net.SetLatency(100*time.Millisecond, 0)
+
+	// The same c1 sequence; the write to x now blocks until every replica
+	// (including B's) acknowledged the unstable mark.
+	if _, err := a.Write(ctx, x, WriteReq{Off: 0, Data: []byte("1"), Truncate: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write(ctx, y, WriteReq{Off: 0, Data: []byte("1"), Truncate: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	yv, _, err := a.Read(ctx, y, 0, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xv, _, err := b.Read(ctx, x, 0, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(yv) != "1" || string(xv) != "1" {
+		t.Fatalf("global one-copy serializability violated: y=%q x=%q", yv, xv)
+	}
+}
+
+// TestStabilityLifecycle verifies the Table 1 sequence end to end: the first
+// write of a stream marks replicas unstable; reads at non-holders forward to
+// the holder while unstable; after a quiet period the holder marks the file
+// stable again.
+func TestStabilityLifecycle(t *testing.T) {
+	c, x, _ := onecopySetup(t, true)
+	ctx := ctxT(t, 20*time.Second)
+	a := c.nodes[0].srv
+
+	if _, err := a.Write(ctx, x, WriteReq{Off: 0, Data: []byte("9")}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := a.Stat(ctx, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Versions[0].Unstable {
+		t.Error("file not marked unstable right after a write")
+	}
+	// After the stability delay with no writes, it becomes stable again.
+	waitStable(t, a, x)
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"repro/internal/simnet"
+	"repro/internal/version"
+	"repro/internal/wire"
+)
+
+// Operation codes for file-group casts. Each cast is applied by every group
+// member in the same total order, so the per-file metadata they drive (token
+// location, replica sets, stability marks, parameters) is a replicated state
+// machine.
+const (
+	opUpdate         uint8 = iota + 1 // distribute a data update (§3.2, Fig 4)
+	opMarkUnstable                    // stability notification: begin update stream (§3.4)
+	opMarkStable                      // stability notification: stream quiesced (§3.4)
+	opTokenRequest                    // acquire the write token; may regenerate (§3.3, §3.5)
+	opRequestReplica                  // ask the token holder to create a replica (§3.1)
+	opBeginTransfer                   // holder: transfer starting; delay updates (§3.1)
+	opReplicaReady                    // target: replica installed; resume updates
+	opAbortTransfer                   // holder: transfer timed out
+	opDeleteReplica                   // remove one replica (§3.1)
+	opDeleteSeg                       // delete the whole segment (all versions)
+	opDeleteMajor                     // delete one version (§3.5 version control)
+	opSetParams                       // change the semantic parameters (§4, §5.1)
+	opReconcile                       // merge divergent metadata after partition heal (§3.6)
+	opForceStable                     // failure path: force most-up-to-date replica stable (§3.6)
+	opInquiry                         // read-only replica state poll (§3.6 read recovery)
+	opTokenUpdate                     // §3.3 optimization 1: token request + piggybacked update
+)
+
+// Token request outcomes.
+const (
+	tokGranted     uint8 = iota + 1 // token passed within the same major
+	tokGrantedNew                   // holder unreachable; new major generated
+	tokUnavailable                  // availability level forbids regeneration
+	tokBusy                         // transfer in progress; retry
+)
+
+// castMsg is the single encoding for all group cast payloads.
+type castMsg struct {
+	Op       uint8
+	Major    uint64
+	NewMajor uint64 // proposed major for token regeneration
+	Off      int64
+	Data     []byte
+	Truncate bool
+	Expect   version.Pair
+	Pair     version.Pair
+	Target   simnet.NodeID
+	Source   simnet.NodeID
+	Params   Params
+	Snapshot []byte
+	// HasData asserts the token requester holds a replica of Major's data,
+	// a precondition for token regeneration: "file data is drawn from the
+	// existing available replica" (§3.5). A fork generated without any
+	// data-holding member would be unreadable yet still supersede its
+	// ancestor under the §3.6 branch-point rule.
+	HasData bool
+}
+
+// MarshalWire implements wire.Marshaler.
+func (m *castMsg) MarshalWire(e *wire.Encoder) {
+	e.Uint8(m.Op)
+	e.Uint64(m.Major)
+	e.Uint64(m.NewMajor)
+	e.Int64(m.Off)
+	e.Bytes32(m.Data)
+	e.Bool(m.Truncate)
+	m.Expect.MarshalWire(e)
+	m.Pair.MarshalWire(e)
+	e.String(string(m.Target))
+	e.String(string(m.Source))
+	m.Params.MarshalWire(e)
+	e.Bytes32(m.Snapshot)
+	e.Bool(m.HasData)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (m *castMsg) UnmarshalWire(d *wire.Decoder) error {
+	m.Op = d.Uint8()
+	m.Major = d.Uint64()
+	m.NewMajor = d.Uint64()
+	m.Off = d.Int64()
+	m.Data = d.Bytes32()
+	m.Truncate = d.Bool()
+	if err := m.Expect.UnmarshalWire(d); err != nil {
+		return err
+	}
+	if err := m.Pair.UnmarshalWire(d); err != nil {
+		return err
+	}
+	m.Target = simnet.NodeID(d.String())
+	m.Source = simnet.NodeID(d.String())
+	if err := m.Params.UnmarshalWire(d); err != nil {
+		return err
+	}
+	m.Snapshot = d.Bytes32()
+	m.HasData = d.Bool()
+	return d.Err()
+}
+
+// castReply is every member's reply to a cast.
+type castReply struct {
+	OK        bool
+	Err       string
+	IsReplica bool // this member holds a non-volatile replica and applied the op
+	Pair      version.Pair
+	Major     uint64
+	Outcome   uint8 // token request outcome
+	Stable    bool
+	Size      int64
+}
+
+// MarshalWire implements wire.Marshaler.
+func (r *castReply) MarshalWire(e *wire.Encoder) {
+	e.Bool(r.OK)
+	e.String(r.Err)
+	e.Bool(r.IsReplica)
+	r.Pair.MarshalWire(e)
+	e.Uint64(r.Major)
+	e.Uint8(r.Outcome)
+	e.Bool(r.Stable)
+	e.Int64(r.Size)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *castReply) UnmarshalWire(d *wire.Decoder) error {
+	r.OK = d.Bool()
+	r.Err = d.String()
+	r.IsReplica = d.Bool()
+	if err := r.Pair.UnmarshalWire(d); err != nil {
+		return err
+	}
+	r.Major = d.Uint64()
+	r.Outcome = d.Uint8()
+	r.Stable = d.Bool()
+	r.Size = d.Int64()
+	return d.Err()
+}
+
+// Direct (non-group) message kinds on the transfer channel.
+const (
+	dmFetchReq uint8 = iota + 1 // pull a chunk of replica data (blast transfer)
+	dmFetchResp
+	dmReadReq // forwarded read (stability §3.4; non-replica servers, Fig 2)
+	dmReadResp
+	dmOpenReq // ask a server to join a file group (e.g. as a transfer target)
+	dmOpenResp
+	dmWriteReq // §3.3 optimization 2: pass an update to the token holder
+	dmWriteResp
+)
+
+// directMsg is the encoding for all direct inter-server messages.
+type directMsg struct {
+	Kind     uint8
+	ReqID    uint64
+	Seg      SegID
+	Major    uint64
+	Off      int64
+	N        int64
+	Data     []byte
+	Pair     version.Pair
+	Err      string
+	Size     int64
+	Branches []byte
+	Stable   bool
+	Truncate bool         // dmWriteReq: truncate semantics of the forwarded write
+	Expect   version.Pair // dmWriteReq: optimistic-concurrency expectation
+}
+
+// MarshalWire implements wire.Marshaler.
+func (m *directMsg) MarshalWire(e *wire.Encoder) {
+	e.Uint8(m.Kind)
+	e.Uint64(m.ReqID)
+	e.Uint64(uint64(m.Seg))
+	e.Uint64(m.Major)
+	e.Int64(m.Off)
+	e.Int64(m.N)
+	e.Bytes32(m.Data)
+	m.Pair.MarshalWire(e)
+	e.String(m.Err)
+	e.Int64(m.Size)
+	e.Bytes32(m.Branches)
+	e.Bool(m.Stable)
+	e.Bool(m.Truncate)
+	m.Expect.MarshalWire(e)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (m *directMsg) UnmarshalWire(d *wire.Decoder) error {
+	m.Kind = d.Uint8()
+	m.ReqID = d.Uint64()
+	m.Seg = SegID(d.Uint64())
+	m.Major = d.Uint64()
+	m.Off = d.Int64()
+	m.N = d.Int64()
+	m.Data = d.Bytes32()
+	if err := m.Pair.UnmarshalWire(d); err != nil {
+		return err
+	}
+	m.Err = d.String()
+	m.Size = d.Int64()
+	m.Branches = d.Bytes32()
+	m.Stable = d.Bool()
+	m.Truncate = d.Bool()
+	if err := m.Expect.UnmarshalWire(d); err != nil {
+		return err
+	}
+	return d.Err()
+}
+
+// majorSnap is the serialized metadata of one major version, used in group
+// snapshots (state transfer to joiners) and reconcile casts.
+type majorSnap struct {
+	Major        uint64
+	Holder       simnet.NodeID
+	Pair         version.Pair
+	Size         int64
+	Unstable     bool
+	Transferring bool
+	Replicas     []simnet.NodeID
+}
+
+// segSnapshot is the full serialized group metadata for one segment.
+type segSnapshot struct {
+	Params   Params
+	Branches []byte
+	Majors   []majorSnap
+	Deleted  bool
+}
+
+// MarshalWire implements wire.Marshaler.
+func (s *segSnapshot) MarshalWire(e *wire.Encoder) {
+	s.Params.MarshalWire(e)
+	e.Bytes32(s.Branches)
+	e.Bool(s.Deleted)
+	e.Uint32(uint32(len(s.Majors)))
+	for i := range s.Majors {
+		m := &s.Majors[i]
+		e.Uint64(m.Major)
+		e.String(string(m.Holder))
+		m.Pair.MarshalWire(e)
+		e.Int64(m.Size)
+		e.Bool(m.Unstable)
+		e.Bool(m.Transferring)
+		e.Uint32(uint32(len(m.Replicas)))
+		for _, r := range m.Replicas {
+			e.String(string(r))
+		}
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (s *segSnapshot) UnmarshalWire(d *wire.Decoder) error {
+	if err := s.Params.UnmarshalWire(d); err != nil {
+		return err
+	}
+	s.Branches = d.Bytes32()
+	s.Deleted = d.Bool()
+	n := int(d.Uint32())
+	if err := d.Err(); err != nil {
+		return err
+	}
+	s.Majors = make([]majorSnap, 0, min(n, 1024))
+	for i := 0; i < n; i++ {
+		var m majorSnap
+		m.Major = d.Uint64()
+		m.Holder = simnet.NodeID(d.String())
+		if err := m.Pair.UnmarshalWire(d); err != nil {
+			return err
+		}
+		m.Size = d.Int64()
+		m.Unstable = d.Bool()
+		m.Transferring = d.Bool()
+		rn := int(d.Uint32())
+		if err := d.Err(); err != nil {
+			return err
+		}
+		for j := 0; j < rn; j++ {
+			m.Replicas = append(m.Replicas, simnet.NodeID(d.String()))
+		}
+		s.Majors = append(s.Majors, m)
+	}
+	return d.Err()
+}

@@ -1,0 +1,554 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/version"
+	"repro/internal/wire"
+)
+
+// This file implements the blast replica transfer of §3.1 ("replicas are
+// generated with a file transfer protocol from an existing replica ... the
+// token holder delays updates during replica generation to prevent
+// inconsistency") and the direct read-forwarding path of Figure 2 / §3.4.
+//
+// Bulk data moves on the direct channel, outside the file group, in chunks;
+// consistency is guaranteed by the opBeginTransfer/opReplicaReady casts that
+// bracket the transfer and freeze updates while it runs.
+
+// runTransfer is executed by the token holder to create a replica of major
+// on target, reporting whether the replica landed. It is idempotent and
+// gives up on transient failures; callers that need certainty poll the
+// replica set (see AddReplica).
+func (s *Server) runTransfer(sg *segment, major uint64, target simnet.NodeID) bool {
+	sg.mu.Lock()
+	ms := sg.majors[major]
+	if ms == nil || ms.holder != s.id || ms.transferring || sg.deleted {
+		sg.mu.Unlock()
+		return false
+	}
+	if ms.replicas[target] {
+		sg.mu.Unlock()
+		return true
+	}
+	// Pick the source: ourselves if we hold data, else any reachable replica.
+	var source simnet.NodeID
+	if _, ok := sg.local[major]; ok {
+		source = s.id
+	} else {
+		for r := range ms.replicas {
+			if sg.view.Contains(r) {
+				source = r
+				break
+			}
+		}
+	}
+	inView := sg.view.Contains(target)
+	sg.mu.Unlock()
+	if source == "" || source == target {
+		return false
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), s.opts.OpTimeout)
+	defer cancel()
+
+	// A transfer target must be a file-group member to observe the transfer
+	// casts; ask it to join first (the paper's servers similarly join a
+	// file group before holding a replica, §3.2).
+	if !inView {
+		if _, err := s.directCall(ctx, target, &directMsg{Kind: dmOpenReq, Seg: sg.id}); err != nil {
+			return false
+		}
+		joined := false
+		deadline := time.Now().Add(s.opts.OpTimeout)
+		for time.Now().Before(deadline) {
+			sg.mu.Lock()
+			joined = sg.view.Contains(target)
+			sg.mu.Unlock()
+			if joined {
+				break
+			}
+			time.Sleep(s.opts.RetryDelay)
+		}
+		if !joined {
+			return false
+		}
+	}
+
+	if _, err := s.castOne(ctx, sg, &castMsg{
+		Op: opBeginTransfer, Major: major, Source: source, Target: target,
+	}); err != nil {
+		return false
+	}
+
+	// The target pulls the data and casts opReplicaReady; wait for the
+	// transfer flag to clear, aborting on timeout so updates can resume.
+	deadline := time.Now().Add(4 * s.opts.OpTimeout)
+	for time.Now().Before(deadline) {
+		sg.mu.Lock()
+		ms := sg.majors[major]
+		done := ms == nil || !ms.transferring
+		landed := ms != nil && ms.replicas[target]
+		sg.mu.Unlock()
+		if done {
+			return landed
+		}
+		select {
+		case <-s.done:
+			return false
+		case <-time.After(s.opts.RetryDelay):
+		}
+	}
+	abortCtx, cancel2 := context.WithTimeout(context.Background(), s.opts.OpTimeout)
+	defer cancel2()
+	_, _ = s.castOne(abortCtx, sg, &castMsg{Op: opAbortTransfer, Major: major})
+	return false
+}
+
+// fetchReplica runs on the transfer target: it pulls the replica data from
+// source chunk by chunk, installs it, and announces readiness to the group.
+func (s *Server) fetchReplica(sg *segment, major uint64, source simnet.NodeID) {
+	ctx, cancel := context.WithTimeout(context.Background(), 4*s.opts.OpTimeout)
+	defer cancel()
+
+	var buf []byte
+	var pair version.Pair
+	var stable bool
+	off := int64(0)
+	for attempt := 0; attempt < 3; attempt++ {
+		buf = buf[:0]
+		off = 0
+		torn := false
+		for {
+			resp, err := s.directCall(ctx, source, &directMsg{
+				Kind: dmFetchReq, Seg: sg.id, Major: major,
+				Off: off, N: int64(s.opts.TransferChunk),
+			})
+			if err != nil || resp.Err != "" {
+				s.abortTransfer(sg, major)
+				return
+			}
+			if off == 0 {
+				pair, stable = resp.Pair, resp.Stable
+			} else if resp.Pair != pair {
+				// An update slipped in under the first chunks (sequenced
+				// before opBeginTransfer froze the file): restart the pull.
+				torn = true
+				break
+			}
+			buf = append(buf, resp.Data...)
+			off += int64(len(resp.Data))
+			if off >= resp.Size || len(resp.Data) == 0 {
+				break
+			}
+		}
+		if !torn {
+			break
+		}
+	}
+
+	sg.mu.Lock()
+	rep := &localReplica{data: buf, pair: pair, stable: stable}
+	sg.local[major] = rep
+	sg.mu.Unlock()
+	s.persistReplica(sg.id, major, rep)
+
+	grp := sg.groupHandle()
+	if grp == nil {
+		return
+	}
+	_ = grp.CastAsync(encodeCast(&castMsg{Op: opReplicaReady, Major: major, Pair: pair}))
+}
+
+func (s *Server) abortTransfer(sg *segment, major uint64) {
+	grp := sg.groupHandle()
+	if grp == nil {
+		return
+	}
+	_ = grp.CastAsync(encodeCast(&castMsg{Op: opAbortTransfer, Major: major}))
+}
+
+func (sg *segment) groupHandle() (grp groupCaster) {
+	sg.mu.Lock()
+	defer sg.mu.Unlock()
+	if sg.group == nil {
+		return nil
+	}
+	return sg.group
+}
+
+// groupCaster is the slice of the isis.Group API used off the hot path.
+type groupCaster interface {
+	CastAsync(payload []byte) error
+}
+
+// dropPhantomReplica corrects the group record when this server is listed
+// as a replica holder of major but has no local data (a partial recovery or
+// lost store). Coalesces with in-flight refreshes for the same major.
+func (s *Server) dropPhantomReplica(sg *segment, major uint64) {
+	sg.mu.Lock()
+	if sg.refreshing == nil {
+		sg.refreshing = make(map[uint64]bool)
+	}
+	if sg.refreshing[major] {
+		sg.mu.Unlock()
+		return
+	}
+	sg.refreshing[major] = true
+	sg.mu.Unlock()
+	defer func() {
+		sg.mu.Lock()
+		delete(sg.refreshing, major)
+		sg.mu.Unlock()
+	}()
+
+	sg.mu.Lock()
+	ms := sg.majors[major]
+	_, have := sg.local[major]
+	phantom := !sg.deleted && ms != nil && !have && ms.replicas[s.id]
+	sg.mu.Unlock()
+	if !phantom {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.opts.OpTimeout)
+	defer cancel()
+	_, _ = s.castOne(ctx, sg, &castMsg{Op: opDeleteReplica, Major: major, Target: s.id})
+}
+
+// refreshReplica re-pulls the data of a replica whose pair fell behind the
+// group's agreed pair during a partition or crash (§3.6 "Non-token Replica
+// Crash"). The stale bytes are replaced in place by a fetch from a member
+// whose replica is current; nothing is ever deleted, so even if every
+// replica went stale simultaneously the most up-to-date one survives for
+// the §3.6 forced-stability path to promote. Concurrent calls for the same
+// major coalesce.
+func (s *Server) refreshReplica(sg *segment, major uint64) {
+	sg.mu.Lock()
+	if sg.refreshing == nil {
+		sg.refreshing = make(map[uint64]bool)
+	}
+	if sg.refreshing[major] {
+		sg.mu.Unlock()
+		return
+	}
+	sg.refreshing[major] = true
+	sg.mu.Unlock()
+	defer func() {
+		sg.mu.Lock()
+		delete(sg.refreshing, major)
+		sg.mu.Unlock()
+	}()
+
+	for attempt := 0; attempt < 10; attempt++ {
+		sg.mu.Lock()
+		ms := sg.majors[major]
+		rep := sg.local[major]
+		done := sg.deleted || ms == nil || rep == nil || rep.pair == ms.pair
+		var peers []simnet.NodeID
+		if !done {
+			for r := range ms.replicas {
+				if r != s.id && sg.view.Contains(r) {
+					peers = append(peers, r)
+				}
+			}
+		}
+		sg.mu.Unlock()
+		if done {
+			return
+		}
+		for _, peer := range peers {
+			if s.pullReplicaFrom(sg, major, peer) {
+				return
+			}
+		}
+		select {
+		case <-s.done:
+			return
+		case <-time.After(8 * s.opts.RetryDelay):
+		}
+	}
+}
+
+// pullReplicaFrom fetches major's full data from peer and installs it if it
+// is newer than the local copy and still matches the group-agreed pair.
+func (s *Server) pullReplicaFrom(sg *segment, major uint64, peer simnet.NodeID) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*s.opts.OpTimeout)
+	defer cancel()
+	var buf []byte
+	var pair version.Pair
+	var stable bool
+	off := int64(0)
+	for {
+		resp, err := s.directCall(ctx, peer, &directMsg{
+			Kind: dmFetchReq, Seg: sg.id, Major: major,
+			Off: off, N: int64(s.opts.TransferChunk),
+		})
+		if err != nil || resp.Err != "" {
+			return false
+		}
+		if off == 0 {
+			pair, stable = resp.Pair, resp.Stable
+		} else if resp.Pair != pair {
+			return false // torn read: an update landed mid-pull; retry later
+		}
+		buf = append(buf, resp.Data...)
+		off += int64(len(resp.Data))
+		if off >= resp.Size || len(resp.Data) == 0 {
+			break
+		}
+	}
+
+	sg.mu.Lock()
+	defer sg.mu.Unlock()
+	ms := sg.majors[major]
+	if ms == nil || sg.deleted {
+		return true // nothing left to refresh
+	}
+	// Install only if the fetched state is the agreed current one; if the
+	// group advanced mid-pull we are still stale and the loop retries.
+	if pair != ms.pair {
+		return false
+	}
+	rep := sg.local[major]
+	if rep == nil {
+		// First copy on this server (e.g. pulled as fork seed data).
+		rep = &localReplica{}
+		sg.local[major] = rep
+	}
+	rep.data = buf
+	rep.pair = pair
+	rep.stable = stable
+	s.persistReplica(sg.id, major, rep)
+	return true
+}
+
+// ------------------------------------------------------- direct channel --
+
+// directCall sends a request on the direct channel and waits for the
+// response.
+func (s *Server) directCall(ctx context.Context, to simnet.NodeID, req *directMsg) (*directMsg, error) {
+	req.ReqID = s.reqID.Add(1)
+	ch := make(chan *directMsg, 1)
+	s.pending.Store(req.ReqID, ch)
+	defer s.pending.Delete(req.ReqID)
+
+	if err := s.dtr.Send(to, wire.Marshal(req)); err != nil {
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.done:
+		return nil, ErrDeleted
+	}
+}
+
+// directRead forwards a read to another server (Figure 2; §3.4 forwarding
+// to the token holder while unstable).
+func (s *Server) directRead(ctx context.Context, to simnet.NodeID, id SegID, major uint64, off, n int64) ([]byte, version.Pair, error) {
+	rctx, cancel := context.WithTimeout(ctx, s.opts.OpTimeout)
+	defer cancel()
+	resp, err := s.directCall(rctx, to, &directMsg{
+		Kind: dmReadReq, Seg: id, Major: major, Off: off, N: n,
+	})
+	if err != nil {
+		return nil, version.Pair{}, ErrBusy
+	}
+	if resp.Err != "" {
+		return nil, version.Pair{}, ErrBusy
+	}
+	return resp.Data, resp.Pair, nil
+}
+
+// directLoop serves the direct channel: fetch chunks for blast transfers and
+// forwarded reads.
+func (s *Server) directLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case m, ok := <-s.dtr.Recv():
+			if !ok {
+				return
+			}
+			var dm directMsg
+			if err := wire.Unmarshal(m.Data, &dm); err != nil {
+				continue
+			}
+			switch dm.Kind {
+			case dmFetchResp, dmReadResp:
+				if ch, ok := s.pending.Load(dm.ReqID); ok {
+					select {
+					case ch.(chan *directMsg) <- &dm:
+					default:
+					}
+				}
+			case dmFetchReq:
+				go s.serveFetch(m.From, &dm)
+			case dmReadReq:
+				go s.serveRead(m.From, &dm)
+			case dmOpenReq:
+				go s.serveOpen(m.From, &dm)
+			case dmWriteReq:
+				go s.serveWrite(m.From, &dm)
+			case dmWriteResp:
+				if ch, ok := s.pending.Load(dm.ReqID); ok {
+					select {
+					case ch.(chan *directMsg) <- &dm:
+					default:
+					}
+				}
+			case dmOpenResp:
+				if ch, ok := s.pending.Load(dm.ReqID); ok {
+					select {
+					case ch.(chan *directMsg) <- &dm:
+					default:
+					}
+				}
+			}
+		case <-s.done:
+			return
+		}
+	}
+}
+
+func (s *Server) serveFetch(from simnet.NodeID, req *directMsg) {
+	resp := &directMsg{Kind: dmFetchResp, ReqID: req.ReqID, Seg: req.Seg, Major: req.Major}
+	s.mu.Lock()
+	sg := s.segs[req.Seg]
+	s.mu.Unlock()
+	if sg == nil {
+		resp.Err = "no such segment"
+		s.sendDirect(from, resp)
+		return
+	}
+	sg.mu.Lock()
+	rep := sg.local[req.Major]
+	if rep == nil {
+		sg.mu.Unlock()
+		resp.Err = "no replica"
+		s.sendDirect(from, resp)
+		return
+	}
+	data, pair := sliceReplica(rep, req.Off, req.N)
+	resp.Data = data
+	resp.Pair = pair
+	resp.Stable = rep.stable
+	resp.Size = int64(len(rep.data))
+	sg.mu.Unlock()
+	s.sendDirect(from, resp)
+}
+
+func (s *Server) serveRead(from simnet.NodeID, req *directMsg) {
+	resp := &directMsg{Kind: dmReadResp, ReqID: req.ReqID, Seg: req.Seg, Major: req.Major}
+	s.mu.Lock()
+	sg := s.segs[req.Seg]
+	s.mu.Unlock()
+	if sg == nil {
+		resp.Err = "no such segment"
+		s.sendDirect(from, resp)
+		return
+	}
+	sg.mu.Lock()
+	if !sg.readyLocked() {
+		// Still recovering: our pre-crash state may be obsolete (§3.6).
+		sg.mu.Unlock()
+		resp.Err = "recovering"
+		s.sendDirect(from, resp)
+		return
+	}
+	major := req.Major
+	if major == 0 {
+		major = sg.currentMajorLocked()
+	}
+	ms := sg.majors[major]
+	rep := sg.local[major]
+	if ms == nil || rep == nil {
+		phantom := ms != nil && ms.replicas[s.id]
+		sg.mu.Unlock()
+		if phantom {
+			go s.dropPhantomReplica(sg, major)
+		}
+		resp.Err = "no replica"
+		s.sendDirect(from, resp)
+		return
+	}
+	// While unstable, only the holder's replica may serve (§3.4).
+	if ms.unstable && sg.params.Stability && ms.holder != s.id {
+		sg.mu.Unlock()
+		resp.Err = "unstable"
+		s.sendDirect(from, resp)
+		return
+	}
+	// Never serve a replica that missed updates (§3.6): its pair lags the
+	// group-agreed pair after a crash or partition heal.
+	if rep.pair != ms.pair {
+		sg.mu.Unlock()
+		go s.refreshReplica(sg, major)
+		resp.Err = "stale replica"
+		s.sendDirect(from, resp)
+		return
+	}
+	data, pair := sliceReplica(rep, req.Off, req.N)
+	resp.Data = data
+	resp.Pair = pair
+	resp.Size = int64(len(rep.data))
+	sg.mu.Unlock()
+	s.sendDirect(from, resp)
+}
+
+// serveWrite executes a write forwarded by a peer that chose not to move the
+// token (§3.3 optimization 2). The request runs through the normal write
+// path: if this server still holds the token the update costs its one round;
+// if the token moved since the peer's decision, noForward keeps the request
+// from bouncing between servers and we acquire the token as usual.
+func (s *Server) serveWrite(from simnet.NodeID, req *directMsg) {
+	resp := &directMsg{Kind: dmWriteResp, ReqID: req.ReqID, Seg: req.Seg, Major: req.Major}
+	ctx, cancel := context.WithTimeout(context.Background(), s.opts.OpTimeout)
+	defer cancel()
+	pair, err := s.Write(ctx, req.Seg, WriteReq{
+		Major:     req.Major,
+		Off:       req.Off,
+		Data:      req.Data,
+		Truncate:  req.Truncate,
+		Expect:    req.Expect,
+		noForward: true,
+	})
+	switch {
+	case err == nil:
+		resp.Pair = pair
+	case errors.Is(err, ErrVersionConflict):
+		resp.Err = "conflict"
+	case errors.Is(err, ErrNotFound):
+		resp.Err = "no such version"
+	case errors.Is(err, ErrWriteUnavailable):
+		resp.Err = "unavailable"
+	default:
+		resp.Err = "busy"
+	}
+	s.sendDirect(from, resp)
+}
+
+// serveOpen joins the named file group on request, so the requester can add
+// this server to the group (e.g. as a replica transfer target).
+func (s *Server) serveOpen(from simnet.NodeID, req *directMsg) {
+	resp := &directMsg{Kind: dmOpenResp, ReqID: req.ReqID, Seg: req.Seg}
+	ctx, cancel := context.WithTimeout(context.Background(), s.opts.OpTimeout)
+	defer cancel()
+	if _, err := s.openSegment(ctx, req.Seg); err != nil {
+		resp.Err = err.Error()
+	}
+	s.sendDirect(from, resp)
+}
+
+func (s *Server) sendDirect(to simnet.NodeID, m *directMsg) {
+	if err := s.dtr.Send(to, wire.Marshal(m)); err != nil {
+		// Best-effort: the requester will time out and retry.
+		_ = fmt.Sprintf("%v", err)
+	}
+}

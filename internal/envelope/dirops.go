@@ -1,0 +1,757 @@
+package envelope
+
+import (
+	"context"
+	"errors"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/nfsproto"
+	"repro/internal/version"
+)
+
+// This file implements the directory operations of the NFS envelope,
+// including the uplink-list garbage collection of §5.2 and the
+// version-qualified name syntax of §3.5 ("major version 3 of foo can be
+// referred to as foo;3").
+//
+// Every directory mutation is the optimistic read-modify-write loop the
+// paper describes for adding a directory entry (§5.1): read the table with
+// its version pair, modify, and write conditioned on that pair, restarting
+// on conflict.
+
+// mutateDir runs fn over the directory table in an optimistic loop.
+func (ev *Envelope) mutateDir(ctx context.Context, dir core.SegID, fn func(*dirTable) error) error {
+	for {
+		hdr, _, err := ev.readHeader(ctx, dir, 0)
+		if err != nil {
+			return err
+		}
+		if hdr.Kind != kindDir {
+			return errNotDir
+		}
+		t, pair, err := ev.readDir(ctx, dir, 0)
+		if err != nil {
+			return err
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+		err = ev.writeDir(ctx, dir, t, pair)
+		if errors.Is(err, core.ErrVersionConflict) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		return nil
+	}
+}
+
+var (
+	errNotDir   = errors.New("envelope: not a directory")
+	errIsDir    = errors.New("envelope: is a directory")
+	errExist    = errors.New("envelope: name exists")
+	errNoEnt    = errors.New("envelope: no such entry")
+	errNotEmpty = errors.New("envelope: directory not empty")
+)
+
+func mapDirErr(err error) nfsproto.Status {
+	switch {
+	case err == nil:
+		return nfsproto.OK
+	case errors.Is(err, errNotDir):
+		return nfsproto.ErrNotDir
+	case errors.Is(err, errIsDir):
+		return nfsproto.ErrIsDir
+	case errors.Is(err, errExist):
+		return nfsproto.ErrExist
+	case errors.Is(err, errNoEnt):
+		return nfsproto.ErrNoEnt
+	case errors.Is(err, errNotEmpty):
+		return nfsproto.ErrNotEmpty
+	default:
+		return mapErr(err)
+	}
+}
+
+// Lookup implements NFSPROC_LOOKUP, including the version syntax: looking up
+// "foo;3" yields a handle bound to foo's third version (§3.5: "by using an
+// unqualified filename, the user automatically requests the most recent
+// available version").
+func (ev *Envelope) Lookup(ctx context.Context, dirH nfsproto.Handle, name string) (nfsproto.Handle, nfsproto.FAttr, nfsproto.Status) {
+	dir, dirMajor, ok := UnpackHandle(dirH)
+	if !ok {
+		return nfsproto.Handle{}, nfsproto.FAttr{}, nfsproto.ErrStale
+	}
+	if len(name) > maxName {
+		return nfsproto.Handle{}, nfsproto.FAttr{}, nfsproto.ErrNameTooLong
+	}
+	base, idx, qualified := parseVersionName(name)
+
+	if name == "." || name == ".." {
+		// ".." would require parent tracking; the envelope serves "." and
+		// lets the agent resolve ".." (stock NFS clients resolve dotdot
+		// through their own namei cache for the mount root anyway).
+		a, st := ev.attr(ctx, dir, dirMajor)
+		return PackHandle(dir, dirMajor), a, st
+	}
+
+	// A version-qualified directory handle resolves names against that
+	// version's entry table (§3.5: old directory versions stay browsable).
+	t, _, err := ev.readDir(ctx, dir, dirMajor)
+	if err != nil {
+		return nfsproto.Handle{}, nfsproto.FAttr{}, mapErr(err)
+	}
+	seg, found := t.find(base)
+	if !found {
+		return nfsproto.Handle{}, nfsproto.FAttr{}, nfsproto.ErrNoEnt
+	}
+	major := uint64(0)
+	if qualified {
+		info, err := ev.seg.Stat(ctx, seg)
+		if err != nil {
+			return nfsproto.Handle{}, nfsproto.FAttr{}, mapErr(err)
+		}
+		m, ok := majorForIndex(info, idx)
+		if !ok {
+			return nfsproto.Handle{}, nfsproto.FAttr{}, nfsproto.ErrNoEnt
+		}
+		major = m
+	}
+	a, st := ev.attr(ctx, seg, major)
+	if st != nfsproto.OK {
+		return nfsproto.Handle{}, nfsproto.FAttr{}, st
+	}
+	return PackHandle(seg, major), a, nfsproto.OK
+}
+
+// newNode allocates a segment and writes its header.
+func (ev *Envelope) newNode(ctx context.Context, kind uint8, sa nfsproto.SAttr, parent core.SegID) (core.SegID, *fileHeader, error) {
+	seg, err := ev.seg.Create(ctx, ev.opts.DefaultParams)
+	if err != nil {
+		return 0, nil, err
+	}
+	mode := sa.Mode
+	if mode == nfsproto.NoValue {
+		mode = 0o644
+	}
+	hdr := &fileHeader{
+		Kind:      kind,
+		Mode:      mode & 0o7777,
+		CTimeSec:  uint32(ev.opts.Now().Unix()),
+		LinkCount: 1,
+		Uplinks:   []uint64{uint64(parent)},
+	}
+	if sa.UID != nfsproto.NoValue {
+		hdr.UID = sa.UID
+	}
+	if sa.GID != nfsproto.NoValue {
+		hdr.GID = sa.GID
+	}
+	if err := ev.writeHeader(ctx, seg, hdr, version.Pair{}); err != nil {
+		return 0, nil, err
+	}
+	return seg, hdr, nil
+}
+
+// Create implements NFSPROC_CREATE. Creating over an existing name
+// truncates it, matching SunOS client expectations for O_CREAT|O_TRUNC.
+func (ev *Envelope) Create(ctx context.Context, dirH nfsproto.Handle, name string, sa nfsproto.SAttr) (nfsproto.Handle, nfsproto.FAttr, nfsproto.Status) {
+	dir, _, ok := UnpackHandle(dirH)
+	if !ok {
+		return nfsproto.Handle{}, nfsproto.FAttr{}, nfsproto.ErrStale
+	}
+	if name == "" || len(name) > maxName || name == "." || name == ".." {
+		return nfsproto.Handle{}, nfsproto.FAttr{}, nfsproto.ErrAcces
+	}
+
+	var seg core.SegID
+	var existing bool
+	err := ev.mutateDir(ctx, dir, func(t *dirTable) error {
+		if s, found := t.find(name); found {
+			// CREATE over an existing regular file truncates it; over a
+			// directory it must fail (truncating would destroy the table).
+			hdr, _, err := ev.readHeader(ctx, s, 0)
+			if err != nil {
+				return err
+			}
+			if hdr.Kind == kindDir {
+				return errIsDir
+			}
+			seg, existing = s, true
+			return nil
+		}
+		existing = false
+		if seg == 0 {
+			s, _, err := ev.newNode(ctx, kindReg, sa, dir)
+			if err != nil {
+				return err
+			}
+			seg = s
+		}
+		t.Entries = append(t.Entries, dirEntry{Name: name, Seg: seg})
+		return nil
+	})
+	if err != nil {
+		return nfsproto.Handle{}, nfsproto.FAttr{}, mapDirErr(err)
+	}
+	if existing {
+		if _, err := ev.seg.Write(ctx, seg, core.WriteReq{Off: headerSize, Truncate: true}); err != nil {
+			return nfsproto.Handle{}, nfsproto.FAttr{}, mapErr(err)
+		}
+	}
+	a, st := ev.attr(ctx, seg, 0)
+	if st != nfsproto.OK {
+		return nfsproto.Handle{}, nfsproto.FAttr{}, st
+	}
+	return PackHandle(seg, 0), a, nfsproto.OK
+}
+
+// Mkdir implements NFSPROC_MKDIR.
+func (ev *Envelope) Mkdir(ctx context.Context, dirH nfsproto.Handle, name string, sa nfsproto.SAttr) (nfsproto.Handle, nfsproto.FAttr, nfsproto.Status) {
+	dir, _, ok := UnpackHandle(dirH)
+	if !ok {
+		return nfsproto.Handle{}, nfsproto.FAttr{}, nfsproto.ErrStale
+	}
+	if name == "" || len(name) > maxName || name == "." || name == ".." {
+		return nfsproto.Handle{}, nfsproto.FAttr{}, nfsproto.ErrAcces
+	}
+	var seg core.SegID
+	err := ev.mutateDir(ctx, dir, func(t *dirTable) error {
+		if _, found := t.find(name); found {
+			return errExist
+		}
+		if seg == 0 {
+			if sa.Mode == nfsproto.NoValue {
+				sa.Mode = 0o755
+			}
+			s, _, err := ev.newNode(ctx, kindDir, sa, dir)
+			if err != nil {
+				return err
+			}
+			seg = s
+			if err := ev.writeDir(ctx, seg, &dirTable{}, version.Pair{}); err != nil {
+				return err
+			}
+		}
+		t.Entries = append(t.Entries, dirEntry{Name: name, Seg: seg})
+		return nil
+	})
+	if err != nil {
+		return nfsproto.Handle{}, nfsproto.FAttr{}, mapDirErr(err)
+	}
+	a, st := ev.attr(ctx, seg, 0)
+	if st != nfsproto.OK {
+		return nfsproto.Handle{}, nfsproto.FAttr{}, st
+	}
+	return PackHandle(seg, 0), a, nfsproto.OK
+}
+
+// Symlink implements NFSPROC_SYMLINK.
+func (ev *Envelope) Symlink(ctx context.Context, dirH nfsproto.Handle, name, target string, sa nfsproto.SAttr) nfsproto.Status {
+	dir, _, ok := UnpackHandle(dirH)
+	if !ok {
+		return nfsproto.ErrStale
+	}
+	if name == "" || len(name) > maxName {
+		return nfsproto.ErrNameTooLong
+	}
+	var seg core.SegID
+	err := ev.mutateDir(ctx, dir, func(t *dirTable) error {
+		if _, found := t.find(name); found {
+			return errExist
+		}
+		if seg == 0 {
+			s, _, err := ev.newNode(ctx, kindLnk, sa, dir)
+			if err != nil {
+				return err
+			}
+			seg = s
+			if _, err := ev.seg.Write(ctx, seg, core.WriteReq{
+				Off: headerSize, Data: []byte(target), Truncate: true,
+			}); err != nil {
+				return err
+			}
+		}
+		t.Entries = append(t.Entries, dirEntry{Name: name, Seg: seg})
+		return nil
+	})
+	return mapDirErr(err)
+}
+
+// Remove implements NFSPROC_REMOVE. Removing a version-qualified name
+// ("foo;2") deletes just that version (§2.1: special commands let the user
+// delete specific versions); removing the unqualified name unlinks the file.
+func (ev *Envelope) Remove(ctx context.Context, dirH nfsproto.Handle, name string) nfsproto.Status {
+	dir, _, ok := UnpackHandle(dirH)
+	if !ok {
+		return nfsproto.ErrStale
+	}
+	base, idx, qualified := parseVersionName(name)
+	if qualified {
+		t, _, err := ev.readDir(ctx, dir, 0)
+		if err != nil {
+			return mapErr(err)
+		}
+		seg, found := t.find(base)
+		if !found {
+			return nfsproto.ErrNoEnt
+		}
+		info, err := ev.seg.Stat(ctx, seg)
+		if err != nil {
+			return mapErr(err)
+		}
+		major, ok := majorForIndex(info, idx)
+		if !ok {
+			return nfsproto.ErrNoEnt
+		}
+		if len(info.Versions) == 1 {
+			// Deleting the last version unlinks the file proper.
+			return ev.Remove(ctx, dirH, base)
+		}
+		return mapErr(ev.seg.DeleteVersion(ctx, seg, major))
+	}
+
+	var seg core.SegID
+	err := ev.mutateDir(ctx, dir, func(t *dirTable) error {
+		s, found := t.find(name)
+		if !found {
+			return errNoEnt
+		}
+		hdr, _, err := ev.readHeader(ctx, s, 0)
+		if err != nil {
+			return err
+		}
+		if hdr.Kind == kindDir {
+			return errIsDir
+		}
+		seg = s
+		t.remove(name)
+		return nil
+	})
+	if err != nil {
+		return mapDirErr(err)
+	}
+	return mapErr(ev.unlinked(ctx, seg))
+}
+
+// Rmdir implements NFSPROC_RMDIR.
+func (ev *Envelope) Rmdir(ctx context.Context, dirH nfsproto.Handle, name string) nfsproto.Status {
+	dir, _, ok := UnpackHandle(dirH)
+	if !ok {
+		return nfsproto.ErrStale
+	}
+	var seg core.SegID
+	err := ev.mutateDir(ctx, dir, func(t *dirTable) error {
+		s, found := t.find(name)
+		if !found {
+			return errNoEnt
+		}
+		hdr, _, err := ev.readHeader(ctx, s, 0)
+		if err != nil {
+			return err
+		}
+		if hdr.Kind != kindDir {
+			return errNotDir
+		}
+		sub, _, err := ev.readDir(ctx, s, 0)
+		if err != nil {
+			return err
+		}
+		if len(sub.Entries) > 0 {
+			return errNotEmpty
+		}
+		seg = s
+		t.remove(name)
+		return nil
+	})
+	if err != nil {
+		return mapDirErr(err)
+	}
+	return mapErr(ev.seg.Delete(ctx, seg))
+}
+
+// Rename implements NFSPROC_RENAME.
+func (ev *Envelope) Rename(ctx context.Context, fromDirH nfsproto.Handle, fromName string, toDirH nfsproto.Handle, toName string) nfsproto.Status {
+	fromDir, _, ok := UnpackHandle(fromDirH)
+	if !ok {
+		return nfsproto.ErrStale
+	}
+	toDir, _, ok2 := UnpackHandle(toDirH)
+	if !ok2 {
+		return nfsproto.ErrStale
+	}
+	if toName == "" || len(toName) > maxName {
+		return nfsproto.ErrNameTooLong
+	}
+
+	// Resolve the source first.
+	var seg core.SegID
+	st := func() nfsproto.Status {
+		t, _, err := ev.readDir(ctx, fromDir, 0)
+		if err != nil {
+			return mapErr(err)
+		}
+		s, found := t.find(fromName)
+		if !found {
+			return nfsproto.ErrNoEnt
+		}
+		seg = s
+		return nfsproto.OK
+	}()
+	if st != nfsproto.OK {
+		return st
+	}
+
+	if fromDir == toDir {
+		err := ev.mutateDir(ctx, fromDir, func(t *dirTable) error {
+			s, found := t.find(fromName)
+			if !found {
+				return errNoEnt
+			}
+			seg = s
+			var displaced core.SegID
+			if old, exists := t.find(toName); exists && old != s {
+				displaced = old
+				t.remove(toName)
+			}
+			t.remove(fromName)
+			t.Entries = append(t.Entries, dirEntry{Name: toName, Seg: s})
+			if displaced != 0 {
+				go func() { _ = ev.unlinked(context.Background(), displaced) }()
+			}
+			return nil
+		})
+		return mapDirErr(err)
+	}
+
+	// Cross-directory: link into the target, record the uplink, then unlink
+	// from the source. §5.2: "when a file is moved, two directories, a link
+	// count, and an uplink list must be modified in some safe order" — the
+	// order here never leaves the file unreachable.
+	if err := ev.addUplink(ctx, seg, toDir, 0); err != nil {
+		return mapErr(err)
+	}
+	var displaced core.SegID
+	err := ev.mutateDir(ctx, toDir, func(t *dirTable) error {
+		if old, exists := t.find(toName); exists {
+			if old == seg {
+				return nil
+			}
+			displaced = old
+			t.remove(toName)
+		}
+		t.Entries = append(t.Entries, dirEntry{Name: toName, Seg: seg})
+		return nil
+	})
+	if err != nil {
+		return mapDirErr(err)
+	}
+	err = ev.mutateDir(ctx, fromDir, func(t *dirTable) error {
+		t.remove(fromName)
+		return nil
+	})
+	if err != nil {
+		return mapDirErr(err)
+	}
+	if displaced != 0 {
+		if err := ev.unlinked(ctx, displaced); err != nil {
+			return mapErr(err)
+		}
+	}
+	return nfsproto.OK
+}
+
+// Link implements NFSPROC_LINK: a new hard link adds the directory to the
+// file's uplink list and bumps the link-count hint (§5.2).
+func (ev *Envelope) Link(ctx context.Context, fileH nfsproto.Handle, dirH nfsproto.Handle, name string) nfsproto.Status {
+	seg, _, ok := UnpackHandle(fileH)
+	if !ok {
+		return nfsproto.ErrStale
+	}
+	dir, _, ok2 := UnpackHandle(dirH)
+	if !ok2 {
+		return nfsproto.ErrStale
+	}
+	if name == "" || len(name) > maxName {
+		return nfsproto.ErrNameTooLong
+	}
+	if err := ev.addUplink(ctx, seg, dir, 1); err != nil {
+		return mapErr(err)
+	}
+	err := ev.mutateDir(ctx, dir, func(t *dirTable) error {
+		if _, found := t.find(name); found {
+			return errExist
+		}
+		t.Entries = append(t.Entries, dirEntry{Name: name, Seg: seg})
+		return nil
+	})
+	if err != nil {
+		// Roll the link count hint back; the uplink stays as a harmless
+		// superset (GC verifies against real directory contents).
+		_ = ev.adjustLinkCount(ctx, seg, -1)
+		return mapDirErr(err)
+	}
+	return nfsproto.OK
+}
+
+// Readdir implements NFSPROC_READDIR with cookie-based pagination. The
+// synthetic "." and ".." entries appear first, as clients expect.
+func (ev *Envelope) Readdir(ctx context.Context, dirH nfsproto.Handle, cookie uint32, count uint32) (nfsproto.ReaddirRes, nfsproto.Status) {
+	dir, dirMajor, ok := UnpackHandle(dirH)
+	if !ok {
+		return nfsproto.ReaddirRes{Status: nfsproto.ErrStale}, nfsproto.ErrStale
+	}
+	hdr, _, err := ev.readHeader(ctx, dir, dirMajor)
+	if err != nil {
+		return nfsproto.ReaddirRes{Status: mapErr(err)}, mapErr(err)
+	}
+	if hdr.Kind != kindDir {
+		return nfsproto.ReaddirRes{Status: nfsproto.ErrNotDir}, nfsproto.ErrNotDir
+	}
+	t, _, err := ev.readDir(ctx, dir, dirMajor)
+	if err != nil {
+		return nfsproto.ReaddirRes{Status: mapErr(err)}, mapErr(err)
+	}
+	sort.Slice(t.Entries, func(i, j int) bool { return t.Entries[i].Name < t.Entries[j].Name })
+
+	all := make([]nfsproto.DirEntry, 0, len(t.Entries)+2)
+	all = append(all,
+		nfsproto.DirEntry{FileID: uint32(dir), Name: "."},
+		nfsproto.DirEntry{FileID: uint32(dir), Name: ".."},
+	)
+	for _, ent := range t.Entries {
+		all = append(all, nfsproto.DirEntry{FileID: uint32(ent.Seg), Name: ent.Name})
+	}
+	for i := range all {
+		all[i].Cookie = uint32(i + 1)
+	}
+
+	res := nfsproto.ReaddirRes{Status: nfsproto.OK}
+	bytes := uint32(16) // reply overhead
+	for i := int(cookie); i < len(all); i++ {
+		sz := uint32(16 + len(all[i].Name))
+		if bytes+sz > count && len(res.Entries) > 0 {
+			return res, nfsproto.OK
+		}
+		res.Entries = append(res.Entries, all[i])
+		bytes += sz
+	}
+	res.EOF = true
+	return res, nfsproto.OK
+}
+
+// ReconcileDir implements the "reconcile directory versions" special
+// command (§2.1). After a partition, a directory may exist as two
+// incomparable versions, each with entries the other lacks. Reconciliation
+// merges the union of all versions' entries into the current version and
+// deletes the obsolete versions, so the user recovers every file created on
+// either side. Name collisions keep the current version's binding and
+// expose the other under "name;conflict".
+func (ev *Envelope) ReconcileDir(ctx context.Context, dirH nfsproto.Handle) (int, nfsproto.Status) {
+	dir, _, ok := UnpackHandle(dirH)
+	if !ok {
+		return 0, nfsproto.ErrStale
+	}
+	info, err := ev.seg.Stat(ctx, dir)
+	if err != nil {
+		return 0, mapErr(err)
+	}
+	if len(info.Versions) <= 1 {
+		return 0, nfsproto.OK // nothing to reconcile
+	}
+
+	// Gather entries from every non-current version.
+	type foreign struct {
+		name string
+		seg  core.SegID
+	}
+	var extras []foreign
+	var obsolete []uint64
+	for _, v := range info.Versions {
+		if v.Major == info.Current {
+			continue
+		}
+		t, _, err := ev.readDir(ctx, dir, v.Major)
+		if err != nil {
+			return 0, mapErr(err)
+		}
+		for i := range t.Entries {
+			extras = append(extras, foreign{name: t.Entries[i].Name, seg: t.Entries[i].Seg})
+		}
+		obsolete = append(obsolete, v.Major)
+	}
+
+	merged := 0
+	err2 := ev.mutateDir(ctx, dir, func(t *dirTable) error {
+		for _, ex := range extras {
+			if cur, exists := t.find(ex.name); exists {
+				if cur == ex.seg {
+					continue // same file on both sides
+				}
+				// Collision: keep both, exposing the foreign one under a
+				// distinguishable name (the user resolves, §3.6).
+				alt := ex.name + ";conflict"
+				if _, dup := t.find(alt); dup {
+					continue
+				}
+				t.Entries = append(t.Entries, dirEntry{Name: alt, Seg: ex.seg})
+				merged++
+				continue
+			}
+			t.Entries = append(t.Entries, dirEntry{Name: ex.name, Seg: ex.seg})
+			merged++
+		}
+		return nil
+	})
+	if err2 != nil {
+		return 0, mapDirErr(err2)
+	}
+	// The obsolete directory versions have been folded in; drop them.
+	for _, m := range obsolete {
+		if err := ev.seg.DeleteVersion(ctx, dir, m); err != nil {
+			return merged, mapErr(err)
+		}
+	}
+	return merged, nfsproto.OK
+}
+
+// ------------------------------------------------------- uplinks and GC --
+
+// addUplink records dir in seg's uplink list and adjusts the link-count hint
+// by delta.
+func (ev *Envelope) addUplink(ctx context.Context, seg, dir core.SegID, delta int32) error {
+	for {
+		hdr, pair, err := ev.readHeader(ctx, seg, 0)
+		if err != nil {
+			return err
+		}
+		present := false
+		for _, u := range hdr.Uplinks {
+			if u == uint64(dir) {
+				present = true
+				break
+			}
+		}
+		if !present {
+			if len(hdr.Uplinks) >= maxUplinks {
+				return errors.New("envelope: uplink list full")
+			}
+			hdr.Uplinks = append(hdr.Uplinks, uint64(dir))
+		}
+		hdr.LinkCount = uint32(int32(hdr.LinkCount) + delta)
+		err = ev.writeHeader(ctx, seg, hdr, pair)
+		if errors.Is(err, core.ErrVersionConflict) {
+			continue
+		}
+		return err
+	}
+}
+
+func (ev *Envelope) adjustLinkCount(ctx context.Context, seg core.SegID, delta int32) error {
+	for {
+		hdr, pair, err := ev.readHeader(ctx, seg, 0)
+		if err != nil {
+			return err
+		}
+		n := int32(hdr.LinkCount) + delta
+		if n < 0 {
+			n = 0
+		}
+		hdr.LinkCount = uint32(n)
+		err = ev.writeHeader(ctx, seg, hdr, pair)
+		if errors.Is(err, core.ErrVersionConflict) {
+			continue
+		}
+		return err
+	}
+}
+
+// unlinked handles the removal of one link to seg: it decrements the hint
+// and, when the hint reaches zero, runs the §5.2 garbage collection check —
+// "the NFS envelope checks every available version of every directory in
+// the uplink list. If none have a link to the file, the segment is
+// deallocated; otherwise, the link count is corrected."
+func (ev *Envelope) unlinked(ctx context.Context, seg core.SegID) error {
+	var count uint32
+	for {
+		hdr, pair, err := ev.readHeader(ctx, seg, 0)
+		if err != nil {
+			return err
+		}
+		if hdr.LinkCount > 0 {
+			hdr.LinkCount--
+		}
+		count = hdr.LinkCount
+		err = ev.writeHeader(ctx, seg, hdr, pair)
+		if errors.Is(err, core.ErrVersionConflict) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		break
+	}
+	if count > 0 {
+		return nil
+	}
+	real, err := ev.countRealLinks(ctx, seg)
+	if err != nil {
+		return err
+	}
+	if real == 0 {
+		return ev.seg.Delete(ctx, seg)
+	}
+	// The hint was wrong (e.g. corrupted by a crash): correct it.
+	return ev.setLinkCount(ctx, seg, uint32(real))
+}
+
+// countRealLinks scans every available version of every uplink directory
+// for entries referencing seg (Figure 7's count over versions × replicas is
+// collapsed by the segment server: each version is counted once, replicas
+// being invisible at this layer).
+func (ev *Envelope) countRealLinks(ctx context.Context, seg core.SegID) (int, error) {
+	hdr, _, err := ev.readHeader(ctx, seg, 0)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, u := range hdr.Uplinks {
+		dir := core.SegID(u)
+		info, err := ev.seg.Stat(ctx, dir)
+		if err != nil {
+			if errors.Is(err, core.ErrNotFound) || errors.Is(err, core.ErrDeleted) {
+				continue // the directory itself is gone
+			}
+			return 0, err
+		}
+		for _, v := range info.Versions {
+			t, _, err := ev.readDir(ctx, dir, v.Major)
+			if err != nil {
+				continue
+			}
+			for i := range t.Entries {
+				if t.Entries[i].Seg == seg {
+					total++
+				}
+			}
+		}
+	}
+	return total, nil
+}
+
+func (ev *Envelope) setLinkCount(ctx context.Context, seg core.SegID, n uint32) error {
+	for {
+		hdr, pair, err := ev.readHeader(ctx, seg, 0)
+		if err != nil {
+			return err
+		}
+		hdr.LinkCount = n
+		err = ev.writeHeader(ctx, seg, hdr, pair)
+		if errors.Is(err, core.ErrVersionConflict) {
+			continue
+		}
+		return err
+	}
+}

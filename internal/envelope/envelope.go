@@ -1,0 +1,542 @@
+// Package envelope implements the NFS file service envelope of §5.2: the
+// layer that maps every file, directory and soft link onto a unique segment
+// and translates all NFS operations into creates, deletes, reads and writes
+// on the reliable segment server — "the UNIX kernel does a similar
+// transformation when it transforms user file operations into disk
+// operations."
+//
+// The envelope is deliberately independent of the segment server's
+// implementation: it uses only the five-call interface of §5.1 plus the
+// special commands, through the narrow SegmentService interface, so "in
+// principle, it will never need to be changed despite radical changes in
+// the segment server protocols."
+//
+// Layout: each segment begins with a fixed-size header region holding the
+// file's NFS attributes, its link count (a hint, §5.2), and its uplink list
+// — the directory handles that may reference it, which drives garbage
+// collection. File payload (file bytes, directory entry table, or symlink
+// target) follows the header.
+package envelope
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nfsproto"
+	"repro/internal/version"
+	"repro/internal/wire"
+)
+
+// RootSegID is the well-known segment id of a cell's root directory.
+const RootSegID core.SegID = 1
+
+// headerSize is the reserved header region at the front of every segment.
+// Payload bytes start at this offset.
+const headerSize = 4096
+
+// maxUplinks bounds the uplink list so the header always fits its region.
+const maxUplinks = 200
+
+// maxName bounds directory entry names (NFS allows 255).
+const maxName = 255
+
+// File kinds stored in the header.
+const (
+	kindReg uint8 = 1
+	kindDir uint8 = 2
+	kindLnk uint8 = 3
+)
+
+// SegmentService is the slice of the segment server the envelope uses — the
+// five calls of §5.1 plus the version/replica special commands. core.Server
+// implements it; tests substitute a trivial local implementation to prove
+// the layering of Figure 6.
+type SegmentService interface {
+	Create(ctx context.Context, params core.Params) (core.SegID, error)
+	CreateWithID(ctx context.Context, id core.SegID, params core.Params) (core.SegID, error)
+	Delete(ctx context.Context, id core.SegID) error
+	DeleteVersion(ctx context.Context, id core.SegID, major uint64) error
+	Read(ctx context.Context, id core.SegID, major uint64, off, n int64) ([]byte, version.Pair, error)
+	Write(ctx context.Context, id core.SegID, req core.WriteReq) (version.Pair, error)
+	SetParams(ctx context.Context, id core.SegID, params core.Params) error
+	GetParams(ctx context.Context, id core.SegID) (core.Params, error)
+	Stat(ctx context.Context, id core.SegID) (core.SegInfo, error)
+}
+
+var _ SegmentService = (*core.Server)(nil)
+
+// fileHeader is the per-file metadata stored in the header region.
+type fileHeader struct {
+	Kind      uint8
+	Mode      uint32
+	UID, GID  uint32
+	CTimeSec  uint32
+	MTimeSec  uint32 // explicit setattr override base
+	LinkCount uint32 // a hint, verified against uplinks on GC (§5.2)
+	Uplinks   []uint64
+}
+
+func (h *fileHeader) MarshalWire(e *wire.Encoder) {
+	e.Uint8(h.Kind)
+	e.Uint32(h.Mode)
+	e.Uint32(h.UID)
+	e.Uint32(h.GID)
+	e.Uint32(h.CTimeSec)
+	e.Uint32(h.MTimeSec)
+	e.Uint32(h.LinkCount)
+	e.Uint64Slice(h.Uplinks)
+}
+
+func (h *fileHeader) UnmarshalWire(d *wire.Decoder) error {
+	h.Kind = d.Uint8()
+	h.Mode = d.Uint32()
+	h.UID = d.Uint32()
+	h.GID = d.Uint32()
+	h.CTimeSec = d.Uint32()
+	h.MTimeSec = d.Uint32()
+	h.LinkCount = d.Uint32()
+	h.Uplinks = d.Uint64Slice()
+	return d.Err()
+}
+
+// dirTable is a directory's payload: its entries. Entries reference files by
+// unqualified segment id; version selection happens at access time (§3.5).
+type dirTable struct {
+	Entries []dirEntry
+}
+
+type dirEntry struct {
+	Name string
+	Seg  core.SegID
+}
+
+func (t *dirTable) MarshalWire(e *wire.Encoder) {
+	e.Uint32(uint32(len(t.Entries)))
+	for i := range t.Entries {
+		e.String(t.Entries[i].Name)
+		e.Uint64(uint64(t.Entries[i].Seg))
+	}
+}
+
+func (t *dirTable) UnmarshalWire(d *wire.Decoder) error {
+	n := int(d.Uint32())
+	if err := d.Err(); err != nil {
+		return err
+	}
+	t.Entries = make([]dirEntry, 0, min(n, 65536))
+	for i := 0; i < n; i++ {
+		var ent dirEntry
+		ent.Name = d.String()
+		ent.Seg = core.SegID(d.Uint64())
+		if err := d.Err(); err != nil {
+			return err
+		}
+		t.Entries = append(t.Entries, ent)
+	}
+	return nil
+}
+
+func (t *dirTable) find(name string) (core.SegID, bool) {
+	for i := range t.Entries {
+		if t.Entries[i].Name == name {
+			return t.Entries[i].Seg, true
+		}
+	}
+	return 0, false
+}
+
+func (t *dirTable) remove(name string) bool {
+	for i := range t.Entries {
+		if t.Entries[i].Name == name {
+			t.Entries = append(t.Entries[:i], t.Entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Handle packing: the NFSv2 handle carries a magic, the segment id and the
+// selected major version (0 = current). Handles remain valid "as long as a
+// replica of the file exists" (§2.1).
+var handleMagic = [4]byte{'D', 'C', 'T', '2'}
+
+// PackHandle builds an NFS handle for (seg, major).
+func PackHandle(seg core.SegID, major uint64) nfsproto.Handle {
+	var h nfsproto.Handle
+	copy(h[0:4], handleMagic[:])
+	e := wire.NewEncoder(nil)
+	e.Uint64(uint64(seg))
+	e.Uint64(major)
+	copy(h[4:], e.Bytes())
+	return h
+}
+
+// UnpackHandle extracts (seg, major) from an NFS handle.
+func UnpackHandle(h nfsproto.Handle) (core.SegID, uint64, bool) {
+	if [4]byte(h[0:4]) != handleMagic {
+		return 0, 0, false
+	}
+	d := wire.NewDecoder(h[4:20])
+	seg := core.SegID(d.Uint64())
+	major := d.Uint64()
+	return seg, major, d.Err() == nil
+}
+
+// Options configures an envelope.
+type Options struct {
+	// DefaultParams are applied to newly created files and directories.
+	DefaultParams core.Params
+	// FSID is reported in attributes; distinguishes cells.
+	FSID uint32
+	// Now supplies timestamps (overridable for tests).
+	Now func() time.Time
+}
+
+// Envelope is the NFS file service layer on one Deceit server.
+type Envelope struct {
+	seg  SegmentService
+	opts Options
+}
+
+// New builds an envelope over a segment service.
+func New(seg SegmentService, opts Options) *Envelope {
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	if opts.DefaultParams == (core.Params{}) {
+		opts.DefaultParams = core.DefaultParams()
+	}
+	if opts.FSID == 0 {
+		opts.FSID = 0xDC17
+	}
+	return &Envelope{seg: seg, opts: opts}
+}
+
+// Root returns the root directory handle.
+func (ev *Envelope) Root() nfsproto.Handle { return PackHandle(RootSegID, 0) }
+
+// InitRoot creates the cell's root directory if this server cannot find it.
+// Call it on exactly one server when bootstrapping a cell; racing creations
+// are reconciled through the probe mechanism but may lose entries made
+// before the merge.
+func (ev *Envelope) InitRoot(ctx context.Context) error {
+	if _, _, err := ev.seg.Read(ctx, RootSegID, 0, 0, 1); err == nil {
+		return nil
+	}
+	if _, err := ev.seg.CreateWithID(ctx, RootSegID, ev.opts.DefaultParams); err != nil {
+		return err
+	}
+	hdr := &fileHeader{
+		Kind:      kindDir,
+		Mode:      0o777,
+		CTimeSec:  uint32(ev.opts.Now().Unix()),
+		LinkCount: 1,
+	}
+	if err := ev.writeHeader(ctx, RootSegID, hdr, version.Pair{}); err != nil {
+		return err
+	}
+	if err := ev.writeDir(ctx, RootSegID, &dirTable{}, version.Pair{}); err != nil {
+		return err
+	}
+	if cs, ok := ev.seg.(*core.Server); ok {
+		cs.ProbeCell(RootSegID)
+	}
+	return nil
+}
+
+// --------------------------------------------------------- header access --
+
+func (ev *Envelope) readHeader(ctx context.Context, id core.SegID, major uint64) (*fileHeader, version.Pair, error) {
+	data, pair, err := ev.seg.Read(ctx, id, major, 0, headerSize)
+	if err != nil {
+		return nil, version.Pair{}, err
+	}
+	hdr := new(fileHeader)
+	d := wire.NewDecoder(data)
+	if err := hdr.UnmarshalWire(d); err != nil {
+		return nil, pair, fmt.Errorf("envelope: corrupt header of %v: %w", id, err)
+	}
+	return hdr, pair, nil
+}
+
+// writeHeader rewrites the header region. A zero expect pair writes
+// unconditionally.
+func (ev *Envelope) writeHeader(ctx context.Context, id core.SegID, hdr *fileHeader, expect version.Pair) error {
+	buf := wire.Marshal(hdr)
+	if len(buf) > headerSize {
+		return errors.New("envelope: header overflow (too many uplinks)")
+	}
+	_, err := ev.seg.Write(ctx, id, core.WriteReq{Off: 0, Data: buf, Expect: expect})
+	return err
+}
+
+func (ev *Envelope) readDir(ctx context.Context, id core.SegID, major uint64) (*dirTable, version.Pair, error) {
+	data, pair, err := ev.seg.Read(ctx, id, major, headerSize, -1)
+	if err != nil {
+		return nil, version.Pair{}, err
+	}
+	t := new(dirTable)
+	if len(data) == 0 {
+		return t, pair, nil
+	}
+	d := wire.NewDecoder(data)
+	if err := t.UnmarshalWire(d); err != nil {
+		return nil, pair, fmt.Errorf("envelope: corrupt directory %v: %w", id, err)
+	}
+	return t, pair, nil
+}
+
+func (ev *Envelope) writeDir(ctx context.Context, id core.SegID, t *dirTable, expect version.Pair) error {
+	_, err := ev.seg.Write(ctx, id, core.WriteReq{
+		Off: headerSize, Data: wire.Marshal(t), Truncate: true, Expect: expect,
+	})
+	return err
+}
+
+// ------------------------------------------------------------ attributes --
+
+// attr synthesizes the NFS fattr for a file. Size comes from the segment;
+// mtime advances with the version pair so clients' attribute caches
+// invalidate on every update.
+func (ev *Envelope) attr(ctx context.Context, id core.SegID, major uint64) (nfsproto.FAttr, nfsproto.Status) {
+	hdr, pair, err := ev.readHeader(ctx, id, major)
+	if err != nil {
+		return nfsproto.FAttr{}, mapErr(err)
+	}
+	info, err := ev.seg.Stat(ctx, id)
+	if err != nil {
+		return nfsproto.FAttr{}, mapErr(err)
+	}
+	m := major
+	if m == 0 {
+		m = info.Current
+	}
+	var size int64
+	for _, v := range info.Versions {
+		if v.Major == m {
+			size = v.Size
+		}
+	}
+	size -= headerSize
+	if size < 0 {
+		size = 0
+	}
+	return ev.attrFrom(id, hdr, pair, size), nfsproto.OK
+}
+
+func (ev *Envelope) attrFrom(id core.SegID, hdr *fileHeader, pair version.Pair, size int64) nfsproto.FAttr {
+	a := nfsproto.FAttr{
+		Mode:      hdr.Mode,
+		NLink:     hdr.LinkCount,
+		UID:       hdr.UID,
+		GID:       hdr.GID,
+		Size:      uint32(size),
+		BlockSize: 4096,
+		Blocks:    uint32(size/512 + 1),
+		FSID:      ev.opts.FSID,
+		FileID:    uint32(id) | uint32(id>>32),
+		CTime:     nfsproto.Time{Sec: hdr.CTimeSec},
+	}
+	switch hdr.Kind {
+	case kindDir:
+		a.Type = nfsproto.TypeDir
+		a.Mode |= 0o040000
+		if a.NLink < 2 {
+			a.NLink = 2
+		}
+	case kindLnk:
+		a.Type = nfsproto.TypeLnk
+		a.Mode |= 0o120000
+	default:
+		a.Type = nfsproto.TypeReg
+		a.Mode |= 0o100000
+	}
+	// Version-pair-derived mtime: monotone within a major version.
+	mt := hdr.MTimeSec
+	if mt == 0 {
+		mt = hdr.CTimeSec
+	}
+	a.MTime = nfsproto.Time{Sec: mt, USec: uint32(pair.Sub % 1_000_000)}
+	a.ATime = a.MTime
+	return a
+}
+
+// Getattr implements NFSPROC_GETATTR.
+func (ev *Envelope) Getattr(ctx context.Context, h nfsproto.Handle) (nfsproto.FAttr, nfsproto.Status) {
+	seg, major, ok := UnpackHandle(h)
+	if !ok {
+		return nfsproto.FAttr{}, nfsproto.ErrStale
+	}
+	return ev.attr(ctx, seg, major)
+}
+
+// Setattr implements NFSPROC_SETATTR: mode/uid/gid/time changes rewrite the
+// header; a size change truncates or extends the payload.
+func (ev *Envelope) Setattr(ctx context.Context, h nfsproto.Handle, sa nfsproto.SAttr) (nfsproto.FAttr, nfsproto.Status) {
+	seg, major, ok := UnpackHandle(h)
+	if !ok {
+		return nfsproto.FAttr{}, nfsproto.ErrStale
+	}
+	for {
+		hdr, pair, err := ev.readHeader(ctx, seg, major)
+		if err != nil {
+			return nfsproto.FAttr{}, mapErr(err)
+		}
+		changed := false
+		if sa.Mode != nfsproto.NoValue {
+			hdr.Mode = sa.Mode & 0o7777
+			changed = true
+		}
+		if sa.UID != nfsproto.NoValue {
+			hdr.UID = sa.UID
+			changed = true
+		}
+		if sa.GID != nfsproto.NoValue {
+			hdr.GID = sa.GID
+			changed = true
+		}
+		if sa.MTime != nfsproto.NoTime {
+			hdr.MTimeSec = sa.MTime.Sec
+			changed = true
+		}
+		if changed {
+			if err := ev.writeHeader(ctx, seg, hdr, pair); err != nil {
+				if errors.Is(err, core.ErrVersionConflict) {
+					continue // the §5.1 optimistic retry
+				}
+				return nfsproto.FAttr{}, mapErr(err)
+			}
+		}
+		if sa.Size != nfsproto.NoValue && hdr.Kind == kindReg {
+			_, err := ev.seg.Write(ctx, seg, core.WriteReq{
+				Major: major, Off: headerSize + int64(sa.Size), Truncate: true,
+			})
+			if err != nil {
+				return nfsproto.FAttr{}, mapErr(err)
+			}
+		}
+		return ev.attrOK(ctx, seg, major)
+	}
+}
+
+func (ev *Envelope) attrOK(ctx context.Context, seg core.SegID, major uint64) (nfsproto.FAttr, nfsproto.Status) {
+	a, st := ev.attr(ctx, seg, major)
+	if st != nfsproto.OK {
+		return nfsproto.FAttr{}, st
+	}
+	return a, nfsproto.OK
+}
+
+// Read implements NFSPROC_READ.
+func (ev *Envelope) Read(ctx context.Context, h nfsproto.Handle, off, count uint32) ([]byte, nfsproto.FAttr, nfsproto.Status) {
+	seg, major, ok := UnpackHandle(h)
+	if !ok {
+		return nil, nfsproto.FAttr{}, nfsproto.ErrStale
+	}
+	data, _, err := ev.seg.Read(ctx, seg, major, headerSize+int64(off), int64(count))
+	if err != nil {
+		return nil, nfsproto.FAttr{}, mapErr(err)
+	}
+	a, st := ev.attr(ctx, seg, major)
+	if st != nfsproto.OK {
+		return nil, nfsproto.FAttr{}, st
+	}
+	return data, a, nfsproto.OK
+}
+
+// Write implements NFSPROC_WRITE.
+func (ev *Envelope) Write(ctx context.Context, h nfsproto.Handle, off uint32, data []byte) (nfsproto.FAttr, nfsproto.Status) {
+	seg, major, ok := UnpackHandle(h)
+	if !ok {
+		return nfsproto.FAttr{}, nfsproto.ErrStale
+	}
+	_, err := ev.seg.Write(ctx, seg, core.WriteReq{
+		Major: major, Off: headerSize + int64(off), Data: data,
+	})
+	if err != nil {
+		return nfsproto.FAttr{}, mapErr(err)
+	}
+	return ev.attrOK(ctx, seg, major)
+}
+
+// Readlink implements NFSPROC_READLINK.
+func (ev *Envelope) Readlink(ctx context.Context, h nfsproto.Handle) (string, nfsproto.Status) {
+	seg, major, ok := UnpackHandle(h)
+	if !ok {
+		return "", nfsproto.ErrStale
+	}
+	hdr, _, err := ev.readHeader(ctx, seg, major)
+	if err != nil {
+		return "", mapErr(err)
+	}
+	if hdr.Kind != kindLnk {
+		return "", nfsproto.ErrNXIO
+	}
+	data, _, err := ev.seg.Read(ctx, seg, major, headerSize, -1)
+	if err != nil {
+		return "", mapErr(err)
+	}
+	return string(data), nfsproto.OK
+}
+
+// Statfs implements NFSPROC_STATFS with synthetic capacity numbers.
+func (ev *Envelope) Statfs(ctx context.Context, h nfsproto.Handle) (nfsproto.StatfsRes, nfsproto.Status) {
+	if _, _, ok := UnpackHandle(h); !ok {
+		return nfsproto.StatfsRes{Status: nfsproto.ErrStale}, nfsproto.ErrStale
+	}
+	return nfsproto.StatfsRes{
+		Status: nfsproto.OK,
+		TSize:  8192,
+		BSize:  4096,
+		Blocks: 1 << 20,
+		BFree:  1 << 19,
+		BAvail: 1 << 19,
+	}, nfsproto.OK
+}
+
+// mapErr converts segment-server errors into NFS status codes.
+func mapErr(err error) nfsproto.Status {
+	switch {
+	case err == nil:
+		return nfsproto.OK
+	case errors.Is(err, core.ErrNotFound), errors.Is(err, core.ErrDeleted):
+		return nfsproto.ErrStale
+	case errors.Is(err, core.ErrWriteUnavailable):
+		return nfsproto.ErrROFS
+	case errors.Is(err, core.ErrVersionConflict):
+		return nfsproto.ErrIO
+	case errors.Is(err, context.DeadlineExceeded):
+		return nfsproto.ErrIO
+	default:
+		return nfsproto.ErrIO
+	}
+}
+
+// parseVersionName splits the §3.5 version-qualified syntax "name;N" into
+// the base name and version index (1-based). ok reports whether a qualifier
+// was present.
+func parseVersionName(name string) (base string, idx int, ok bool) {
+	i := strings.LastIndexByte(name, ';')
+	if i < 0 {
+		return name, 0, false
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 0, false
+	}
+	return name[:i], n, true
+}
+
+// majorForIndex resolves a 1-based version index to a major version number,
+// ordering majors ascending so indexes are stable for users.
+func majorForIndex(info core.SegInfo, idx int) (uint64, bool) {
+	if idx <= 0 || idx > len(info.Versions) {
+		return 0, false
+	}
+	return info.Versions[idx-1].Major, true
+}

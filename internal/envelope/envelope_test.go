@@ -1,0 +1,465 @@
+package envelope
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nfsproto"
+	"repro/internal/testutil"
+)
+
+func newEnvCell(t *testing.T, n int) (*testutil.Cell, []*Envelope) {
+	t.Helper()
+	c := testutil.NewCell(n)
+	t.Cleanup(c.Close)
+	envs := make([]*Envelope, n)
+	for i, nd := range c.Nodes {
+		envs[i] = New(nd.Core, Options{})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := envs[0].InitRoot(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return c, envs
+}
+
+func ctxT(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func mustOK(t *testing.T, st nfsproto.Status, what string) {
+	t.Helper()
+	if st != nfsproto.OK {
+		t.Fatalf("%s: %v", what, st)
+	}
+}
+
+func TestHandlePackUnpack(t *testing.T) {
+	h := PackHandle(core.SegID(0xDEADBEEF12345678), 42)
+	seg, major, ok := UnpackHandle(h)
+	if !ok || seg != core.SegID(0xDEADBEEF12345678) || major != 42 {
+		t.Fatalf("unpack = %v %v %v", seg, major, ok)
+	}
+	var garbage nfsproto.Handle
+	if _, _, ok := UnpackHandle(garbage); ok {
+		t.Error("garbage handle accepted")
+	}
+}
+
+func TestCreateWriteReadFile(t *testing.T) {
+	_, envs := newEnvCell(t, 1)
+	ev := envs[0]
+	ctx := ctxT(t, 15*time.Second)
+	root := ev.Root()
+
+	fh, attr, st := ev.Create(ctx, root, "hello.txt", nfsproto.SAttr{Mode: 0o600, UID: 7, GID: 8})
+	mustOK(t, st, "create")
+	if attr.Type != nfsproto.TypeReg || attr.UID != 7 {
+		t.Errorf("create attr = %+v", attr)
+	}
+	if attr.Size != 0 {
+		t.Errorf("new file size = %d", attr.Size)
+	}
+
+	attr, st = ev.Write(ctx, fh, 0, []byte("hello nfs world"))
+	mustOK(t, st, "write")
+	if attr.Size != 15 {
+		t.Errorf("size after write = %d", attr.Size)
+	}
+
+	data, attr2, st := ev.Read(ctx, fh, 6, 3)
+	mustOK(t, st, "read")
+	if string(data) != "nfs" || attr2.Size != 15 {
+		t.Errorf("read = %q size=%d", data, attr2.Size)
+	}
+
+	// Lookup resolves the same file.
+	fh2, attr3, st := ev.Lookup(ctx, root, "hello.txt")
+	mustOK(t, st, "lookup")
+	if fh2 != fh {
+		t.Error("lookup returned a different handle")
+	}
+	if attr3.Size != 15 {
+		t.Errorf("lookup attr size = %d", attr3.Size)
+	}
+
+	// Offset write past EOF zero-fills.
+	_, st = ev.Write(ctx, fh, 20, []byte("tail"))
+	mustOK(t, st, "sparse write")
+	data, _, st = ev.Read(ctx, fh, 0, 100)
+	mustOK(t, st, "read all")
+	if len(data) != 24 || string(data[20:]) != "tail" || data[16] != 0 {
+		t.Errorf("sparse read = %q", data)
+	}
+}
+
+func TestF1NameTreeAcrossServers(t *testing.T) {
+	// Figure 1's /usr,/bin,/home tree, built through one server and
+	// traversed through another — Deceit's single name space spans servers.
+	_, envs := newEnvCell(t, 3)
+	ctx := ctxT(t, 30*time.Second)
+	a, b := envs[0], envs[2]
+	root := a.Root()
+
+	usr, _, st := a.Mkdir(ctx, root, "usr", nfsproto.SAttr{Mode: nfsproto.NoValue})
+	mustOK(t, st, "mkdir usr")
+	_, _, st = a.Mkdir(ctx, root, "bin", nfsproto.SAttr{Mode: nfsproto.NoValue})
+	mustOK(t, st, "mkdir bin")
+	home, _, st := a.Mkdir(ctx, root, "home", nfsproto.SAttr{Mode: nfsproto.NoValue})
+	mustOK(t, st, "mkdir home")
+	siegel, _, st := a.Mkdir(ctx, home, "siegel", nfsproto.SAttr{Mode: nfsproto.NoValue})
+	mustOK(t, st, "mkdir home/siegel")
+	fh, _, st := a.Create(ctx, siegel, "paper.tex", nfsproto.SAttr{Mode: nfsproto.NoValue})
+	mustOK(t, st, "create paper")
+	_, st = a.Write(ctx, fh, 0, []byte("deceit"))
+	mustOK(t, st, "write paper")
+	_, _, st = a.Mkdir(ctx, usr, "lib", nfsproto.SAttr{Mode: nfsproto.NoValue})
+	mustOK(t, st, "mkdir usr/lib")
+
+	// Traverse the same tree through server 2 (no files live there).
+	rootB := b.Root()
+	homeB, _, st := b.Lookup(ctx, rootB, "home")
+	mustOK(t, st, "b lookup home")
+	siegelB, _, st := b.Lookup(ctx, homeB, "siegel")
+	mustOK(t, st, "b lookup siegel")
+	fhB, _, st := b.Lookup(ctx, siegelB, "paper.tex")
+	mustOK(t, st, "b lookup paper")
+	data, _, st := b.Read(ctx, fhB, 0, 100)
+	mustOK(t, st, "b read")
+	if string(data) != "deceit" {
+		t.Errorf("cross-server read = %q", data)
+	}
+
+	// Readdir at root shows the three directories.
+	res, st := b.Readdir(ctx, rootB, 0, 4096)
+	mustOK(t, st, "readdir")
+	names := map[string]bool{}
+	for _, e := range res.Entries {
+		names[e.Name] = true
+	}
+	for _, want := range []string{".", "..", "usr", "bin", "home"} {
+		if !names[want] {
+			t.Errorf("readdir missing %q (got %v)", want, names)
+		}
+	}
+	if !res.EOF {
+		t.Error("readdir EOF not set")
+	}
+}
+
+func TestReaddirPagination(t *testing.T) {
+	_, envs := newEnvCell(t, 1)
+	ev := envs[0]
+	ctx := ctxT(t, 30*time.Second)
+	root := ev.Root()
+	for i := 0; i < 20; i++ {
+		_, _, st := ev.Create(ctx, root, fmt.Sprintf("file%02d", i), nfsproto.SAttr{Mode: nfsproto.NoValue})
+		mustOK(t, st, "create")
+	}
+	var got []string
+	cookie := uint32(0)
+	rounds := 0
+	for {
+		res, st := ev.Readdir(ctx, root, cookie, 200)
+		mustOK(t, st, "readdir page")
+		if len(res.Entries) == 0 && !res.EOF {
+			t.Fatal("empty non-final page")
+		}
+		for _, e := range res.Entries {
+			got = append(got, e.Name)
+			cookie = e.Cookie
+		}
+		rounds++
+		if res.EOF {
+			break
+		}
+		if rounds > 50 {
+			t.Fatal("pagination did not terminate")
+		}
+	}
+	if rounds < 2 {
+		t.Errorf("expected multiple pages, got %d", rounds)
+	}
+	if len(got) != 22 { // 20 files + . + ..
+		t.Errorf("total entries = %d (%v)", len(got), got)
+	}
+	seen := map[string]bool{}
+	for _, n := range got {
+		if seen[n] {
+			t.Errorf("duplicate entry %q across pages", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestRemoveAndGC(t *testing.T) {
+	c, envs := newEnvCell(t, 1)
+	ev := envs[0]
+	ctx := ctxT(t, 15*time.Second)
+	root := ev.Root()
+
+	fh, _, st := ev.Create(ctx, root, "victim", nfsproto.SAttr{Mode: nfsproto.NoValue})
+	mustOK(t, st, "create")
+	seg, _, _ := UnpackHandle(fh)
+
+	mustOK(t, ev.Remove(ctx, root, "victim"), "remove")
+	if _, _, st := ev.Lookup(ctx, root, "victim"); st != nfsproto.ErrNoEnt {
+		t.Errorf("lookup after remove = %v", st)
+	}
+	// The segment itself must be deallocated (GC, §5.2).
+	rctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	if _, err := c.Nodes[0].Core.Stat(rctx, seg); err == nil {
+		t.Error("segment survived GC")
+	}
+}
+
+func TestF7HardLinksDelayGC(t *testing.T) {
+	c, envs := newEnvCell(t, 1)
+	ev := envs[0]
+	ctx := ctxT(t, 20*time.Second)
+	root := ev.Root()
+
+	dirA, _, st := ev.Mkdir(ctx, root, "a", nfsproto.SAttr{Mode: nfsproto.NoValue})
+	mustOK(t, st, "mkdir a")
+	dirB, _, st := ev.Mkdir(ctx, root, "b", nfsproto.SAttr{Mode: nfsproto.NoValue})
+	mustOK(t, st, "mkdir b")
+
+	fh, _, st := ev.Create(ctx, dirA, "shared", nfsproto.SAttr{Mode: nfsproto.NoValue})
+	mustOK(t, st, "create")
+	_, st = ev.Write(ctx, fh, 0, []byte("linked data"))
+	mustOK(t, st, "write")
+	seg, _, _ := UnpackHandle(fh)
+
+	// Hard link from b; the link count rises and both uplinks are recorded.
+	mustOK(t, ev.Link(ctx, fh, dirB, "alias"), "link")
+	attr, st := ev.Getattr(ctx, fh)
+	mustOK(t, st, "getattr")
+	if attr.NLink != 2 {
+		t.Errorf("nlink = %d, want 2", attr.NLink)
+	}
+
+	// Removing the original name must NOT deallocate: the alias remains.
+	mustOK(t, ev.Remove(ctx, dirA, "shared"), "remove original")
+	fh2, _, st := ev.Lookup(ctx, dirB, "alias")
+	mustOK(t, st, "lookup alias")
+	data, _, st := ev.Read(ctx, fh2, 0, 100)
+	mustOK(t, st, "read via alias")
+	if string(data) != "linked data" {
+		t.Errorf("alias data = %q", data)
+	}
+
+	// Removing the last link deallocates the segment (asynchronously: the
+	// delete cast applies, then the server forgets the group).
+	mustOK(t, ev.Remove(ctx, dirB, "alias"), "remove alias")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		_, err := c.Nodes[0].Core.Stat(rctx, seg)
+		cancel()
+		if err != nil {
+			break // deallocated
+		}
+		if time.Now().After(deadline) {
+			t.Error("segment survived removal of last link")
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestCorruptLinkCountIsCorrected(t *testing.T) {
+	_, envs := newEnvCell(t, 1)
+	ev := envs[0]
+	ctx := ctxT(t, 20*time.Second)
+	root := ev.Root()
+
+	dirB, _, st := ev.Mkdir(ctx, root, "b", nfsproto.SAttr{Mode: nfsproto.NoValue})
+	mustOK(t, st, "mkdir")
+	fh, _, st := ev.Create(ctx, root, "f", nfsproto.SAttr{Mode: nfsproto.NoValue})
+	mustOK(t, st, "create")
+	mustOK(t, ev.Link(ctx, fh, dirB, "alias"), "link")
+	seg, _, _ := UnpackHandle(fh)
+
+	// Corrupt the hint downward, as "an ill timed crash" would (§5.2).
+	if err := ev.setLinkCount(ctx, seg, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Removing one of the two links drives the hint to zero, but GC checks
+	// the uplink directories, finds the alias, and corrects the count
+	// instead of deallocating.
+	mustOK(t, ev.Remove(ctx, root, "f"), "remove")
+	fh2, attr, st := ev.Lookup(ctx, dirB, "alias")
+	mustOK(t, st, "alias lookup after corrupted GC")
+	if attr.NLink != 1 {
+		t.Errorf("corrected nlink = %d, want 1", attr.NLink)
+	}
+	_ = fh2
+}
+
+func TestRenameSameAndCrossDir(t *testing.T) {
+	_, envs := newEnvCell(t, 1)
+	ev := envs[0]
+	ctx := ctxT(t, 20*time.Second)
+	root := ev.Root()
+
+	fh, _, st := ev.Create(ctx, root, "old", nfsproto.SAttr{Mode: nfsproto.NoValue})
+	mustOK(t, st, "create")
+	_, st = ev.Write(ctx, fh, 0, []byte("content"))
+	mustOK(t, st, "write")
+
+	// Same-directory rename.
+	mustOK(t, ev.Rename(ctx, root, "old", root, "new"), "rename")
+	if _, _, st := ev.Lookup(ctx, root, "old"); st != nfsproto.ErrNoEnt {
+		t.Errorf("old name still present: %v", st)
+	}
+	fh2, _, st := ev.Lookup(ctx, root, "new")
+	mustOK(t, st, "lookup new")
+	if fh2 != fh {
+		t.Error("rename changed identity")
+	}
+
+	// Cross-directory rename.
+	sub, _, st := ev.Mkdir(ctx, root, "sub", nfsproto.SAttr{Mode: nfsproto.NoValue})
+	mustOK(t, st, "mkdir")
+	mustOK(t, ev.Rename(ctx, root, "new", sub, "moved"), "cross rename")
+	fh3, _, st := ev.Lookup(ctx, sub, "moved")
+	mustOK(t, st, "lookup moved")
+	data, _, st := ev.Read(ctx, fh3, 0, 100)
+	mustOK(t, st, "read moved")
+	if string(data) != "content" {
+		t.Errorf("moved data = %q", data)
+	}
+	if _, _, st := ev.Lookup(ctx, root, "new"); st != nfsproto.ErrNoEnt {
+		t.Errorf("source name survived cross-dir rename")
+	}
+}
+
+func TestSymlinkReadlink(t *testing.T) {
+	_, envs := newEnvCell(t, 1)
+	ev := envs[0]
+	ctx := ctxT(t, 15*time.Second)
+	root := ev.Root()
+
+	mustOK(t, ev.Symlink(ctx, root, "ln", "/usr/bin/deceit", nfsproto.SAttr{Mode: nfsproto.NoValue}), "symlink")
+	fh, attr, st := ev.Lookup(ctx, root, "ln")
+	mustOK(t, st, "lookup symlink")
+	if attr.Type != nfsproto.TypeLnk {
+		t.Errorf("type = %v", attr.Type)
+	}
+	target, st := ev.Readlink(ctx, fh)
+	mustOK(t, st, "readlink")
+	if target != "/usr/bin/deceit" {
+		t.Errorf("target = %q", target)
+	}
+}
+
+func TestMkdirRmdirSemantics(t *testing.T) {
+	_, envs := newEnvCell(t, 1)
+	ev := envs[0]
+	ctx := ctxT(t, 20*time.Second)
+	root := ev.Root()
+
+	sub, _, st := ev.Mkdir(ctx, root, "d", nfsproto.SAttr{Mode: nfsproto.NoValue})
+	mustOK(t, st, "mkdir")
+	if _, _, st := ev.Mkdir(ctx, root, "d", nfsproto.SAttr{Mode: nfsproto.NoValue}); st != nfsproto.ErrExist {
+		t.Errorf("duplicate mkdir = %v", st)
+	}
+	// Rmdir of a non-empty directory fails.
+	_, _, st = ev.Create(ctx, sub, "f", nfsproto.SAttr{Mode: nfsproto.NoValue})
+	mustOK(t, st, "create in d")
+	if st := ev.Rmdir(ctx, root, "d"); st != nfsproto.ErrNotEmpty {
+		t.Errorf("rmdir non-empty = %v", st)
+	}
+	mustOK(t, ev.Remove(ctx, sub, "f"), "remove f")
+	mustOK(t, ev.Rmdir(ctx, root, "d"), "rmdir")
+	if _, _, st := ev.Lookup(ctx, root, "d"); st != nfsproto.ErrNoEnt {
+		t.Errorf("lookup removed dir = %v", st)
+	}
+	// Remove on a directory fails with ISDIR.
+	_, _, st = ev.Mkdir(ctx, root, "d2", nfsproto.SAttr{Mode: nfsproto.NoValue})
+	mustOK(t, st, "mkdir d2")
+	if st := ev.Remove(ctx, root, "d2"); st != nfsproto.ErrIsDir {
+		t.Errorf("remove dir = %v", st)
+	}
+}
+
+func TestSetattrTruncateAndMode(t *testing.T) {
+	_, envs := newEnvCell(t, 1)
+	ev := envs[0]
+	ctx := ctxT(t, 15*time.Second)
+	root := ev.Root()
+
+	fh, _, st := ev.Create(ctx, root, "f", nfsproto.SAttr{Mode: nfsproto.NoValue})
+	mustOK(t, st, "create")
+	_, st = ev.Write(ctx, fh, 0, []byte("0123456789"))
+	mustOK(t, st, "write")
+
+	attr, st := ev.Setattr(ctx, fh, nfsproto.SAttr{
+		Mode: 0o400, UID: nfsproto.NoValue, GID: nfsproto.NoValue,
+		Size: 4, ATime: nfsproto.NoTime, MTime: nfsproto.NoTime,
+	})
+	mustOK(t, st, "setattr")
+	if attr.Size != 4 || attr.Mode&0o7777 != 0o400 {
+		t.Errorf("attr after setattr = %+v", attr)
+	}
+	data, _, st := ev.Read(ctx, fh, 0, 100)
+	mustOK(t, st, "read")
+	if string(data) != "0123" {
+		t.Errorf("truncated data = %q", data)
+	}
+}
+
+func TestCreateOverExistingTruncates(t *testing.T) {
+	_, envs := newEnvCell(t, 1)
+	ev := envs[0]
+	ctx := ctxT(t, 15*time.Second)
+	root := ev.Root()
+
+	fh, _, st := ev.Create(ctx, root, "f", nfsproto.SAttr{Mode: nfsproto.NoValue})
+	mustOK(t, st, "create")
+	_, st = ev.Write(ctx, fh, 0, []byte("previous content"))
+	mustOK(t, st, "write")
+
+	fh2, attr, st := ev.Create(ctx, root, "f", nfsproto.SAttr{Mode: nfsproto.NoValue})
+	mustOK(t, st, "re-create")
+	if fh2 != fh {
+		t.Error("re-create changed identity")
+	}
+	if attr.Size != 0 {
+		t.Errorf("size after re-create = %d", attr.Size)
+	}
+}
+
+func TestStatfs(t *testing.T) {
+	_, envs := newEnvCell(t, 1)
+	ev := envs[0]
+	ctx := ctxT(t, 10*time.Second)
+	res, st := ev.Statfs(ctx, ev.Root())
+	mustOK(t, st, "statfs")
+	if res.BSize == 0 || res.Blocks == 0 {
+		t.Errorf("statfs = %+v", res)
+	}
+}
+
+func TestStaleHandleRejected(t *testing.T) {
+	_, envs := newEnvCell(t, 1)
+	ev := envs[0]
+	ctx := ctxT(t, 10*time.Second)
+	var bogus nfsproto.Handle
+	if _, st := ev.Getattr(ctx, bogus); st != nfsproto.ErrStale {
+		t.Errorf("garbage handle getattr = %v", st)
+	}
+	// A well-formed handle to a vanished segment is stale too.
+	gone := PackHandle(core.SegID(0x123456789), 0)
+	if _, st := ev.Getattr(ctx, gone); st != nfsproto.ErrStale {
+		t.Errorf("dangling handle getattr = %v", st)
+	}
+}

@@ -1,0 +1,200 @@
+package envelope
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nfsproto"
+	"repro/internal/version"
+)
+
+// localSegments is a trivial, purely local SegmentService. Running the full
+// envelope suite of operations over it demonstrates Figure 6's claim that
+// the NFS envelope "is totally independent of the underlying implementation
+// of the segment service".
+type localSegments struct {
+	mu   sync.Mutex
+	next uint64
+	segs map[core.SegID]*localSeg
+}
+
+type localSeg struct {
+	data   []byte
+	pair   version.Pair
+	params core.Params
+}
+
+func newLocalSegments() *localSegments {
+	return &localSegments{next: 100, segs: make(map[core.SegID]*localSeg)}
+}
+
+func (l *localSegments) Create(ctx context.Context, params core.Params) (core.SegID, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.next++
+	id := core.SegID(l.next)
+	l.segs[id] = &localSeg{pair: version.Initial(), params: params}
+	return id, nil
+}
+
+func (l *localSegments) CreateWithID(ctx context.Context, id core.SegID, params core.Params) (core.SegID, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.segs[id]; ok {
+		return 0, core.ErrBusy
+	}
+	l.segs[id] = &localSeg{pair: version.Initial(), params: params}
+	return id, nil
+}
+
+func (l *localSegments) Delete(ctx context.Context, id core.SegID) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.segs[id]; !ok {
+		return core.ErrNotFound
+	}
+	delete(l.segs, id)
+	return nil
+}
+
+func (l *localSegments) DeleteVersion(ctx context.Context, id core.SegID, major uint64) error {
+	return l.Delete(ctx, id)
+}
+
+func (l *localSegments) Read(ctx context.Context, id core.SegID, major uint64, off, n int64) ([]byte, version.Pair, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	sg, ok := l.segs[id]
+	if !ok {
+		return nil, version.Pair{}, core.ErrNotFound
+	}
+	size := int64(len(sg.data))
+	if off >= size || off < 0 {
+		return nil, sg.pair, nil
+	}
+	end := size
+	if n >= 0 && off+n < size {
+		end = off + n
+	}
+	out := make([]byte, end-off)
+	copy(out, sg.data[off:end])
+	return out, sg.pair, nil
+}
+
+func (l *localSegments) Write(ctx context.Context, id core.SegID, req core.WriteReq) (version.Pair, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	sg, ok := l.segs[id]
+	if !ok {
+		return version.Pair{}, core.ErrNotFound
+	}
+	if !req.Expect.IsZero() && sg.pair != req.Expect {
+		return version.Pair{}, core.ErrVersionConflict
+	}
+	end := req.Off + int64(len(req.Data))
+	if req.Truncate {
+		out := make([]byte, end)
+		copy(out, sg.data)
+		copy(out[req.Off:], req.Data)
+		sg.data = out
+	} else {
+		if end > int64(len(sg.data)) {
+			grown := make([]byte, end)
+			copy(grown, sg.data)
+			sg.data = grown
+		}
+		copy(sg.data[req.Off:end], req.Data)
+	}
+	sg.pair = sg.pair.Next()
+	return sg.pair, nil
+}
+
+func (l *localSegments) SetParams(ctx context.Context, id core.SegID, params core.Params) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	sg, ok := l.segs[id]
+	if !ok {
+		return core.ErrNotFound
+	}
+	sg.params = params
+	return nil
+}
+
+func (l *localSegments) GetParams(ctx context.Context, id core.SegID) (core.Params, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	sg, ok := l.segs[id]
+	if !ok {
+		return core.Params{}, core.ErrNotFound
+	}
+	return sg.params, nil
+}
+
+func (l *localSegments) Stat(ctx context.Context, id core.SegID) (core.SegInfo, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	sg, ok := l.segs[id]
+	if !ok {
+		return core.SegInfo{}, core.ErrNotFound
+	}
+	return core.SegInfo{
+		ID: id, Params: sg.params, Current: sg.pair.Major,
+		Versions: []core.VersionInfo{{
+			Major: sg.pair.Major, Pair: sg.pair, Size: int64(len(sg.data)),
+		}},
+	}, nil
+}
+
+var _ SegmentService = (*localSegments)(nil)
+
+// TestF6LayerIndependence runs a representative NFS workload over the local
+// segment service: the envelope behaves identically whether the segment
+// layer is the replicated Deceit server or a single-machine store.
+func TestF6LayerIndependence(t *testing.T) {
+	ev := New(newLocalSegments(), Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := ev.InitRoot(ctx); err != nil {
+		t.Fatal(err)
+	}
+	root := ev.Root()
+
+	dir, _, st := ev.Mkdir(ctx, root, "project", nfsproto.SAttr{Mode: nfsproto.NoValue})
+	mustOK(t, st, "mkdir")
+	fh, _, st := ev.Create(ctx, dir, "main.go", nfsproto.SAttr{Mode: 0o644})
+	mustOK(t, st, "create")
+	_, st = ev.Write(ctx, fh, 0, []byte("package main"))
+	mustOK(t, st, "write")
+	data, attr, st := ev.Read(ctx, fh, 0, 100)
+	mustOK(t, st, "read")
+	if string(data) != "package main" || attr.Size != 12 {
+		t.Errorf("read = %q size=%d", data, attr.Size)
+	}
+
+	mustOK(t, ev.Symlink(ctx, dir, "link", "main.go", nfsproto.SAttr{Mode: nfsproto.NoValue}), "symlink")
+	mustOK(t, ev.Rename(ctx, dir, "main.go", root, "promoted.go"), "rename")
+	fh2, _, st := ev.Lookup(ctx, root, "promoted.go")
+	mustOK(t, st, "lookup")
+	data, _, _ = ev.Read(ctx, fh2, 0, 100)
+	if string(data) != "package main" {
+		t.Errorf("moved data = %q", data)
+	}
+	mustOK(t, ev.Remove(ctx, root, "promoted.go"), "remove")
+	mustOK(t, ev.Remove(ctx, dir, "link"), "remove link")
+	mustOK(t, ev.Rmdir(ctx, root, "project"), "rmdir")
+
+	res, st := ev.Readdir(ctx, root, 0, 4096)
+	mustOK(t, st, "readdir")
+	var names []string
+	for _, e := range res.Entries {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	if len(names) != 2 { // only . and ..
+		t.Errorf("root entries after cleanup = %v", names)
+	}
+}

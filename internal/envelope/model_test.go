@@ -1,0 +1,336 @@
+package envelope
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/nfsproto"
+)
+
+// Model-based random-operation test: the same pseudo-random stream of NFS
+// operations is applied to the envelope (over the trivial local segment
+// service) and to a plain in-memory tree model; after every step the
+// observable outcomes must agree. This catches directory-table, link-count,
+// and rename edge cases that example-based tests miss.
+
+// mnode models one file-system object. Files may be shared between names
+// (hard links); directories may not.
+type mnode struct {
+	isDir    bool
+	data     []byte
+	children map[string]*mnode
+}
+
+func newMDir() *mnode  { return &mnode{isDir: true, children: make(map[string]*mnode)} }
+func newMFile() *mnode { return &mnode{} }
+
+// resolve walks the model to the node at path ("" = root).
+func (m *mnode) resolve(path string) *mnode {
+	if path == "" {
+		return m
+	}
+	cur := m
+	for _, part := range strings.Split(path, "/") {
+		if cur == nil || !cur.isDir {
+			return nil
+		}
+		cur = cur.children[part]
+	}
+	return cur
+}
+
+// modelHarness pairs the envelope with the model.
+type modelHarness struct {
+	t   *testing.T
+	ctx context.Context
+	ev  *Envelope
+	m   *mnode
+	rng *rand.Rand
+
+	dirs []string // known directory paths, "" is the root
+}
+
+func newModelHarness(t *testing.T, seed int64) *modelHarness {
+	t.Helper()
+	ev := New(newLocalSegments(), Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	if err := ev.InitRoot(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return &modelHarness{
+		t:    t,
+		ctx:  ctx,
+		ev:   ev,
+		m:    newMDir(),
+		rng:  rand.New(rand.NewSource(seed)),
+		dirs: []string{""},
+	}
+}
+
+// handleFor walks the envelope from the root to the directory at path,
+// exercising Lookup on every step.
+func (h *modelHarness) handleFor(path string) (nfsproto.Handle, bool) {
+	cur := h.ev.Root()
+	if path == "" {
+		return cur, true
+	}
+	for _, part := range strings.Split(path, "/") {
+		next, _, st := h.ev.Lookup(h.ctx, cur, part)
+		if st != nfsproto.OK {
+			return nfsproto.Handle{}, false
+		}
+		cur = next
+	}
+	return cur, true
+}
+
+var modelNames = []string{"a", "b", "c", "d", "e", "f"}
+
+func (h *modelHarness) randName() string { return modelNames[h.rng.Intn(len(modelNames))] }
+func (h *modelHarness) randDir() string  { return h.dirs[h.rng.Intn(len(h.dirs))] }
+
+func join(dir, name string) string {
+	if dir == "" {
+		return name
+	}
+	return dir + "/" + name
+}
+
+// step performs one random operation on both systems and compares outcomes.
+func (h *modelHarness) step(i int) {
+	t := h.t
+	switch op := h.rng.Intn(10); op {
+	case 0: // create file
+		dir, name := h.randDir(), h.randName()
+		dh, ok := h.handleFor(dir)
+		if !ok {
+			t.Fatalf("step %d: lost directory %q", i, dir)
+		}
+		_, _, st := h.ev.Create(h.ctx, dh, name, nfsproto.SAttr{Mode: 0644})
+		mdir := h.m.resolve(dir)
+		existing := mdir.children[name]
+		switch {
+		case existing == nil:
+			if st != nfsproto.OK {
+				t.Fatalf("step %d: create %s/%s = %v, model says new file", i, dir, name, st)
+			}
+			mdir.children[name] = newMFile()
+		case existing.isDir:
+			if st == nfsproto.OK {
+				t.Fatalf("step %d: create over directory %s/%s succeeded", i, dir, name)
+			}
+		default:
+			// NFS create over an existing file truncates it.
+			if st != nfsproto.OK {
+				t.Fatalf("step %d: create over file %s/%s = %v", i, dir, name, st)
+			}
+			existing.data = nil
+		}
+	case 1: // mkdir
+		dir, name := h.randDir(), h.randName()
+		dh, _ := h.handleFor(dir)
+		_, _, st := h.ev.Mkdir(h.ctx, dh, name, nfsproto.SAttr{Mode: 0755})
+		mdir := h.m.resolve(dir)
+		if mdir.children[name] == nil {
+			if st != nfsproto.OK {
+				t.Fatalf("step %d: mkdir %s/%s = %v, model says free", i, dir, name, st)
+			}
+			mdir.children[name] = newMDir()
+			h.dirs = append(h.dirs, join(dir, name))
+		} else if st == nfsproto.OK {
+			t.Fatalf("step %d: mkdir over existing %s/%s succeeded", i, dir, name)
+		}
+	case 2: // write to a file
+		dir, name := h.randDir(), h.randName()
+		mdir := h.m.resolve(dir)
+		mf := mdir.children[name]
+		if mf == nil || mf.isDir {
+			return
+		}
+		dh, _ := h.handleFor(dir)
+		fh, _, st := h.ev.Lookup(h.ctx, dh, name)
+		if st != nfsproto.OK {
+			t.Fatalf("step %d: lookup %s/%s = %v, model has a file", i, dir, name, st)
+		}
+		off := uint32(h.rng.Intn(32))
+		payload := []byte(fmt.Sprintf("w%d", i))
+		if _, st := h.ev.Write(h.ctx, fh, off, payload); st != nfsproto.OK {
+			t.Fatalf("step %d: write %s/%s = %v", i, dir, name, st)
+		}
+		end := int(off) + len(payload)
+		if end > len(mf.data) {
+			grown := make([]byte, end)
+			copy(grown, mf.data)
+			mf.data = grown
+		}
+		copy(mf.data[off:end], payload)
+	case 3: // read a file and compare contents
+		dir, name := h.randDir(), h.randName()
+		mf := h.m.resolve(dir).children[name]
+		if mf == nil || mf.isDir {
+			return
+		}
+		dh, _ := h.handleFor(dir)
+		fh, _, st := h.ev.Lookup(h.ctx, dh, name)
+		if st != nfsproto.OK {
+			t.Fatalf("step %d: lookup %s/%s = %v", i, dir, name, st)
+		}
+		data, _, st := h.ev.Read(h.ctx, fh, 0, 1<<16)
+		if st != nfsproto.OK {
+			t.Fatalf("step %d: read %s/%s = %v", i, dir, name, st)
+		}
+		if string(data) != string(mf.data) {
+			t.Fatalf("step %d: read %s/%s = %q, model %q", i, dir, name, data, mf.data)
+		}
+	case 4: // remove a file
+		dir, name := h.randDir(), h.randName()
+		mdir := h.m.resolve(dir)
+		target := mdir.children[name]
+		dh, _ := h.handleFor(dir)
+		st := h.ev.Remove(h.ctx, dh, name)
+		switch {
+		case target == nil:
+			if st == nfsproto.OK {
+				t.Fatalf("step %d: remove missing %s/%s succeeded", i, dir, name)
+			}
+		case target.isDir:
+			if st == nfsproto.OK {
+				t.Fatalf("step %d: remove of directory %s/%s succeeded", i, dir, name)
+			}
+		default:
+			if st != nfsproto.OK {
+				t.Fatalf("step %d: remove %s/%s = %v", i, dir, name, st)
+			}
+			delete(mdir.children, name)
+		}
+	case 5: // rmdir (must be empty)
+		dir, name := h.randDir(), h.randName()
+		mdir := h.m.resolve(dir)
+		target := mdir.children[name]
+		dh, _ := h.handleFor(dir)
+		st := h.ev.Rmdir(h.ctx, dh, name)
+		switch {
+		case target == nil || !target.isDir:
+			if st == nfsproto.OK {
+				t.Fatalf("step %d: rmdir non-directory %s/%s succeeded", i, dir, name)
+			}
+		case len(target.children) > 0:
+			if st == nfsproto.OK {
+				t.Fatalf("step %d: rmdir non-empty %s/%s succeeded", i, dir, name)
+			}
+		default:
+			if st != nfsproto.OK {
+				t.Fatalf("step %d: rmdir %s/%s = %v", i, dir, name, st)
+			}
+			delete(mdir.children, name)
+			path := join(dir, name)
+			for j, d := range h.dirs {
+				if d == path {
+					h.dirs = append(h.dirs[:j], h.dirs[j+1:]...)
+					break
+				}
+			}
+		}
+	case 6: // rename a file (files only: keeps the model's dir list simple)
+		fromDir, fromName := h.randDir(), h.randName()
+		toDir, toName := h.randDir(), h.randName()
+		mFrom := h.m.resolve(fromDir)
+		src := mFrom.children[fromName]
+		if src == nil || src.isDir {
+			return
+		}
+		mTo := h.m.resolve(toDir)
+		dst := mTo.children[toName]
+		if dst != nil && dst.isDir {
+			return // renaming a file over a directory: skip the ambiguity
+		}
+		if src == dst {
+			return // same object (hard link or identical path): semantics differ subtly
+		}
+		fdh, _ := h.handleFor(fromDir)
+		tdh, _ := h.handleFor(toDir)
+		st := h.ev.Rename(h.ctx, fdh, fromName, tdh, toName)
+		if st != nfsproto.OK {
+			t.Fatalf("step %d: rename %s/%s -> %s/%s = %v", i, fromDir, fromName, toDir, toName, st)
+		}
+		delete(mFrom.children, fromName)
+		mTo.children[toName] = src
+	case 7: // hard link a file
+		dir, name := h.randDir(), h.randName()
+		toDir, toName := h.randDir(), h.randName()
+		src := h.m.resolve(dir).children[name]
+		if src == nil || src.isDir {
+			return
+		}
+		mTo := h.m.resolve(toDir)
+		dh, _ := h.handleFor(dir)
+		fh, _, st := h.ev.Lookup(h.ctx, dh, name)
+		if st != nfsproto.OK {
+			t.Fatalf("step %d: lookup %s/%s = %v", i, dir, name, st)
+		}
+		tdh, _ := h.handleFor(toDir)
+		st = h.ev.Link(h.ctx, fh, tdh, toName)
+		if mTo.children[toName] == nil {
+			if st != nfsproto.OK {
+				t.Fatalf("step %d: link %s/%s -> %s/%s = %v", i, dir, name, toDir, toName, st)
+			}
+			mTo.children[toName] = src
+		} else if st == nfsproto.OK {
+			t.Fatalf("step %d: link over existing %s/%s succeeded", i, toDir, toName)
+		}
+	case 8: // readdir and compare listings
+		dir := h.randDir()
+		mdir := h.m.resolve(dir)
+		dh, _ := h.handleFor(dir)
+		res, st := h.ev.Readdir(h.ctx, dh, 0, 1<<20)
+		if st != nfsproto.OK {
+			t.Fatalf("step %d: readdir %s = %v", i, dir, st)
+		}
+		var got []string
+		for _, e := range res.Entries {
+			if e.Name == "." || e.Name == ".." || strings.HasPrefix(e.Name, ".deceit") {
+				continue
+			}
+			got = append(got, e.Name)
+		}
+		var want []string
+		for name := range mdir.children {
+			want = append(want, name)
+		}
+		sort.Strings(got)
+		sort.Strings(want)
+		if strings.Join(got, ",") != strings.Join(want, ",") {
+			t.Fatalf("step %d: readdir %q = %v, model %v", i, dir, got, want)
+		}
+	case 9: // lookup of a random name agrees on existence
+		dir, name := h.randDir(), h.randName()
+		exists := h.m.resolve(dir).children[name] != nil
+		dh, _ := h.handleFor(dir)
+		_, _, st := h.ev.Lookup(h.ctx, dh, name)
+		if exists != (st == nfsproto.OK) {
+			t.Fatalf("step %d: lookup %s/%s = %v, model exists=%v", i, dir, name, st, exists)
+		}
+	}
+}
+
+func TestModelRandomOps(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			h := newModelHarness(t, seed)
+			steps := 500
+			if testing.Short() {
+				steps = 120
+			}
+			for i := 0; i < steps; i++ {
+				h.step(i)
+			}
+		})
+	}
+}

@@ -1,0 +1,83 @@
+package envelope
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/nfsproto"
+)
+
+func TestParseVersionName(t *testing.T) {
+	cases := []struct {
+		in   string
+		base string
+		idx  int
+		ok   bool
+	}{
+		{"foo", "foo", 0, false},
+		{"foo;1", "foo", 1, true},
+		{"foo;3", "foo", 3, true},
+		{"foo;0", "foo;0", 0, false},   // indexes are 1-based
+		{"foo;-2", "foo;-2", 0, false}, // negative is not a version
+		{"foo;bar", "foo;bar", 0, false},
+		{"foo;", "foo;", 0, false},
+		{"a;b;2", "a;b", 2, true}, // only the last qualifier counts
+		{";9", "", 9, true},
+		{"foo;999", "foo", 999, true},
+	}
+	for _, c := range cases {
+		base, idx, ok := parseVersionName(c.in)
+		if base != c.base || idx != c.idx || ok != c.ok {
+			t.Errorf("parseVersionName(%q) = (%q, %d, %v), want (%q, %d, %v)",
+				c.in, base, idx, ok, c.base, c.idx, c.ok)
+		}
+	}
+}
+
+// TestVersionLookupEdgeCases: lookups of version-qualified names on an
+// unforked file — only ";1" resolves; out-of-range indexes are NOENT, and
+// a literal file whose name contains a semicolon is still reachable.
+func TestVersionLookupEdgeCases(t *testing.T) {
+	ev := New(newLocalSegments(), Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := ev.InitRoot(ctx); err != nil {
+		t.Fatal(err)
+	}
+	root := ev.Root()
+
+	fh, _, st := ev.Create(ctx, root, "doc.txt", nfsproto.SAttr{Mode: nfsproto.NoValue})
+	if st != nfsproto.OK {
+		t.Fatalf("create: %v", st)
+	}
+	if _, st := ev.Write(ctx, fh, 0, []byte("v1")); st != nfsproto.OK {
+		t.Fatalf("write: %v", st)
+	}
+
+	// ";1" selects the only version.
+	h1, _, st := ev.Lookup(ctx, root, "doc.txt;1")
+	if st != nfsproto.OK {
+		t.Fatalf("lookup doc.txt;1: %v", st)
+	}
+	data, _, st := ev.Read(ctx, h1, 0, 16)
+	if st != nfsproto.OK || string(data) != "v1" {
+		t.Errorf("read ;1 = %q %v", data, st)
+	}
+
+	// Out-of-range version indexes do not resolve.
+	if _, _, st := ev.Lookup(ctx, root, "doc.txt;2"); st == nfsproto.OK {
+		t.Error("lookup doc.txt;2 resolved on an unforked file")
+	}
+	if _, _, st := ev.Lookup(ctx, root, "doc.txt;999"); st == nfsproto.OK {
+		t.Error("lookup doc.txt;999 resolved")
+	}
+
+	// A file literally named with a non-numeric ";suffix" is a plain name.
+	if _, _, st := ev.Create(ctx, root, "odd;name", nfsproto.SAttr{Mode: nfsproto.NoValue}); st != nfsproto.OK {
+		t.Fatalf("create odd;name: %v", st)
+	}
+	if _, _, st := ev.Lookup(ctx, root, "odd;name"); st != nfsproto.OK {
+		t.Errorf("lookup odd;name: %v", st)
+	}
+}

@@ -1,0 +1,185 @@
+package envelope
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nfsproto"
+	"repro/internal/simnet"
+	"repro/internal/testutil"
+)
+
+// forkedDirSetup produces the paper's hardest case (§3.6): a directory
+// replicated on two servers diverges across a partition under "high" write
+// availability, leaving two incomparable versions after the heal.
+func forkedDirSetup(t *testing.T) (cell *testutil.Cell, envs []*Envelope, dirH nfsproto.Handle) {
+	t.Helper()
+	cell = testutil.NewCell(3)
+	t.Cleanup(cell.Close)
+	envs = make([]*Envelope, 3)
+	params := core.DefaultParams()
+	params.Avail = core.AvailHigh
+	for i, nd := range cell.Nodes {
+		envs[i] = New(nd.Core, Options{DefaultParams: params})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := envs[0].InitRoot(ctx); err != nil {
+		t.Fatal(err)
+	}
+	root := envs[0].Root()
+
+	var st nfsproto.Status
+	dirH, _, st = envs[0].Mkdir(ctx, root, "shared", nfsproto.SAttr{Mode: nfsproto.NoValue})
+	if st != nfsproto.OK {
+		t.Fatalf("mkdir: %v", st)
+	}
+	seg, _, _ := UnpackHandle(dirH)
+	if err := cell.Nodes[0].Core.AddReplica(ctx, seg, 0, cell.IDs[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Also give the root a second replica so both sides stay operational.
+	if err := cell.Nodes[0].Core.AddReplica(ctx, RootSegID, 0, cell.IDs[1]); err != nil {
+		t.Fatal(err)
+	}
+	waitQuiet(t, cell.Nodes[0].Core, seg)
+
+	// Partition and create different files on each side.
+	cell.Net.Partition([]simnet.NodeID{"srv0", "srv2"}, []simnet.NodeID{"srv1"})
+	time.Sleep(300 * time.Millisecond)
+
+	mustCreate := func(ev *Envelope, name string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			cctx, ccancel := context.WithTimeout(context.Background(), 3*time.Second)
+			_, _, st := ev.Create(cctx, dirH, name, nfsproto.SAttr{Mode: nfsproto.NoValue})
+			ccancel()
+			if st == nfsproto.OK {
+				return
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		t.Fatalf("create %s never succeeded", name)
+	}
+	mustCreate(envs[0], "from-majority.txt")
+	mustCreate(envs[1], "from-minority.txt")
+
+	cell.Net.Heal()
+	// Wait until both sides converge on two versions of the directory.
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		ctx2, c2 := context.WithTimeout(context.Background(), 2*time.Second)
+		i0, e0 := cell.Nodes[0].Core.Stat(ctx2, seg)
+		i1, e1 := cell.Nodes[1].Core.Stat(ctx2, seg)
+		c2()
+		if e0 == nil && e1 == nil && len(i0.Versions) == 2 && len(i1.Versions) == 2 {
+			return cell, envs, dirH
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatal("directory never forked into two versions")
+	return
+}
+
+func waitQuiet(t *testing.T, s *core.Server, id core.SegID) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		info, err := s.Stat(ctx, id)
+		if err == nil {
+			quiet := true
+			for _, v := range info.Versions {
+				if v.Unstable {
+					quiet = false
+				}
+			}
+			if quiet {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("segment never quiesced")
+}
+
+// TestVersionQualifiedNamesAfterFork exercises §3.5's version syntax on a
+// genuinely forked directory: "shared;1" and "shared;2" list the two
+// incomparable versions.
+func TestVersionQualifiedNamesAfterFork(t *testing.T) {
+	_, envs, _ := forkedDirSetup(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	ev := envs[0]
+	root := ev.Root()
+
+	// Unqualified lookup resolves to the most recent available version.
+	_, _, st := ev.Lookup(ctx, root, "shared")
+	if st != nfsproto.OK {
+		t.Fatalf("unqualified lookup: %v", st)
+	}
+
+	// Each qualified version resolves and lists its own side's file.
+	sides := map[string]bool{}
+	for _, versioned := range []string{"shared;1", "shared;2"} {
+		vh, attr, st := ev.Lookup(ctx, root, versioned)
+		if st != nfsproto.OK {
+			t.Fatalf("lookup %s: %v", versioned, st)
+		}
+		if attr.Type != nfsproto.TypeDir {
+			t.Errorf("%s type = %v", versioned, attr.Type)
+		}
+		res, st := ev.Readdir(ctx, vh, 0, 8192)
+		if st != nfsproto.OK {
+			t.Fatalf("readdir %s: %v", versioned, st)
+		}
+		for _, e := range res.Entries {
+			sides[e.Name] = true
+		}
+	}
+	if !sides["from-majority.txt"] || !sides["from-minority.txt"] {
+		t.Errorf("forked listings missing a side: %v", sides)
+	}
+}
+
+// TestReconcileDirMergesForkedVersions exercises the §2.1 "reconcile
+// directory versions" special command: after reconciliation one version
+// remains, containing both sides' files.
+func TestReconcileDirMergesForkedVersions(t *testing.T) {
+	cell, envs, dirH := forkedDirSetup(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	ev := envs[0]
+
+	merged, st := ev.ReconcileDir(ctx, dirH)
+	if st != nfsproto.OK {
+		t.Fatalf("reconcile: %v", st)
+	}
+	if merged == 0 {
+		t.Error("reconcile merged nothing")
+	}
+
+	seg, _, _ := UnpackHandle(dirH)
+	info, err := cell.Nodes[0].Core.Stat(ctx, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Versions) != 1 {
+		t.Errorf("versions after reconcile = %d, want 1", len(info.Versions))
+	}
+	res, st := ev.Readdir(ctx, dirH, 0, 8192)
+	if st != nfsproto.OK {
+		t.Fatalf("readdir: %v", st)
+	}
+	names := map[string]bool{}
+	for _, e := range res.Entries {
+		names[e.Name] = true
+	}
+	if !names["from-majority.txt"] || !names["from-minority.txt"] {
+		t.Errorf("reconciled dir missing a side: %v", names)
+	}
+}

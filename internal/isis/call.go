@@ -1,0 +1,167 @@
+package isis
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/simnet"
+)
+
+// Call tracks the replies to one cast. The caller can wait synchronously for
+// the first k replies and continue observing later replies — the Deceit
+// token holder uses this to return to the client after the write safety
+// level is met while still counting all replies for replica maintenance
+// (§3.1, §3.3).
+type Call struct {
+	mu        sync.Mutex
+	replies   []Reply
+	replied   map[simnet.NodeID]bool
+	expected  map[simnet.NodeID]bool // nil until the cast is sequenced
+	sequenced bool
+	err       error
+	completed bool
+	doneCh    chan struct{}
+	update    chan struct{}
+}
+
+func newCall() *Call {
+	return &Call{
+		replied: make(map[simnet.NodeID]bool),
+		doneCh:  make(chan struct{}),
+		update:  make(chan struct{}),
+	}
+}
+
+// notifyLocked wakes all waiters. Caller holds c.mu.
+func (c *Call) notifyLocked() {
+	close(c.update)
+	c.update = make(chan struct{})
+}
+
+func (c *Call) completeLocked() {
+	if !c.completed {
+		c.completed = true
+		close(c.doneCh)
+	}
+}
+
+// addReply records one member's reply. Duplicates are ignored.
+func (c *Call) addReply(from simnet.NodeID, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.replied[from] || c.completed && c.err != nil {
+		return
+	}
+	c.replied[from] = true
+	c.replies = append(c.replies, Reply{From: from, Data: data})
+	if c.expected != nil {
+		delete(c.expected, from)
+		if len(c.expected) == 0 {
+			c.completeLocked()
+		}
+	}
+	c.notifyLocked()
+}
+
+// setSequenced records the membership of the view in which the cast was
+// sequenced; exactly those members are expected to reply.
+func (c *Call) setSequenced(members []simnet.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sequenced {
+		return
+	}
+	c.sequenced = true
+	c.expected = make(map[simnet.NodeID]bool, len(members))
+	for _, m := range members {
+		if !c.replied[m] {
+			c.expected[m] = true
+		}
+	}
+	if len(c.expected) == 0 {
+		c.completeLocked()
+	}
+	c.notifyLocked()
+}
+
+// memberGone records that a member failed and will never reply.
+func (c *Call) memberGone(id simnet.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.expected == nil {
+		return
+	}
+	delete(c.expected, id)
+	if len(c.expected) == 0 {
+		c.completeLocked()
+	}
+	c.notifyLocked()
+}
+
+// fail terminates the call with an error (e.g. the group dissolved).
+func (c *Call) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.completed {
+		return
+	}
+	c.err = err
+	c.completeLocked()
+	c.notifyLocked()
+}
+
+// Done is closed when every expected member has replied, failed, or the
+// call was aborted.
+func (c *Call) Done() <-chan struct{} { return c.doneCh }
+
+// Replies returns a snapshot of the replies received so far.
+func (c *Call) Replies() []Reply {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Reply, len(c.replies))
+	copy(out, c.replies)
+	return out
+}
+
+// Err returns the call's terminal error, if any.
+func (c *Call) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Wait blocks until k replies have arrived (All = every live member), the
+// call completes with fewer live members than k, or ctx expires. It returns
+// the replies received so far. A write safety level greater than the number
+// of available replicas therefore degrades to fully synchronous, as §4
+// specifies, instead of hanging.
+func (c *Call) Wait(ctx context.Context, k int) ([]Reply, error) {
+	for {
+		c.mu.Lock()
+		if c.err != nil {
+			err := c.err
+			c.mu.Unlock()
+			return nil, err
+		}
+		n := len(c.replies)
+		done := c.completed
+		satisfied := done
+		if k >= 0 && n >= k {
+			satisfied = true
+		}
+		if satisfied {
+			out := make([]Reply, n)
+			copy(out, c.replies)
+			c.mu.Unlock()
+			return out, nil
+		}
+		ch := c.update
+		c.mu.Unlock()
+		select {
+		case <-ch:
+		case <-c.doneCh:
+		case <-ctx.Done():
+			return c.Replies(), ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package isis implements the process-group toolkit Deceit is built on,
+// modeled on the ISIS Distributed Programming Environment (Birman & Joseph)
+// that the paper uses for "all communication and process group management"
+// (§2.4). It provides:
+//
+//   - named process groups with virtually synchronous membership views;
+//   - totally ordered group broadcast with synchronous reply collection
+//     (the paper's "communication round");
+//   - atomic group membership change on join, leave, and failure;
+//   - state transfer to joining members;
+//   - failure and partition detection via heartbeats;
+//   - group location by name within a cell; and
+//   - partition-heal detection with side dissolution and reconciling
+//     rejoin, which is what lets the Deceit segment layer discover
+//     divergent file versions after a partition (§3.5–§3.6).
+//
+// Total order is provided by a coordinator/sequencer: the oldest member of
+// the view sequences all casts. When the coordinator fails, the next
+// surviving member runs a recovery round that re-disseminates any sequenced
+// messages some survivors lack, preserving virtual synchrony: every member
+// observes the same sequence of message deliveries and view changes.
+//
+// Concurrency contract: application callbacks (App) are invoked on a single
+// per-group delivery goroutine, so they never race with each other. A
+// callback must not synchronously wait on a Cast issued from inside itself
+// (the delivery goroutine would deadlock waiting for its own delivery);
+// follow-up casts must be issued with CastAsync or from a separate
+// goroutine.
+package isis
+
+import (
+	"context"
+	"errors"
+	"log"
+	"sort"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// All requests replies from every member of the view. See Group.Cast.
+const All = -1
+
+// Errors returned by group operations.
+var (
+	ErrNoSuchGroup = errors.New("isis: no member of group found in cell")
+	ErrNotMember   = errors.New("isis: not a member of the group")
+	ErrDissolved   = errors.New("isis: group view dissolved (partition merge)")
+	ErrClosed      = errors.New("isis: process closed")
+)
+
+// View is a group membership view. Members are ordered by join time; the
+// first member is the coordinator/sequencer.
+type View struct {
+	ID      uint64
+	Members []simnet.NodeID
+}
+
+// Coordinator returns the sequencing member of the view.
+func (v View) Coordinator() simnet.NodeID {
+	if len(v.Members) == 0 {
+		return ""
+	}
+	return v.Members[0]
+}
+
+// Contains reports whether id is a member of the view.
+func (v View) Contains(id simnet.NodeID) bool {
+	for _, m := range v.Members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the view.
+func (v View) Clone() View {
+	out := View{ID: v.ID, Members: make([]simnet.NodeID, len(v.Members))}
+	copy(out.Members, v.Members)
+	return out
+}
+
+// ViewReason explains why a view change was delivered.
+type ViewReason int
+
+// View change reasons.
+const (
+	ReasonJoin ViewReason = iota + 1
+	ReasonLeave
+	ReasonFailure
+	ReasonMerge    // this process just (re)joined via a reconciling join
+	ReasonDissolve // this side lost a partition-heal comparison; rejoin follows
+)
+
+func (r ViewReason) String() string {
+	switch r {
+	case ReasonJoin:
+		return "join"
+	case ReasonLeave:
+		return "leave"
+	case ReasonFailure:
+		return "failure"
+	case ReasonMerge:
+		return "merge"
+	case ReasonDissolve:
+		return "dissolve"
+	default:
+		return "unknown"
+	}
+}
+
+// Reply is one member's response to a cast.
+type Reply struct {
+	From simnet.NodeID
+	Data []byte
+}
+
+// App is the application attached to a group: the Deceit segment server
+// attaches one App per file group. All methods are called from the group's
+// delivery goroutine.
+type App interface {
+	// Deliver is called for each totally ordered cast, in the same order at
+	// every member. The returned bytes are sent back to the cast's origin as
+	// this member's reply (nil is a valid reply).
+	Deliver(from simnet.NodeID, payload []byte) []byte
+	// ViewChange announces a new membership view.
+	ViewChange(v View, reason ViewReason)
+	// Snapshot serializes group state for transfer to a joining member. It
+	// is called on the coordinator after a flush, so it reflects every
+	// message delivered so far.
+	Snapshot() []byte
+	// Restore installs a snapshot on a fresh joiner.
+	Restore(snap []byte)
+	// Merge reconciles a snapshot received during a partition-heal rejoin:
+	// unlike Restore it must not discard local state, because both sides
+	// may hold divergent file versions that Deceit must preserve (§3.6).
+	Merge(snap []byte)
+}
+
+// Options configures a Process. Zero values select defaults suited to
+// in-process simulation; real deployments should raise the timeouts.
+type Options struct {
+	// HeartbeatInterval is how often liveness beacons are sent to
+	// co-members. Default 25ms.
+	HeartbeatInterval time.Duration
+	// SuspectTimeout is how long a silent co-member is tolerated before a
+	// failure is reported. Default 8 heartbeat intervals.
+	SuspectTimeout time.Duration
+	// RetransInterval drives retransmission of unacknowledged protocol
+	// messages. Default 2 heartbeat intervals.
+	RetransInterval time.Duration
+	// ProbeInterval is how often coordinators probe members lost to
+	// suspected partitions, to detect heals. Default 10 heartbeat intervals.
+	ProbeInterval time.Duration
+	// Logger receives protocol diagnostics; nil disables logging.
+	Logger *log.Logger
+}
+
+func (o *Options) fill() {
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 25 * time.Millisecond
+	}
+	if o.SuspectTimeout <= 0 {
+		o.SuspectTimeout = 8 * o.HeartbeatInterval
+	}
+	if o.RetransInterval <= 0 {
+		o.RetransInterval = 2 * o.HeartbeatInterval
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 10 * o.HeartbeatInterval
+	}
+}
+
+// Lookup finds the current members of a named group by querying the cell
+// peers. It returns ErrNoSuchGroup if no peer admits membership before the
+// context expires.
+func (p *Process) Lookup(ctx context.Context, name string) ([]simnet.NodeID, error) {
+	ch := make(chan []simnet.NodeID, 1)
+	id := p.registerLookup(name, ch)
+	defer p.unregisterLookup(id)
+
+	req := &env{Kind: kLookupReq, Group: name, MsgID: id}
+	data := encodeEnv(req)
+	tick := time.NewTicker(p.opt.RetransInterval * 2)
+	defer tick.Stop()
+	for {
+		for _, peer := range p.Peers() {
+			if peer != p.ID() {
+				_ = p.tr.Send(peer, data)
+			}
+		}
+		select {
+		case members := <-ch:
+			return members, nil
+		case <-tick.C:
+		case <-ctx.Done():
+			return nil, ErrNoSuchGroup
+		case <-p.done:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// sortNodeIDs sorts a slice of node ids lexicographically (used only where
+// a deterministic order is needed, never for view order, which is by join
+// time).
+func sortNodeIDs(ids []simnet.NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,667 @@
+// Package nfsproto defines the NFS version 2 and MOUNT version 1 wire
+// protocols (RFC 1094) that Deceit serves. "Deceit can behave like a plain
+// Sun Network File System server and can be used by any NFS client without
+// modifying any client software" (abstract); these are the exact XDR types
+// those clients exchange.
+package nfsproto
+
+import (
+	"repro/internal/xdr"
+)
+
+// Program numbers and versions.
+const (
+	NFSProgram   = 100003
+	NFSVersion   = 2
+	MountProgram = 100005
+	MountVersion = 1
+)
+
+// NFSv2 procedure numbers (RFC 1094 §2.2).
+const (
+	ProcNull       = 0
+	ProcGetattr    = 1
+	ProcSetattr    = 2
+	ProcRoot       = 3 // obsolete
+	ProcLookup     = 4
+	ProcReadlink   = 5
+	ProcRead       = 6
+	ProcWritecache = 7 // unused
+	ProcWrite      = 8
+	ProcCreate     = 9
+	ProcRemove     = 10
+	ProcRename     = 11
+	ProcLink       = 12
+	ProcSymlink    = 13
+	ProcMkdir      = 14
+	ProcRmdir      = 15
+	ProcReaddir    = 16
+	ProcStatfs     = 17
+)
+
+// MOUNT procedure numbers (RFC 1094 Appendix A).
+const (
+	MountProcNull    = 0
+	MountProcMnt     = 1
+	MountProcDump    = 2
+	MountProcUmnt    = 3
+	MountProcUmntAll = 4
+	MountProcExport  = 5
+)
+
+// Status is an NFS status code (RFC 1094 §2.3.1).
+type Status uint32
+
+// NFS status codes.
+const (
+	OK             Status = 0
+	ErrPerm        Status = 1
+	ErrNoEnt       Status = 2
+	ErrIO          Status = 5
+	ErrNXIO        Status = 6
+	ErrAcces       Status = 13
+	ErrExist       Status = 17
+	ErrNoDev       Status = 19
+	ErrNotDir      Status = 20
+	ErrIsDir       Status = 21
+	ErrFBig        Status = 27
+	ErrNoSpc       Status = 28
+	ErrROFS        Status = 30
+	ErrNameTooLong Status = 63
+	ErrNotEmpty    Status = 66
+	ErrDQuot       Status = 69
+	ErrStale       Status = 70
+	ErrWFlush      Status = 99
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "NFS_OK"
+	case ErrPerm:
+		return "NFSERR_PERM"
+	case ErrNoEnt:
+		return "NFSERR_NOENT"
+	case ErrIO:
+		return "NFSERR_IO"
+	case ErrAcces:
+		return "NFSERR_ACCES"
+	case ErrExist:
+		return "NFSERR_EXIST"
+	case ErrNotDir:
+		return "NFSERR_NOTDIR"
+	case ErrIsDir:
+		return "NFSERR_ISDIR"
+	case ErrNoSpc:
+		return "NFSERR_NOSPC"
+	case ErrNameTooLong:
+		return "NFSERR_NAMETOOLONG"
+	case ErrNotEmpty:
+		return "NFSERR_NOTEMPTY"
+	case ErrStale:
+		return "NFSERR_STALE"
+	default:
+		return "NFSERR_IO"
+	}
+}
+
+// FType is an NFS file type.
+type FType uint32
+
+// File types (RFC 1094 §2.3.2).
+const (
+	TypeNon FType = 0
+	TypeReg FType = 1
+	TypeDir FType = 2
+	TypeBlk FType = 3
+	TypeChr FType = 4
+	TypeLnk FType = 5
+)
+
+// FHSize is the fixed size of an NFSv2 file handle.
+const FHSize = 32
+
+// Handle is an opaque NFS file handle. Deceit packs the segment id, the
+// major version, and a generation tag into it; clients treat it as opaque.
+type Handle [FHSize]byte
+
+// MarshalXDR implements xdr.Marshaler.
+func (h *Handle) MarshalXDR(e *xdr.Encoder) { e.FixedOpaque(h[:]) }
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (h *Handle) UnmarshalXDR(d *xdr.Decoder) error {
+	copy(h[:], d.FixedOpaque(FHSize))
+	return d.Err()
+}
+
+// Time is an NFS timestamp.
+type Time struct {
+	Sec  uint32
+	USec uint32
+}
+
+// NoTime is the "do not set" timestamp value in sattr.
+var NoTime = Time{Sec: 0xFFFFFFFF, USec: 0xFFFFFFFF}
+
+// MarshalXDR implements xdr.Marshaler.
+func (t *Time) MarshalXDR(e *xdr.Encoder) {
+	e.Uint32(t.Sec)
+	e.Uint32(t.USec)
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (t *Time) UnmarshalXDR(d *xdr.Decoder) error {
+	t.Sec = d.Uint32()
+	t.USec = d.Uint32()
+	return d.Err()
+}
+
+// FAttr is the fattr structure (RFC 1094 §2.3.5).
+type FAttr struct {
+	Type      FType
+	Mode      uint32
+	NLink     uint32
+	UID       uint32
+	GID       uint32
+	Size      uint32
+	BlockSize uint32
+	RDev      uint32
+	Blocks    uint32
+	FSID      uint32
+	FileID    uint32
+	ATime     Time
+	MTime     Time
+	CTime     Time
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (a *FAttr) MarshalXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(a.Type))
+	e.Uint32(a.Mode)
+	e.Uint32(a.NLink)
+	e.Uint32(a.UID)
+	e.Uint32(a.GID)
+	e.Uint32(a.Size)
+	e.Uint32(a.BlockSize)
+	e.Uint32(a.RDev)
+	e.Uint32(a.Blocks)
+	e.Uint32(a.FSID)
+	e.Uint32(a.FileID)
+	a.ATime.MarshalXDR(e)
+	a.MTime.MarshalXDR(e)
+	a.CTime.MarshalXDR(e)
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (a *FAttr) UnmarshalXDR(d *xdr.Decoder) error {
+	a.Type = FType(d.Uint32())
+	a.Mode = d.Uint32()
+	a.NLink = d.Uint32()
+	a.UID = d.Uint32()
+	a.GID = d.Uint32()
+	a.Size = d.Uint32()
+	a.BlockSize = d.Uint32()
+	a.RDev = d.Uint32()
+	a.Blocks = d.Uint32()
+	a.FSID = d.Uint32()
+	a.FileID = d.Uint32()
+	if err := a.ATime.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	if err := a.MTime.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	return a.CTime.UnmarshalXDR(d)
+}
+
+// NoValue is the "do not set" field value in sattr.
+const NoValue = 0xFFFFFFFF
+
+// SAttr is the settable-attributes structure (RFC 1094 §2.3.6). Fields with
+// value NoValue (and times equal to NoTime) are left unchanged.
+type SAttr struct {
+	Mode  uint32
+	UID   uint32
+	GID   uint32
+	Size  uint32
+	ATime Time
+	MTime Time
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (a *SAttr) MarshalXDR(e *xdr.Encoder) {
+	e.Uint32(a.Mode)
+	e.Uint32(a.UID)
+	e.Uint32(a.GID)
+	e.Uint32(a.Size)
+	a.ATime.MarshalXDR(e)
+	a.MTime.MarshalXDR(e)
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (a *SAttr) UnmarshalXDR(d *xdr.Decoder) error {
+	a.Mode = d.Uint32()
+	a.UID = d.Uint32()
+	a.GID = d.Uint32()
+	a.Size = d.Uint32()
+	if err := a.ATime.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	return a.MTime.UnmarshalXDR(d)
+}
+
+// AttrStat is the common (status, fattr) reply.
+type AttrStat struct {
+	Status Status
+	Attr   FAttr
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (r *AttrStat) MarshalXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	if r.Status == OK {
+		r.Attr.MarshalXDR(e)
+	}
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (r *AttrStat) UnmarshalXDR(d *xdr.Decoder) error {
+	r.Status = Status(d.Uint32())
+	if r.Status == OK {
+		return r.Attr.UnmarshalXDR(d)
+	}
+	return d.Err()
+}
+
+// DirOpArgs names an entry in a directory.
+type DirOpArgs struct {
+	Dir  Handle
+	Name string
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (a *DirOpArgs) MarshalXDR(e *xdr.Encoder) {
+	a.Dir.MarshalXDR(e)
+	e.String(a.Name)
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (a *DirOpArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	if err := a.Dir.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	a.Name = d.String()
+	return d.Err()
+}
+
+// DirOpRes is the (status, handle, fattr) reply of lookup/create/mkdir.
+type DirOpRes struct {
+	Status Status
+	File   Handle
+	Attr   FAttr
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (r *DirOpRes) MarshalXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	if r.Status == OK {
+		r.File.MarshalXDR(e)
+		r.Attr.MarshalXDR(e)
+	}
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (r *DirOpRes) UnmarshalXDR(d *xdr.Decoder) error {
+	r.Status = Status(d.Uint32())
+	if r.Status == OK {
+		if err := r.File.UnmarshalXDR(d); err != nil {
+			return err
+		}
+		return r.Attr.UnmarshalXDR(d)
+	}
+	return d.Err()
+}
+
+// SAttrArgs are the setattr arguments.
+type SAttrArgs struct {
+	File Handle
+	Attr SAttr
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (a *SAttrArgs) MarshalXDR(e *xdr.Encoder) {
+	a.File.MarshalXDR(e)
+	a.Attr.MarshalXDR(e)
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (a *SAttrArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	if err := a.File.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	return a.Attr.UnmarshalXDR(d)
+}
+
+// ReadArgs are the read arguments.
+type ReadArgs struct {
+	File       Handle
+	Offset     uint32
+	Count      uint32
+	TotalCount uint32 // unused, per RFC
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (a *ReadArgs) MarshalXDR(e *xdr.Encoder) {
+	a.File.MarshalXDR(e)
+	e.Uint32(a.Offset)
+	e.Uint32(a.Count)
+	e.Uint32(a.TotalCount)
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (a *ReadArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	if err := a.File.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	a.Offset = d.Uint32()
+	a.Count = d.Uint32()
+	a.TotalCount = d.Uint32()
+	return d.Err()
+}
+
+// ReadRes is the read reply.
+type ReadRes struct {
+	Status Status
+	Attr   FAttr
+	Data   []byte
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (r *ReadRes) MarshalXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	if r.Status == OK {
+		r.Attr.MarshalXDR(e)
+		e.Opaque(r.Data)
+	}
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (r *ReadRes) UnmarshalXDR(d *xdr.Decoder) error {
+	r.Status = Status(d.Uint32())
+	if r.Status == OK {
+		if err := r.Attr.UnmarshalXDR(d); err != nil {
+			return err
+		}
+		r.Data = d.Opaque()
+	}
+	return d.Err()
+}
+
+// WriteArgs are the write arguments.
+type WriteArgs struct {
+	File        Handle
+	BeginOffset uint32 // unused, per RFC
+	Offset      uint32
+	TotalCount  uint32 // unused, per RFC
+	Data        []byte
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (a *WriteArgs) MarshalXDR(e *xdr.Encoder) {
+	a.File.MarshalXDR(e)
+	e.Uint32(a.BeginOffset)
+	e.Uint32(a.Offset)
+	e.Uint32(a.TotalCount)
+	e.Opaque(a.Data)
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (a *WriteArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	if err := a.File.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	a.BeginOffset = d.Uint32()
+	a.Offset = d.Uint32()
+	a.TotalCount = d.Uint32()
+	a.Data = d.Opaque()
+	return d.Err()
+}
+
+// CreateArgs are the create/mkdir arguments.
+type CreateArgs struct {
+	Where DirOpArgs
+	Attr  SAttr
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (a *CreateArgs) MarshalXDR(e *xdr.Encoder) {
+	a.Where.MarshalXDR(e)
+	a.Attr.MarshalXDR(e)
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (a *CreateArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	if err := a.Where.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	return a.Attr.UnmarshalXDR(d)
+}
+
+// RenameArgs are the rename arguments.
+type RenameArgs struct {
+	From DirOpArgs
+	To   DirOpArgs
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (a *RenameArgs) MarshalXDR(e *xdr.Encoder) {
+	a.From.MarshalXDR(e)
+	a.To.MarshalXDR(e)
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (a *RenameArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	if err := a.From.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	return a.To.UnmarshalXDR(d)
+}
+
+// LinkArgs are the link arguments.
+type LinkArgs struct {
+	From Handle
+	To   DirOpArgs
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (a *LinkArgs) MarshalXDR(e *xdr.Encoder) {
+	a.From.MarshalXDR(e)
+	a.To.MarshalXDR(e)
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (a *LinkArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	if err := a.From.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	return a.To.UnmarshalXDR(d)
+}
+
+// SymlinkArgs are the symlink arguments.
+type SymlinkArgs struct {
+	From DirOpArgs
+	To   string
+	Attr SAttr
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (a *SymlinkArgs) MarshalXDR(e *xdr.Encoder) {
+	a.From.MarshalXDR(e)
+	e.String(a.To)
+	a.Attr.MarshalXDR(e)
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (a *SymlinkArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	if err := a.From.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	a.To = d.String()
+	return a.Attr.UnmarshalXDR(d)
+}
+
+// ReadlinkRes is the readlink reply.
+type ReadlinkRes struct {
+	Status Status
+	Path   string
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (r *ReadlinkRes) MarshalXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	if r.Status == OK {
+		e.String(r.Path)
+	}
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (r *ReadlinkRes) UnmarshalXDR(d *xdr.Decoder) error {
+	r.Status = Status(d.Uint32())
+	if r.Status == OK {
+		r.Path = d.String()
+	}
+	return d.Err()
+}
+
+// ReaddirArgs are the readdir arguments. The cookie is opaque to clients.
+type ReaddirArgs struct {
+	Dir    Handle
+	Cookie uint32
+	Count  uint32
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (a *ReaddirArgs) MarshalXDR(e *xdr.Encoder) {
+	a.Dir.MarshalXDR(e)
+	e.Uint32(a.Cookie)
+	e.Uint32(a.Count)
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (a *ReaddirArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	if err := a.Dir.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	a.Cookie = d.Uint32()
+	a.Count = d.Uint32()
+	return d.Err()
+}
+
+// DirEntry is one readdir entry.
+type DirEntry struct {
+	FileID uint32
+	Name   string
+	Cookie uint32
+}
+
+// ReaddirRes is the readdir reply.
+type ReaddirRes struct {
+	Status  Status
+	Entries []DirEntry
+	EOF     bool
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (r *ReaddirRes) MarshalXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	if r.Status != OK {
+		return
+	}
+	for i := range r.Entries {
+		e.Bool(true) // entry follows
+		e.Uint32(r.Entries[i].FileID)
+		e.String(r.Entries[i].Name)
+		e.Uint32(r.Entries[i].Cookie)
+	}
+	e.Bool(false) // no more entries
+	e.Bool(r.EOF)
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (r *ReaddirRes) UnmarshalXDR(d *xdr.Decoder) error {
+	r.Status = Status(d.Uint32())
+	if r.Status != OK {
+		return d.Err()
+	}
+	r.Entries = nil
+	for d.Bool() {
+		var ent DirEntry
+		ent.FileID = d.Uint32()
+		ent.Name = d.String()
+		ent.Cookie = d.Uint32()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		r.Entries = append(r.Entries, ent)
+	}
+	r.EOF = d.Bool()
+	return d.Err()
+}
+
+// StatfsRes is the statfs reply.
+type StatfsRes struct {
+	Status Status
+	TSize  uint32 // optimal transfer size
+	BSize  uint32 // block size
+	Blocks uint32
+	BFree  uint32
+	BAvail uint32
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (r *StatfsRes) MarshalXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	if r.Status == OK {
+		e.Uint32(r.TSize)
+		e.Uint32(r.BSize)
+		e.Uint32(r.Blocks)
+		e.Uint32(r.BFree)
+		e.Uint32(r.BAvail)
+	}
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (r *StatfsRes) UnmarshalXDR(d *xdr.Decoder) error {
+	r.Status = Status(d.Uint32())
+	if r.Status == OK {
+		r.TSize = d.Uint32()
+		r.BSize = d.Uint32()
+		r.Blocks = d.Uint32()
+		r.BFree = d.Uint32()
+		r.BAvail = d.Uint32()
+	}
+	return d.Err()
+}
+
+// FHStatus is the MOUNT protocol's mount reply.
+type FHStatus struct {
+	Status uint32
+	Handle Handle
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (r *FHStatus) MarshalXDR(e *xdr.Encoder) {
+	e.Uint32(r.Status)
+	if r.Status == 0 {
+		r.Handle.MarshalXDR(e)
+	}
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (r *FHStatus) UnmarshalXDR(d *xdr.Decoder) error {
+	r.Status = d.Uint32()
+	if r.Status == 0 {
+		return r.Handle.UnmarshalXDR(d)
+	}
+	return d.Err()
+}

@@ -1,0 +1,182 @@
+package nfsproto
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xdr"
+)
+
+func roundTrip(t *testing.T, in interface {
+	xdr.Marshaler
+}, out xdr.Unmarshaler) {
+	t.Helper()
+	if err := xdr.UnmarshalStrict(xdr.Marshal(in), out); err != nil {
+		t.Fatalf("round trip %T: %v", in, err)
+	}
+}
+
+func TestFAttrRoundTrip(t *testing.T) {
+	in := &FAttr{
+		Type: TypeReg, Mode: 0o644, NLink: 2, UID: 10, GID: 20,
+		Size: 12345, BlockSize: 4096, Blocks: 4, FSID: 7, FileID: 99,
+		ATime: Time{1, 2}, MTime: Time{3, 4}, CTime: Time{5, 6},
+	}
+	var out FAttr
+	roundTrip(t, in, &out)
+	if out != *in {
+		t.Errorf("FAttr: %+v != %+v", out, *in)
+	}
+}
+
+func TestAttrStatErrorOmitsBody(t *testing.T) {
+	in := &AttrStat{Status: ErrNoEnt}
+	data := xdr.Marshal(in)
+	if len(data) != 4 {
+		t.Errorf("error attrstat = %d bytes, want 4", len(data))
+	}
+	var out AttrStat
+	roundTrip(t, in, &out)
+	if out.Status != ErrNoEnt {
+		t.Errorf("status = %v", out.Status)
+	}
+}
+
+func TestDirOpRoundTrips(t *testing.T) {
+	var h Handle
+	copy(h[:], "handle-bytes")
+	in := &DirOpArgs{Dir: h, Name: "file.txt"}
+	var out DirOpArgs
+	roundTrip(t, in, &out)
+	if out.Dir != h || out.Name != "file.txt" {
+		t.Errorf("DirOpArgs: %+v", out)
+	}
+
+	res := &DirOpRes{Status: OK, File: h, Attr: FAttr{Type: TypeDir, FileID: 3}}
+	var outRes DirOpRes
+	roundTrip(t, res, &outRes)
+	if outRes.File != h || outRes.Attr.FileID != 3 {
+		t.Errorf("DirOpRes: %+v", outRes)
+	}
+}
+
+func TestReadWriteArgs(t *testing.T) {
+	var h Handle
+	h[0] = 0xAA
+	r := &ReadArgs{File: h, Offset: 100, Count: 4096}
+	var rOut ReadArgs
+	roundTrip(t, r, &rOut)
+	if rOut != *r {
+		t.Errorf("ReadArgs: %+v", rOut)
+	}
+
+	w := &WriteArgs{File: h, Offset: 8, Data: []byte("payload")}
+	var wOut WriteArgs
+	roundTrip(t, w, &wOut)
+	if wOut.Offset != 8 || string(wOut.Data) != "payload" {
+		t.Errorf("WriteArgs: %+v", wOut)
+	}
+
+	rr := &ReadRes{Status: OK, Attr: FAttr{Size: 7}, Data: []byte("content")}
+	var rrOut ReadRes
+	roundTrip(t, rr, &rrOut)
+	if string(rrOut.Data) != "content" || rrOut.Attr.Size != 7 {
+		t.Errorf("ReadRes: %+v", rrOut)
+	}
+}
+
+func TestReaddirEntries(t *testing.T) {
+	in := &ReaddirRes{
+		Status: OK,
+		Entries: []DirEntry{
+			{FileID: 1, Name: ".", Cookie: 1},
+			{FileID: 2, Name: "..", Cookie: 2},
+			{FileID: 77, Name: "report;3", Cookie: 3},
+		},
+		EOF: true,
+	}
+	var out ReaddirRes
+	roundTrip(t, in, &out)
+	if len(out.Entries) != 3 || out.Entries[2].Name != "report;3" || !out.EOF {
+		t.Errorf("ReaddirRes: %+v", out)
+	}
+
+	empty := &ReaddirRes{Status: OK, EOF: false}
+	var outEmpty ReaddirRes
+	roundTrip(t, empty, &outEmpty)
+	if len(outEmpty.Entries) != 0 || outEmpty.EOF {
+		t.Errorf("empty ReaddirRes: %+v", outEmpty)
+	}
+}
+
+func TestSymlinkRenameLink(t *testing.T) {
+	var h, h2 Handle
+	h[3], h2[5] = 1, 2
+	sl := &SymlinkArgs{From: DirOpArgs{Dir: h, Name: "ln"}, To: "/target/path", Attr: SAttr{Mode: NoValue}}
+	var slOut SymlinkArgs
+	roundTrip(t, sl, &slOut)
+	if slOut.To != "/target/path" || slOut.From.Name != "ln" {
+		t.Errorf("SymlinkArgs: %+v", slOut)
+	}
+
+	rn := &RenameArgs{From: DirOpArgs{Dir: h, Name: "a"}, To: DirOpArgs{Dir: h2, Name: "b"}}
+	var rnOut RenameArgs
+	roundTrip(t, rn, &rnOut)
+	if rnOut.From.Name != "a" || rnOut.To.Name != "b" || rnOut.To.Dir != h2 {
+		t.Errorf("RenameArgs: %+v", rnOut)
+	}
+
+	ln := &LinkArgs{From: h, To: DirOpArgs{Dir: h2, Name: "hard"}}
+	var lnOut LinkArgs
+	roundTrip(t, ln, &lnOut)
+	if lnOut.From != h || lnOut.To.Name != "hard" {
+		t.Errorf("LinkArgs: %+v", lnOut)
+	}
+}
+
+func TestStatfsAndFHStatus(t *testing.T) {
+	sf := &StatfsRes{Status: OK, TSize: 8192, BSize: 4096, Blocks: 1000, BFree: 500, BAvail: 400}
+	var sfOut StatfsRes
+	roundTrip(t, sf, &sfOut)
+	if sfOut != *sf {
+		t.Errorf("StatfsRes: %+v", sfOut)
+	}
+
+	var h Handle
+	h[31] = 9
+	fh := &FHStatus{Status: 0, Handle: h}
+	var fhOut FHStatus
+	roundTrip(t, fh, &fhOut)
+	if fhOut.Handle != h {
+		t.Errorf("FHStatus: %+v", fhOut)
+	}
+	// Error status carries no handle.
+	fhErr := &FHStatus{Status: 13}
+	if len(xdr.Marshal(fhErr)) != 4 {
+		t.Error("error FHStatus encoded a handle")
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	if OK.String() != "NFS_OK" || ErrStale.String() != "NFSERR_STALE" {
+		t.Error("status strings wrong")
+	}
+	if Status(1234).String() != "NFSERR_IO" {
+		t.Error("unknown status should default to NFSERR_IO")
+	}
+}
+
+// Property: arbitrary handles and names survive DirOpArgs round trips.
+func TestQuickDirOpArgs(t *testing.T) {
+	f := func(raw [FHSize]byte, name string) bool {
+		in := &DirOpArgs{Dir: Handle(raw), Name: name}
+		var out DirOpArgs
+		if err := xdr.UnmarshalStrict(xdr.Marshal(in), &out); err != nil {
+			return false
+		}
+		return out.Dir == in.Dir && out.Name == in.Name
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,335 @@
+package server
+
+import (
+	"repro/internal/core"
+	"repro/internal/envelope"
+	"repro/internal/nfsproto"
+	"repro/internal/simnet"
+	"repro/internal/sunrpc"
+	"repro/internal/xdr"
+)
+
+// The Deceit control program carries the paper's special commands (§2.1):
+// "special commands are provided to list all versions of a file, locate all
+// replicas of a file, modify file parameters, reconcile directory versions,
+// and provide other functions." It is an ordinary Sun RPC program served
+// alongside NFS, which is how unmodified NFS clients coexist with
+// Deceit-aware tools.
+const (
+	// CtlProgram is the RPC program number of the control service.
+	CtlProgram = 200195
+	// CtlVersion is its version.
+	CtlVersion = 1
+)
+
+// Control procedures.
+const (
+	CtlNull          = 0
+	CtlStat          = 1 // handle -> versions, replicas, holders, params
+	CtlSetParams     = 2 // handle, params
+	CtlGetParams     = 3 // handle -> params
+	CtlAddReplica    = 4 // handle, version index, server
+	CtlRemoveReplica = 5 // handle, version index, server
+	CtlConflicts     = 6 // -> conflict log entries
+	CtlServerInfo    = 7 // -> server id, peer list
+	CtlReconcileDir  = 8 // handle -> merged entry count ("reconcile directory versions")
+)
+
+// CtlParams is the XDR shape of core.Params.
+type CtlParams struct {
+	MinReplicas uint32
+	WriteSafety uint32
+	Stability   bool
+	Migration   bool
+	Avail       uint32
+	MaxReplicas uint32
+	HotRead     bool
+}
+
+// FromCore converts core.Params.
+func (p *CtlParams) FromCore(c core.Params) {
+	p.MinReplicas = uint32(c.MinReplicas)
+	p.WriteSafety = uint32(c.WriteSafety)
+	p.Stability = c.Stability
+	p.Migration = c.Migration
+	p.Avail = uint32(c.Avail)
+	p.MaxReplicas = uint32(c.MaxReplicas)
+	p.HotRead = c.HotRead
+}
+
+// ToCore converts back.
+func (p *CtlParams) ToCore() core.Params {
+	return core.Params{
+		MinReplicas: int(p.MinReplicas),
+		WriteSafety: int(p.WriteSafety),
+		Stability:   p.Stability,
+		Migration:   p.Migration,
+		Avail:       core.Availability(p.Avail),
+		MaxReplicas: int(p.MaxReplicas),
+		HotRead:     p.HotRead,
+	}
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (p *CtlParams) MarshalXDR(e *xdr.Encoder) {
+	e.Uint32(p.MinReplicas)
+	e.Uint32(p.WriteSafety)
+	e.Bool(p.Stability)
+	e.Bool(p.Migration)
+	e.Uint32(p.Avail)
+	e.Uint32(p.MaxReplicas)
+	e.Bool(p.HotRead)
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (p *CtlParams) UnmarshalXDR(d *xdr.Decoder) error {
+	p.MinReplicas = d.Uint32()
+	p.WriteSafety = d.Uint32()
+	p.Stability = d.Bool()
+	p.Migration = d.Bool()
+	p.Avail = d.Uint32()
+	p.MaxReplicas = d.Uint32()
+	p.HotRead = d.Bool()
+	return d.Err()
+}
+
+// CtlVersionInfo describes one version in a CtlStat reply.
+type CtlVersionInfo struct {
+	Index    uint32 // 1-based; "foo;N" selects index N (§3.5)
+	Major    uint64
+	PairSub  uint64
+	Holder   string
+	Unstable bool
+	Current  bool
+	Size     uint64
+	Replicas []string
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (v *CtlVersionInfo) MarshalXDR(e *xdr.Encoder) {
+	e.Uint32(v.Index)
+	e.Uint64(v.Major)
+	e.Uint64(v.PairSub)
+	e.String(v.Holder)
+	e.Bool(v.Unstable)
+	e.Bool(v.Current)
+	e.Uint64(v.Size)
+	e.Uint32(uint32(len(v.Replicas)))
+	for _, r := range v.Replicas {
+		e.String(r)
+	}
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (v *CtlVersionInfo) UnmarshalXDR(d *xdr.Decoder) error {
+	v.Index = d.Uint32()
+	v.Major = d.Uint64()
+	v.PairSub = d.Uint64()
+	v.Holder = d.String()
+	v.Unstable = d.Bool()
+	v.Current = d.Bool()
+	v.Size = d.Uint64()
+	n := d.Uint32()
+	for i := uint32(0); i < n && i < 1024; i++ {
+		v.Replicas = append(v.Replicas, d.String())
+	}
+	return d.Err()
+}
+
+// CtlStatRes is the CtlStat reply.
+type CtlStatRes struct {
+	Status   uint32
+	Params   CtlParams
+	Versions []CtlVersionInfo
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (r *CtlStatRes) MarshalXDR(e *xdr.Encoder) {
+	e.Uint32(r.Status)
+	if r.Status != 0 {
+		return
+	}
+	r.Params.MarshalXDR(e)
+	e.Uint32(uint32(len(r.Versions)))
+	for i := range r.Versions {
+		r.Versions[i].MarshalXDR(e)
+	}
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (r *CtlStatRes) UnmarshalXDR(d *xdr.Decoder) error {
+	r.Status = d.Uint32()
+	if r.Status != 0 {
+		return d.Err()
+	}
+	if err := r.Params.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	n := d.Uint32()
+	for i := uint32(0); i < n && i < 4096; i++ {
+		var v CtlVersionInfo
+		if err := v.UnmarshalXDR(d); err != nil {
+			return err
+		}
+		r.Versions = append(r.Versions, v)
+	}
+	return d.Err()
+}
+
+func (s *Server) handleCtl(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, sunrpc.AcceptStat) {
+	ctx, cancel := s.opCtx()
+	defer cancel()
+	switch proc {
+	case CtlNull:
+		return nil, sunrpc.Success
+
+	case CtlStat:
+		var h nfsproto.Handle
+		if err := xdr.Unmarshal(args, &h); err != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		seg, _, ok := envelope.UnpackHandle(h)
+		if !ok {
+			return xdr.Marshal(&CtlStatRes{Status: uint32(nfsproto.ErrStale)}), sunrpc.Success
+		}
+		info, err := s.core.Stat(ctx, seg)
+		if err != nil {
+			return xdr.Marshal(&CtlStatRes{Status: uint32(nfsproto.ErrIO)}), sunrpc.Success
+		}
+		res := CtlStatRes{}
+		res.Params.FromCore(info.Params)
+		for i, v := range info.Versions {
+			cv := CtlVersionInfo{
+				Index:    uint32(i + 1),
+				Major:    v.Major,
+				PairSub:  v.Pair.Sub,
+				Holder:   string(v.Holder),
+				Unstable: v.Unstable,
+				Current:  v.Major == info.Current,
+				Size:     uint64(max64(v.Size-4096, 0)),
+			}
+			for _, r := range v.Replicas {
+				cv.Replicas = append(cv.Replicas, string(r))
+			}
+			res.Versions = append(res.Versions, cv)
+		}
+		return xdr.Marshal(&res), sunrpc.Success
+
+	case CtlSetParams:
+		d := xdr.NewDecoder(args)
+		var h nfsproto.Handle
+		if err := h.UnmarshalXDR(d); err != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		var p CtlParams
+		if err := p.UnmarshalXDR(d); err != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		seg, _, ok := envelope.UnpackHandle(h)
+		if !ok {
+			return statusReply(nfsproto.ErrStale), sunrpc.Success
+		}
+		if err := s.core.SetParams(ctx, seg, p.ToCore()); err != nil {
+			return statusReply(nfsproto.ErrIO), sunrpc.Success
+		}
+		return statusReply(nfsproto.OK), sunrpc.Success
+
+	case CtlGetParams:
+		var h nfsproto.Handle
+		if err := xdr.Unmarshal(args, &h); err != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		seg, _, ok := envelope.UnpackHandle(h)
+		if !ok {
+			return statusReply(nfsproto.ErrStale), sunrpc.Success
+		}
+		params, err := s.core.GetParams(ctx, seg)
+		if err != nil {
+			return statusReply(nfsproto.ErrIO), sunrpc.Success
+		}
+		e := xdr.NewEncoder(nil)
+		e.Uint32(uint32(nfsproto.OK))
+		var p CtlParams
+		p.FromCore(params)
+		p.MarshalXDR(e)
+		return e.Bytes(), sunrpc.Success
+
+	case CtlAddReplica, CtlRemoveReplica:
+		d := xdr.NewDecoder(args)
+		var h nfsproto.Handle
+		if err := h.UnmarshalXDR(d); err != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		idx := d.Uint32()
+		target := d.String()
+		if d.Err() != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		seg, _, ok := envelope.UnpackHandle(h)
+		if !ok {
+			return statusReply(nfsproto.ErrStale), sunrpc.Success
+		}
+		major := uint64(0)
+		if idx > 0 {
+			info, err := s.core.Stat(ctx, seg)
+			if err != nil || int(idx) > len(info.Versions) {
+				return statusReply(nfsproto.ErrNoEnt), sunrpc.Success
+			}
+			major = info.Versions[idx-1].Major
+		}
+		var err error
+		if proc == CtlAddReplica {
+			err = s.core.AddReplica(ctx, seg, major, simnet.NodeID(target))
+		} else {
+			err = s.core.RemoveReplica(ctx, seg, major, simnet.NodeID(target))
+		}
+		if err != nil {
+			return statusReply(nfsproto.ErrIO), sunrpc.Success
+		}
+		return statusReply(nfsproto.OK), sunrpc.Success
+
+	case CtlConflicts:
+		// §3.6: conflicts are "logged into a well known file"; the control
+		// program is that well-known place in this implementation.
+		confs := s.core.Conflicts()
+		e := xdr.NewEncoder(nil)
+		e.Uint32(uint32(nfsproto.OK))
+		e.Uint32(uint32(len(confs)))
+		for _, c := range confs {
+			e.String(c.String())
+		}
+		return e.Bytes(), sunrpc.Success
+
+	case CtlReconcileDir:
+		var h nfsproto.Handle
+		if err := xdr.Unmarshal(args, &h); err != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		merged, st := s.env.ReconcileDir(ctx, h)
+		e := xdr.NewEncoder(nil)
+		e.Uint32(uint32(st))
+		e.Uint32(uint32(merged))
+		return e.Bytes(), sunrpc.Success
+
+	case CtlServerInfo:
+		e := xdr.NewEncoder(nil)
+		e.Uint32(uint32(nfsproto.OK))
+		e.String(string(s.ID()))
+		peers := s.proc.Peers()
+		e.Uint32(uint32(len(peers)))
+		for _, p := range peers {
+			e.String(string(p))
+		}
+		return e.Bytes(), sunrpc.Success
+
+	default:
+		return nil, sunrpc.ProcUnavail
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

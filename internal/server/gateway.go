@@ -1,0 +1,337 @@
+package server
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/nfsproto"
+	"repro/internal/sunrpc"
+	"repro/internal/xdr"
+)
+
+// gateway implements inter-cell access (§2.2): looking up "@host:port" in
+// any directory mounts the Deceit cell served at that address, exactly as
+// the paper's "cd /priv/global/foo.cs.mit.edu" makes the local cell act as
+// a client to the remote one. Handles minted by the gateway are translated
+// on every forwarded call; "mount and access restrictions are applied as
+// with any client."
+//
+// Gateway handles are valid for the lifetime of the gateway server process
+// (a restart invalidates them, like any NFS server reboot invalidates
+// client state that was never meant to be durable).
+type gateway struct {
+	mu      sync.Mutex
+	clients map[string]*sunrpc.Client
+	handles map[uint64]gwEntry
+	rev     map[gwEntry]uint64
+	next    uint64
+	closed  bool
+}
+
+type gwEntry struct {
+	addr   string
+	remote nfsproto.Handle
+}
+
+var gwMagic = [4]byte{'D', 'C', 'T', 'G'}
+
+func newGateway() *gateway {
+	return &gateway{
+		clients: make(map[string]*sunrpc.Client),
+		handles: make(map[uint64]gwEntry),
+		rev:     make(map[gwEntry]uint64),
+	}
+}
+
+func (g *gateway) close() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.closed = true
+	for _, c := range g.clients {
+		_ = c.Close()
+	}
+	g.clients = map[string]*sunrpc.Client{}
+}
+
+func (g *gateway) isGatewayHandle(h nfsproto.Handle) bool {
+	return [4]byte(h[0:4]) == gwMagic
+}
+
+// wrap mints (or reuses) a local handle for a remote one.
+func (g *gateway) wrap(addr string, remote nfsproto.Handle) nfsproto.Handle {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	key := gwEntry{addr: addr, remote: remote}
+	idx, ok := g.rev[key]
+	if !ok {
+		g.next++
+		idx = g.next
+		g.rev[key] = idx
+		g.handles[idx] = key
+	}
+	var h nfsproto.Handle
+	copy(h[0:4], gwMagic[:])
+	binary.BigEndian.PutUint64(h[4:12], idx)
+	return h
+}
+
+func (g *gateway) unwrap(h nfsproto.Handle) (string, nfsproto.Handle, bool) {
+	if !g.isGatewayHandle(h) {
+		return "", nfsproto.Handle{}, false
+	}
+	idx := binary.BigEndian.Uint64(h[4:12])
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ent, ok := g.handles[idx]
+	return ent.addr, ent.remote, ok
+}
+
+func (g *gateway) client(addr string) (*sunrpc.Client, error) {
+	g.mu.Lock()
+	if c, ok := g.clients[addr]; ok {
+		g.mu.Unlock()
+		return c, nil
+	}
+	g.mu.Unlock()
+	c, err := sunrpc.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		c.Close()
+		return nil, sunrpc.ErrClosed
+	}
+	if old, ok := g.clients[addr]; ok {
+		c.Close()
+		return old, nil
+	}
+	g.clients[addr] = c
+	return c, nil
+}
+
+// dropClient discards a broken connection so the next call re-dials.
+func (g *gateway) dropClient(addr string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.clients[addr]; ok {
+		c.Close()
+		delete(g.clients, addr)
+	}
+}
+
+// mount resolves "@addr": it mounts the remote cell and returns a lookup
+// result whose handle routes through the gateway.
+func (g *gateway) mount(addr string) *nfsproto.DirOpRes {
+	c, err := g.client(addr)
+	if err != nil {
+		return &nfsproto.DirOpRes{Status: nfsproto.ErrIO}
+	}
+	e := xdr.NewEncoder(nil)
+	e.String("/")
+	raw, err := c.Call(nfsproto.MountProgram, nfsproto.MountVersion, nfsproto.MountProcMnt, e.Bytes())
+	if err != nil {
+		g.dropClient(addr)
+		return &nfsproto.DirOpRes{Status: nfsproto.ErrIO}
+	}
+	var fhs nfsproto.FHStatus
+	if err := xdr.Unmarshal(raw, &fhs); err != nil || fhs.Status != 0 {
+		return &nfsproto.DirOpRes{Status: nfsproto.ErrIO}
+	}
+	local := g.wrap(addr, fhs.Handle)
+
+	// Fetch the remote root's attributes for a well-formed lookup reply.
+	attrRaw, err := c.Call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcGetattr, xdr.Marshal(&fhs.Handle))
+	if err != nil {
+		g.dropClient(addr)
+		return &nfsproto.DirOpRes{Status: nfsproto.ErrIO}
+	}
+	var as nfsproto.AttrStat
+	if err := xdr.Unmarshal(attrRaw, &as); err != nil || as.Status != nfsproto.OK {
+		return &nfsproto.DirOpRes{Status: nfsproto.ErrIO}
+	}
+	return &nfsproto.DirOpRes{Status: nfsproto.OK, File: local, Attr: as.Attr}
+}
+
+// forward relays one NFS call whose primary handle routes to a remote cell,
+// translating handles in both directions.
+func (g *gateway) forward(proc uint32, args []byte, primary nfsproto.Handle) ([]byte, sunrpc.AcceptStat) {
+	addr, _, ok := g.unwrap(primary)
+	if !ok {
+		return staleFor(proc), sunrpc.Success
+	}
+	remoteArgs, ok := g.translateArgs(proc, args, addr)
+	if !ok {
+		return staleFor(proc), sunrpc.Success
+	}
+	c, err := g.client(addr)
+	if err != nil {
+		return staleFor(proc), sunrpc.Success
+	}
+	raw, err := c.Call(nfsproto.NFSProgram, nfsproto.NFSVersion, proc, remoteArgs)
+	if err != nil {
+		g.dropClient(addr)
+		return staleFor(proc), sunrpc.Success
+	}
+	// Wrap any handle in the result.
+	switch proc {
+	case nfsproto.ProcLookup, nfsproto.ProcCreate, nfsproto.ProcMkdir:
+		var res nfsproto.DirOpRes
+		if err := xdr.Unmarshal(raw, &res); err != nil {
+			return staleFor(proc), sunrpc.Success
+		}
+		if res.Status == nfsproto.OK {
+			res.File = g.wrap(addr, res.File)
+		}
+		return xdr.Marshal(&res), sunrpc.Success
+	default:
+		return raw, sunrpc.Success
+	}
+}
+
+// translateArgs rewrites every gateway handle in args to its remote form.
+// All handles must target the same remote cell (cross-cell rename/link is
+// rejected, as in any NFS server pair).
+func (g *gateway) translateArgs(proc uint32, args []byte, addr string) ([]byte, bool) {
+	swap := func(h nfsproto.Handle) (nfsproto.Handle, bool) {
+		a, remote, ok := g.unwrap(h)
+		if !ok || a != addr {
+			return nfsproto.Handle{}, false
+		}
+		return remote, true
+	}
+	switch proc {
+	case nfsproto.ProcGetattr, nfsproto.ProcReadlink, nfsproto.ProcStatfs:
+		var h nfsproto.Handle
+		if xdr.Unmarshal(args, &h) != nil {
+			return nil, false
+		}
+		r, ok := swap(h)
+		if !ok {
+			return nil, false
+		}
+		return xdr.Marshal(&r), true
+	case nfsproto.ProcSetattr:
+		var a nfsproto.SAttrArgs
+		if xdr.Unmarshal(args, &a) != nil {
+			return nil, false
+		}
+		r, ok := swap(a.File)
+		if !ok {
+			return nil, false
+		}
+		a.File = r
+		return xdr.Marshal(&a), true
+	case nfsproto.ProcLookup, nfsproto.ProcRemove, nfsproto.ProcRmdir:
+		var a nfsproto.DirOpArgs
+		if xdr.Unmarshal(args, &a) != nil {
+			return nil, false
+		}
+		r, ok := swap(a.Dir)
+		if !ok {
+			return nil, false
+		}
+		a.Dir = r
+		return xdr.Marshal(&a), true
+	case nfsproto.ProcRead:
+		var a nfsproto.ReadArgs
+		if xdr.Unmarshal(args, &a) != nil {
+			return nil, false
+		}
+		r, ok := swap(a.File)
+		if !ok {
+			return nil, false
+		}
+		a.File = r
+		return xdr.Marshal(&a), true
+	case nfsproto.ProcWrite:
+		var a nfsproto.WriteArgs
+		if xdr.Unmarshal(args, &a) != nil {
+			return nil, false
+		}
+		r, ok := swap(a.File)
+		if !ok {
+			return nil, false
+		}
+		a.File = r
+		return xdr.Marshal(&a), true
+	case nfsproto.ProcCreate, nfsproto.ProcMkdir:
+		var a nfsproto.CreateArgs
+		if xdr.Unmarshal(args, &a) != nil {
+			return nil, false
+		}
+		r, ok := swap(a.Where.Dir)
+		if !ok {
+			return nil, false
+		}
+		a.Where.Dir = r
+		return xdr.Marshal(&a), true
+	case nfsproto.ProcRename:
+		var a nfsproto.RenameArgs
+		if xdr.Unmarshal(args, &a) != nil {
+			return nil, false
+		}
+		rf, ok1 := swap(a.From.Dir)
+		rt, ok2 := swap(a.To.Dir)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		a.From.Dir, a.To.Dir = rf, rt
+		return xdr.Marshal(&a), true
+	case nfsproto.ProcLink:
+		var a nfsproto.LinkArgs
+		if xdr.Unmarshal(args, &a) != nil {
+			return nil, false
+		}
+		rf, ok1 := swap(a.From)
+		rt, ok2 := swap(a.To.Dir)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		a.From, a.To.Dir = rf, rt
+		return xdr.Marshal(&a), true
+	case nfsproto.ProcSymlink:
+		var a nfsproto.SymlinkArgs
+		if xdr.Unmarshal(args, &a) != nil {
+			return nil, false
+		}
+		r, ok := swap(a.From.Dir)
+		if !ok {
+			return nil, false
+		}
+		a.From.Dir = r
+		return xdr.Marshal(&a), true
+	case nfsproto.ProcReaddir:
+		var a nfsproto.ReaddirArgs
+		if xdr.Unmarshal(args, &a) != nil {
+			return nil, false
+		}
+		r, ok := swap(a.Dir)
+		if !ok {
+			return nil, false
+		}
+		a.Dir = r
+		return xdr.Marshal(&a), true
+	default:
+		return nil, false
+	}
+}
+
+// staleFor builds a minimal NFSERR_STALE reply appropriate to the proc.
+func staleFor(proc uint32) []byte {
+	switch proc {
+	case nfsproto.ProcLookup, nfsproto.ProcCreate, nfsproto.ProcMkdir:
+		return xdr.Marshal(&nfsproto.DirOpRes{Status: nfsproto.ErrStale})
+	case nfsproto.ProcRead:
+		return xdr.Marshal(&nfsproto.ReadRes{Status: nfsproto.ErrStale})
+	case nfsproto.ProcReaddir:
+		return xdr.Marshal(&nfsproto.ReaddirRes{Status: nfsproto.ErrStale})
+	case nfsproto.ProcReadlink:
+		return xdr.Marshal(&nfsproto.ReadlinkRes{Status: nfsproto.ErrStale})
+	case nfsproto.ProcGetattr, nfsproto.ProcSetattr, nfsproto.ProcWrite:
+		return xdr.Marshal(&nfsproto.AttrStat{Status: nfsproto.ErrStale})
+	default:
+		return statusReply(nfsproto.ErrStale)
+	}
+}

@@ -1,0 +1,174 @@
+package server_test
+
+import (
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/nfsproto"
+	"repro/internal/server"
+)
+
+// TestGatewayFullOperationMix drives every NFS procedure the inter-cell
+// gateway translates (§2.2: "mount and access restrictions are applied as
+// with any client") through a remote cell: the full create/mkdir/rename/
+// link/symlink/remove life cycle plus attribute and statfs calls.
+func TestGatewayFullOperationMix(t *testing.T) {
+	cellA := newNFSCell(t, 1)
+	cellB := newNFSCell(t, 1)
+
+	agA, err := agent.Mount(cellA.Addrs(), agent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agA.Close()
+
+	remoteRoot, _, err := agA.Lookup(agA.Root(), server.GatewayPrefix+cellB.Nodes[0].Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mkdir + Create through the gateway.
+	dirH, _, err := agA.Mkdir(remoteRoot, "proj", noSA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileH, _, err := agA.Create(dirH, "notes.txt", noSA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agA.Write(fileH, 0, []byte("remote notes")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Getattr + Setattr (truncate) on the remote file.
+	attr, err := agA.Getattr(fileH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Size != 12 {
+		t.Errorf("remote size = %d", attr.Size)
+	}
+	sa := noSA()
+	sa.Size = 6
+	if _, err := agA.Setattr(fileH, sa); err != nil {
+		t.Fatal(err)
+	}
+	data, err := agA.Read(fileH, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "remote" {
+		t.Errorf("after remote truncate = %q", data)
+	}
+
+	// Hard link and rename across remote directories.
+	dir2H, _, err := agA.Mkdir(remoteRoot, "backup", noSA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agA.Link(fileH, dir2H, "notes-link.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := agA.Rename(dirH, "notes.txt", dir2H, "notes-moved.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := agA.Lookup(dirH, "notes.txt"); !agent.IsNotExist(err) {
+		t.Errorf("renamed-away name still present: %v", err)
+	}
+	if _, _, err := agA.Lookup(dir2H, "notes-moved.txt"); err != nil {
+		t.Errorf("renamed name missing: %v", err)
+	}
+
+	// Symlink + Readlink through the gateway.
+	if err := agA.Symlink(remoteRoot, "latest", "/backup/notes-moved.txt"); err != nil {
+		t.Fatal(err)
+	}
+	lh, lattr, err := agA.Lookup(remoteRoot, "latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lattr.Type != nfsproto.TypeLnk {
+		t.Errorf("symlink type = %v", lattr.Type)
+	}
+	target, err := agA.Readlink(lh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target != "/backup/notes-moved.txt" {
+		t.Errorf("readlink = %q", target)
+	}
+
+	// Remove + Rmdir through the gateway.
+	if err := agA.Remove(dir2H, "notes-link.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := agA.Remove(dir2H, "notes-moved.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := agA.Remove(remoteRoot, "latest"); err != nil {
+		t.Fatal(err)
+	}
+	if err := agA.Rmdir(remoteRoot, "backup"); err != nil {
+		t.Fatal(err)
+	}
+	if err := agA.Rmdir(remoteRoot, "proj"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The remote cell observes the same final state natively.
+	agB, err := agent.Mount(cellB.Addrs(), agent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agB.Close()
+	ents, err := agB.Readdir(agB.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name == "proj" || e.Name == "backup" || e.Name == "latest" {
+			t.Errorf("leftover entry %q in remote cell", e.Name)
+		}
+	}
+}
+
+// TestGatewayStaleAfterRemoteDeath: handles minted for a dead remote cell
+// must come back stale, not hang the local cell.
+func TestGatewayStaleAfterRemoteDeath(t *testing.T) {
+	cellA := newNFSCell(t, 1)
+	cellB := newNFSCell(t, 1)
+
+	agA, err := agent.Mount(cellA.Addrs(), agent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agA.Close()
+
+	remoteRoot, _, err := agA.Lookup(agA.Root(), server.GatewayPrefix+cellB.Nodes[0].Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellB.Close()
+
+	// The gateway call fails cleanly; local operations keep working.
+	if _, err := agA.Getattr(remoteRoot); err == nil {
+		t.Error("getattr against dead remote cell succeeded")
+	}
+	if err := agA.WriteFile("/local.txt", []byte("still fine")); err != nil {
+		t.Fatalf("local write after remote death: %v", err)
+	}
+}
+
+// TestGatewayBadAddressLookup: a malformed gateway name must not panic or
+// mint a handle.
+func TestGatewayBadAddressLookup(t *testing.T) {
+	cellA := newNFSCell(t, 1)
+	agA, err := agent.Mount(cellA.Addrs(), agent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agA.Close()
+	if _, _, err := agA.Lookup(agA.Root(), server.GatewayPrefix+"127.0.0.1:1"); err == nil {
+		t.Error("lookup of unreachable gateway address succeeded")
+	}
+}

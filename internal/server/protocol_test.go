@@ -1,0 +1,131 @@
+package server_test
+
+import (
+	"testing"
+
+	"repro/internal/nfsproto"
+	"repro/internal/sunrpc"
+	"repro/internal/xdr"
+)
+
+// Raw-RPC protocol conformance: the paper's whole point of speaking stock
+// NFS is that *any* NFSv2 client works unmodified, so the server must
+// answer every RFC 1094 procedure — including the obsolete and no-op ones —
+// with well-formed replies.
+
+func dialRaw(t *testing.T, addr string) *sunrpc.Client {
+	t.Helper()
+	cli, err := sunrpc.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return cli
+}
+
+func TestMountProtocolConformance(t *testing.T) {
+	c := newNFSCell(t, 1)
+	cli := dialRaw(t, c.Nodes[0].Addr)
+
+	// NULL is a no-op ping.
+	if _, err := cli.Call(nfsproto.MountProgram, nfsproto.MountVersion, nfsproto.MountProcNull, nil); err != nil {
+		t.Fatalf("MOUNT NULL: %v", err)
+	}
+
+	// MNT returns the root handle regardless of the requested dirpath.
+	e := xdr.NewEncoder(nil)
+	e.String("/export/anything")
+	reply, err := cli.Call(nfsproto.MountProgram, nfsproto.MountVersion, nfsproto.MountProcMnt, e.Bytes())
+	if err != nil {
+		t.Fatalf("MOUNT MNT: %v", err)
+	}
+	var fh nfsproto.FHStatus
+	if err := xdr.Unmarshal(reply, &fh); err != nil {
+		t.Fatalf("decode FHStatus: %v", err)
+	}
+	if fh.Status != 0 {
+		t.Fatalf("MNT status = %d", fh.Status)
+	}
+
+	// UMNT and UMNTALL are accepted silently.
+	for _, proc := range []uint32{nfsproto.MountProcUmnt, nfsproto.MountProcUmntAll} {
+		if _, err := cli.Call(nfsproto.MountProgram, nfsproto.MountVersion, proc, e.Bytes()); err != nil {
+			t.Fatalf("MOUNT proc %d: %v", proc, err)
+		}
+	}
+
+	// EXPORT and DUMP return well-formed (empty) lists.
+	for _, proc := range []uint32{nfsproto.MountProcExport, nfsproto.MountProcDump} {
+		reply, err := cli.Call(nfsproto.MountProgram, nfsproto.MountVersion, proc, nil)
+		if err != nil {
+			t.Fatalf("MOUNT proc %d: %v", proc, err)
+		}
+		d := xdr.NewDecoder(reply)
+		if d.Bool() || d.Err() != nil {
+			t.Errorf("proc %d: expected empty list terminator", proc)
+		}
+	}
+
+	// An unknown procedure is rejected, not dropped.
+	if _, err := cli.Call(nfsproto.MountProgram, nfsproto.MountVersion, 99, nil); err == nil {
+		t.Error("unknown MOUNT procedure accepted")
+	}
+}
+
+func TestNFSObsoleteAndNullProcedures(t *testing.T) {
+	c := newNFSCell(t, 1)
+	cli := dialRaw(t, c.Nodes[0].Addr)
+
+	if _, err := cli.Call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcNull, nil); err != nil {
+		t.Fatalf("NFS NULL: %v", err)
+	}
+	// ROOT and WRITECACHE are obsolete/unused in RFC 1094; like SunOS
+	// servers, we answer PROC_UNAVAIL — a clean RPC-level rejection, not a
+	// dropped connection.
+	for _, proc := range []uint32{nfsproto.ProcRoot, nfsproto.ProcWritecache} {
+		if _, err := cli.Call(nfsproto.NFSProgram, nfsproto.NFSVersion, proc, nil); err == nil {
+			t.Fatalf("obsolete NFS proc %d accepted", proc)
+		}
+	}
+	if _, err := cli.Call(nfsproto.NFSProgram, nfsproto.NFSVersion, 42, nil); err == nil {
+		t.Error("unknown NFS procedure accepted")
+	}
+}
+
+func TestNFSGarbageArgsRejected(t *testing.T) {
+	c := newNFSCell(t, 1)
+	cli := dialRaw(t, c.Nodes[0].Addr)
+
+	// A truncated GETATTR argument must yield a garbage-args error, not a
+	// hang or crash.
+	if _, err := cli.Call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcGetattr, []byte{1, 2, 3}); err == nil {
+		t.Error("truncated GETATTR accepted")
+	}
+	// Wrong program/version are rejected cleanly.
+	if _, err := cli.Call(999999, 1, 0, nil); err == nil {
+		t.Error("unknown program accepted")
+	}
+	if _, err := cli.Call(nfsproto.NFSProgram, 3, 0, nil); err == nil {
+		t.Error("NFSv3 call accepted by a v2 server")
+	}
+}
+
+func TestStaleHandleOverRawRPC(t *testing.T) {
+	c := newNFSCell(t, 1)
+	cli := dialRaw(t, c.Nodes[0].Addr)
+
+	var bogus nfsproto.Handle
+	for i := range bogus {
+		bogus[i] = 0xEE
+	}
+	e := xdr.NewEncoder(nil)
+	e.FixedOpaque(bogus[:])
+	reply, err := cli.Call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcGetattr, e.Bytes())
+	if err != nil {
+		t.Fatalf("GETATTR with bogus handle: %v", err)
+	}
+	d := xdr.NewDecoder(reply)
+	if st := nfsproto.Status(d.Uint32()); st != nfsproto.ErrStale {
+		t.Errorf("bogus handle status = %v, want NFSERR_STALE", st)
+	}
+}

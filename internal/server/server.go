@@ -1,0 +1,340 @@
+// Package server assembles a complete Deceit server (Figure 6): the segment
+// server, the NFS file service envelope, and the Sun RPC endpoint serving
+// the NFS, MOUNT and Deceit-control programs. Any NFS client can mount any
+// Deceit server and see the whole cell's single name space (§2.1); the
+// control program carries the paper's "special RPCs" — set/get file
+// parameters, locate replicas, list versions, force replica placement, and
+// read the conflict log.
+package server
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/envelope"
+	"repro/internal/isis"
+	"repro/internal/nfsproto"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/sunrpc"
+	"repro/internal/xdr"
+)
+
+// GatewayPrefix marks a directory name that mounts a foreign cell: looking
+// up "@host:port" in any directory behaves like the paper's
+// /priv/global/<machine> access path into another cell (§2.2).
+const GatewayPrefix = "@"
+
+// Config describes one Deceit server.
+type Config struct {
+	// Transport carries all inter-server traffic; typically a simnet
+	// endpoint or TCP transport, demultiplexed internally.
+	Transport simnet.Transport
+	// Peers is the cell membership.
+	Peers []simnet.NodeID
+	// Store is the server's non-volatile storage.
+	Store store.Store
+	// ISIS / Core tune the protocol layers; zero values take defaults.
+	ISIS isis.Options
+	Core core.Options
+	// DefaultParams are applied to new files.
+	DefaultParams core.Params
+	// InitRoot makes this server create the cell root if it cannot find
+	// one. Enable it on exactly one server when bootstrapping a cell.
+	InitRoot bool
+	// OpTimeout bounds each client-visible NFS operation.
+	OpTimeout time.Duration
+}
+
+// Server is one running Deceit server.
+type Server struct {
+	cfg   Config
+	demux *simnet.Demux
+	proc  *isis.Process
+	core  *core.Server
+	env   *envelope.Envelope
+	rpc   *sunrpc.Server
+	gw    *gateway
+	addr  string
+}
+
+// New starts the protocol stack. Call ServeNFS to expose the RPC endpoint,
+// and Close to shut down.
+func New(cfg Config) (*Server, error) {
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = 10 * time.Second
+	}
+	if cfg.DefaultParams == (core.Params{}) {
+		cfg.DefaultParams = core.DefaultParams()
+	}
+	demux := simnet.NewDemux(cfg.Transport)
+	proc := isis.NewProcess(demux.Channel(0), cfg.Peers, cfg.ISIS)
+	cs := core.NewServer(proc, demux.Channel(1), cfg.Store, cfg.Core)
+	env := envelope.New(cs, envelope.Options{DefaultParams: cfg.DefaultParams})
+	s := &Server{cfg: cfg, demux: demux, proc: proc, core: cs, env: env, gw: newGateway()}
+
+	if cfg.InitRoot {
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.OpTimeout)
+		defer cancel()
+		if err := env.InitRoot(ctx); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("server: init root: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Core exposes the segment server (examples and tests use it directly).
+func (s *Server) Core() *core.Server { return s.core }
+
+// Envelope exposes the NFS file service layer.
+func (s *Server) Envelope() *envelope.Envelope { return s.env }
+
+// Proc exposes the ISIS process.
+func (s *Server) Proc() *isis.Process { return s.proc }
+
+// ID returns the server's cell-internal identity.
+func (s *Server) ID() simnet.NodeID { return s.proc.ID() }
+
+// Addr returns the NFS endpoint address once ServeNFS has been called.
+func (s *Server) Addr() string { return s.addr }
+
+// ServeNFS starts the RPC endpoint on addr (port 0 picks a free port) and
+// returns the bound address.
+func (s *Server) ServeNFS(addr string) (string, error) {
+	rpc := sunrpc.NewServer()
+	rpc.Register(nfsproto.NFSProgram, nfsproto.NFSVersion, s.handleNFS)
+	rpc.Register(nfsproto.MountProgram, nfsproto.MountVersion, s.handleMount)
+	rpc.Register(CtlProgram, CtlVersion, s.handleCtl)
+	bound, err := rpc.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	s.rpc = rpc
+	s.addr = bound
+	return bound, nil
+}
+
+// Close shuts the server down.
+func (s *Server) Close() {
+	if s.rpc != nil {
+		_ = s.rpc.Close()
+	}
+	s.gw.close()
+	s.core.Close()
+	s.proc.Close()
+}
+
+func (s *Server) opCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), s.cfg.OpTimeout)
+}
+
+// ------------------------------------------------------------- MOUNT ----
+
+func (s *Server) handleMount(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, sunrpc.AcceptStat) {
+	switch proc {
+	case nfsproto.MountProcNull:
+		return nil, sunrpc.Success
+	case nfsproto.MountProcMnt:
+		d := xdr.NewDecoder(args)
+		_ = d.String() // dirpath; a Deceit server exports exactly one tree
+		if d.Err() != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		res := nfsproto.FHStatus{Status: 0, Handle: s.env.Root()}
+		return xdr.Marshal(&res), sunrpc.Success
+	case nfsproto.MountProcUmnt, nfsproto.MountProcUmntAll:
+		return nil, sunrpc.Success
+	case nfsproto.MountProcExport, nfsproto.MountProcDump:
+		e := xdr.NewEncoder(nil)
+		e.Bool(false) // empty list terminator
+		return e.Bytes(), sunrpc.Success
+	default:
+		return nil, sunrpc.ProcUnavail
+	}
+}
+
+// --------------------------------------------------------------- NFS ----
+
+func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, sunrpc.AcceptStat) {
+	ctx, cancel := s.opCtx()
+	defer cancel()
+	switch proc {
+	case nfsproto.ProcNull:
+		return nil, sunrpc.Success
+	case nfsproto.ProcGetattr:
+		var h nfsproto.Handle
+		if err := xdr.Unmarshal(args, &h); err != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		if s.gw.isGatewayHandle(h) {
+			return s.gw.forward(proc, args, h)
+		}
+		attr, st := s.env.Getattr(ctx, h)
+		return xdr.Marshal(&nfsproto.AttrStat{Status: st, Attr: attr}), sunrpc.Success
+
+	case nfsproto.ProcSetattr:
+		var a nfsproto.SAttrArgs
+		if err := xdr.Unmarshal(args, &a); err != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		if s.gw.isGatewayHandle(a.File) {
+			return s.gw.forward(proc, args, a.File)
+		}
+		attr, st := s.env.Setattr(ctx, a.File, a.Attr)
+		return xdr.Marshal(&nfsproto.AttrStat{Status: st, Attr: attr}), sunrpc.Success
+
+	case nfsproto.ProcLookup:
+		var a nfsproto.DirOpArgs
+		if err := xdr.Unmarshal(args, &a); err != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		// Inter-cell access: "@host:port" mounts the foreign cell rooted
+		// at that server (§2.2's global root directory).
+		if strings.HasPrefix(a.Name, GatewayPrefix) && !s.gw.isGatewayHandle(a.Dir) {
+			res := s.gw.mount(a.Name[len(GatewayPrefix):])
+			return xdr.Marshal(res), sunrpc.Success
+		}
+		if s.gw.isGatewayHandle(a.Dir) {
+			return s.gw.forward(proc, args, a.Dir)
+		}
+		fh, attr, st := s.env.Lookup(ctx, a.Dir, a.Name)
+		return xdr.Marshal(&nfsproto.DirOpRes{Status: st, File: fh, Attr: attr}), sunrpc.Success
+
+	case nfsproto.ProcReadlink:
+		var h nfsproto.Handle
+		if err := xdr.Unmarshal(args, &h); err != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		if s.gw.isGatewayHandle(h) {
+			return s.gw.forward(proc, args, h)
+		}
+		path, st := s.env.Readlink(ctx, h)
+		return xdr.Marshal(&nfsproto.ReadlinkRes{Status: st, Path: path}), sunrpc.Success
+
+	case nfsproto.ProcRead:
+		var a nfsproto.ReadArgs
+		if err := xdr.Unmarshal(args, &a); err != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		if s.gw.isGatewayHandle(a.File) {
+			return s.gw.forward(proc, args, a.File)
+		}
+		data, attr, st := s.env.Read(ctx, a.File, a.Offset, a.Count)
+		return xdr.Marshal(&nfsproto.ReadRes{Status: st, Attr: attr, Data: data}), sunrpc.Success
+
+	case nfsproto.ProcWrite:
+		var a nfsproto.WriteArgs
+		if err := xdr.Unmarshal(args, &a); err != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		if s.gw.isGatewayHandle(a.File) {
+			return s.gw.forward(proc, args, a.File)
+		}
+		attr, st := s.env.Write(ctx, a.File, a.Offset, a.Data)
+		return xdr.Marshal(&nfsproto.AttrStat{Status: st, Attr: attr}), sunrpc.Success
+
+	case nfsproto.ProcCreate, nfsproto.ProcMkdir:
+		var a nfsproto.CreateArgs
+		if err := xdr.Unmarshal(args, &a); err != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		if s.gw.isGatewayHandle(a.Where.Dir) {
+			return s.gw.forward(proc, args, a.Where.Dir)
+		}
+		var fh nfsproto.Handle
+		var attr nfsproto.FAttr
+		var st nfsproto.Status
+		if proc == nfsproto.ProcCreate {
+			fh, attr, st = s.env.Create(ctx, a.Where.Dir, a.Where.Name, a.Attr)
+		} else {
+			fh, attr, st = s.env.Mkdir(ctx, a.Where.Dir, a.Where.Name, a.Attr)
+		}
+		return xdr.Marshal(&nfsproto.DirOpRes{Status: st, File: fh, Attr: attr}), sunrpc.Success
+
+	case nfsproto.ProcRemove, nfsproto.ProcRmdir:
+		var a nfsproto.DirOpArgs
+		if err := xdr.Unmarshal(args, &a); err != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		if s.gw.isGatewayHandle(a.Dir) {
+			return s.gw.forward(proc, args, a.Dir)
+		}
+		var st nfsproto.Status
+		if proc == nfsproto.ProcRemove {
+			st = s.env.Remove(ctx, a.Dir, a.Name)
+		} else {
+			st = s.env.Rmdir(ctx, a.Dir, a.Name)
+		}
+		return statusReply(st), sunrpc.Success
+
+	case nfsproto.ProcRename:
+		var a nfsproto.RenameArgs
+		if err := xdr.Unmarshal(args, &a); err != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		if s.gw.isGatewayHandle(a.From.Dir) {
+			return s.gw.forward(proc, args, a.From.Dir)
+		}
+		st := s.env.Rename(ctx, a.From.Dir, a.From.Name, a.To.Dir, a.To.Name)
+		return statusReply(st), sunrpc.Success
+
+	case nfsproto.ProcLink:
+		var a nfsproto.LinkArgs
+		if err := xdr.Unmarshal(args, &a); err != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		if s.gw.isGatewayHandle(a.From) {
+			return s.gw.forward(proc, args, a.From)
+		}
+		st := s.env.Link(ctx, a.From, a.To.Dir, a.To.Name)
+		return statusReply(st), sunrpc.Success
+
+	case nfsproto.ProcSymlink:
+		var a nfsproto.SymlinkArgs
+		if err := xdr.Unmarshal(args, &a); err != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		if s.gw.isGatewayHandle(a.From.Dir) {
+			return s.gw.forward(proc, args, a.From.Dir)
+		}
+		st := s.env.Symlink(ctx, a.From.Dir, a.From.Name, a.To, a.Attr)
+		return statusReply(st), sunrpc.Success
+
+	case nfsproto.ProcReaddir:
+		var a nfsproto.ReaddirArgs
+		if err := xdr.Unmarshal(args, &a); err != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		if s.gw.isGatewayHandle(a.Dir) {
+			return s.gw.forward(proc, args, a.Dir)
+		}
+		res, _ := s.env.Readdir(ctx, a.Dir, a.Cookie, a.Count)
+		return xdr.Marshal(&res), sunrpc.Success
+
+	case nfsproto.ProcStatfs:
+		var h nfsproto.Handle
+		if err := xdr.Unmarshal(args, &h); err != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		if s.gw.isGatewayHandle(h) {
+			return s.gw.forward(proc, args, h)
+		}
+		res, _ := s.env.Statfs(ctx, h)
+		return xdr.Marshal(&res), sunrpc.Success
+
+	case nfsproto.ProcRoot, nfsproto.ProcWritecache:
+		return nil, sunrpc.ProcUnavail
+	default:
+		return nil, sunrpc.ProcUnavail
+	}
+}
+
+func statusReply(st nfsproto.Status) []byte {
+	e := xdr.NewEncoder(nil)
+	e.Uint32(uint32(st))
+	return e.Bytes()
+}

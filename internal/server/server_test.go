@@ -1,0 +1,345 @@
+package server_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/nfsproto"
+	"repro/internal/server"
+	"repro/internal/testnfs"
+)
+
+func noSA() nfsproto.SAttr {
+	return nfsproto.SAttr{
+		Mode: nfsproto.NoValue, UID: nfsproto.NoValue, GID: nfsproto.NoValue,
+		Size: nfsproto.NoValue, ATime: nfsproto.NoTime, MTime: nfsproto.NoTime,
+	}
+}
+
+func newNFSCell(t *testing.T, n int) *testnfs.NFSCell {
+	t.Helper()
+	c, err := testnfs.NewNFSCell(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestEndToEndNFSOverTCP(t *testing.T) {
+	c := newNFSCell(t, 2)
+	ag, err := agent.Mount(c.Addrs(), agent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ag.Close()
+
+	if err := ag.MkdirAll("/home/siegel"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.WriteFile("/home/siegel/notes.txt", []byte("flexible file semantics")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ag.ReadFile("/home/siegel/notes.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "flexible file semantics" {
+		t.Errorf("read = %q", data)
+	}
+
+	// The second server serves the same namespace over its own endpoint.
+	ag2, err := agent.Mount([]string{c.Nodes[1].Addr}, agent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ag2.Close()
+	data, err = ag2.ReadFile("/home/siegel/notes.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "flexible file semantics" {
+		t.Errorf("read via srv1 = %q", data)
+	}
+
+	// Directory listing.
+	h, _, err := ag2.Walk("/home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents, err := ag2.Readdir(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range ents {
+		if e.Name == "siegel" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("readdir = %v", ents)
+	}
+}
+
+func TestF8AgentFailover(t *testing.T) {
+	c := newNFSCell(t, 3)
+	ag, err := agent.Mount(c.Addrs(), agent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ag.Close()
+
+	if err := ag.WriteFile("/important.dat", []byte("must survive")); err != nil {
+		t.Fatal(err)
+	}
+	// Replicate the file on a second server before killing the first.
+	h, _, err := ag.Walk("/important.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.AddReplica(h, 0, "srv1"); err != nil {
+		t.Fatal(err)
+	}
+	// Replicate the root directory too, so its entries stay readable.
+	if err := ag.AddReplica(ag.Root(), 0, "srv1"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond) // allow stability to settle
+
+	// Kill the server the agent is connected to (srv0, the first address).
+	c.CrashNFS(0)
+
+	deadline := time.Now().Add(10 * time.Second)
+	var data []byte
+	for time.Now().Before(deadline) {
+		data, err = ag.ReadFile("/important.dat")
+		if err == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("read after failover: %v", err)
+	}
+	if string(data) != "must survive" {
+		t.Errorf("failover read = %q", data)
+	}
+	if ag.Failovers == 0 {
+		t.Error("agent recorded no failover")
+	}
+}
+
+func TestF8AgentCachingReducesCalls(t *testing.T) {
+	c := newNFSCell(t, 1)
+	ag, err := agent.Mount(c.Addrs(), agent.Options{CacheTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ag.Close()
+	if err := ag.WriteFile("/cached.txt", []byte("cache me")); err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := ag.Walk("/cached.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ag.Read(h, 0, 4096); err != nil {
+		t.Fatal(err)
+	}
+	callsBefore := ag.Calls
+	for i := 0; i < 10; i++ {
+		data, err := ag.Read(h, 0, 4096)
+		if err != nil || string(data) != "cache me" {
+			t.Fatalf("cached read %d: %q %v", i, data, err)
+		}
+		if _, err := ag.Getattr(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ag.Calls != callsBefore {
+		t.Errorf("cached reads issued %d RPCs", ag.Calls-callsBefore)
+	}
+	if ag.CacheHits < 20 {
+		t.Errorf("cache hits = %d, want >= 20", ag.CacheHits)
+	}
+
+	// Writes invalidate: the next read observes new data.
+	if _, err := ag.Write(h, 0, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ag.Read(h, 0, 5)
+	if err != nil || string(data) != "fresh" {
+		t.Errorf("post-write read = %q %v", data, err)
+	}
+}
+
+func TestSpecialCommands(t *testing.T) {
+	c := newNFSCell(t, 3)
+	ag, err := agent.Mount(c.Addrs(), agent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ag.Close()
+
+	if err := ag.WriteFile("/tuned.dat", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := ag.Walk("/tuned.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Default parameters are the paper's defaults.
+	st, err := ag.FileStat(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Params.MinReplicas != 1 || st.Params.WriteSafety != 1 || !st.Params.Stability {
+		t.Errorf("default params = %+v", st.Params)
+	}
+	if len(st.Versions) != 1 || len(st.Versions[0].Replicas) != 1 {
+		t.Errorf("versions = %+v", st.Versions)
+	}
+
+	// Raise the replica level and force placement (§3.1 method 3).
+	p := st.Params
+	p.MinReplicas = 2
+	p.WriteSafety = 2
+	if err := ag.SetParams(h, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.AddReplica(h, 0, "srv2"); err != nil {
+		t.Fatal(err)
+	}
+	st, err = ag.FileStat(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Params.MinReplicas != 2 {
+		t.Errorf("params after set = %+v", st.Params)
+	}
+	if len(st.Versions[0].Replicas) != 2 {
+		t.Errorf("replicas = %v", st.Versions[0].Replicas)
+	}
+
+	// Remove the forced replica again.
+	if err := ag.RemoveReplica(h, 0, "srv2"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = ag.FileStat(h)
+	if len(st.Versions[0].Replicas) != 1 {
+		t.Errorf("replicas after remove = %v", st.Versions[0].Replicas)
+	}
+
+	// No conflicts in a healthy cell.
+	confs, err := ag.Conflicts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(confs) != 0 {
+		t.Errorf("conflicts = %v", confs)
+	}
+}
+
+func TestF3InterCellGateway(t *testing.T) {
+	// Two independent cells; access the second through the first via the
+	// global-root syntax (§2.2).
+	cellA := newNFSCell(t, 2)
+	cellB := newNFSCell(t, 1)
+
+	// Populate cell B.
+	agB, err := agent.Mount(cellB.Addrs(), agent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agB.Close()
+	if err := agB.WriteFile("/shared/data.csv", []byte("b-cell data")); err != nil {
+		if err := agB.MkdirAll("/shared"); err != nil {
+			t.Fatal(err)
+		}
+		if err := agB.WriteFile("/shared/data.csv", []byte("b-cell data")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// From cell A, mount cell B: lookup "@host:port" anywhere.
+	agA, err := agent.Mount(cellA.Addrs(), agent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agA.Close()
+	remoteRoot, attr, err := agA.Lookup(agA.Root(), server.GatewayPrefix+cellB.Nodes[0].Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Type != nfsproto.TypeDir {
+		t.Errorf("remote root type = %v", attr.Type)
+	}
+	shared, _, err := agA.Lookup(remoteRoot, "shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh, _, err := agA.Lookup(shared, "data.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := agA.Read(fh, 0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "b-cell data" {
+		t.Errorf("cross-cell read = %q", data)
+	}
+
+	// Writes cross the gateway too; cell B sees them natively.
+	if _, err := agA.Write(fh, 0, []byte("A-edited data")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := agB.ReadFile("/shared/data.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "A-edited data" {
+		t.Errorf("cell B sees %q", got)
+	}
+
+	// Readdir through the gateway.
+	ents, err := agA.Readdir(remoteRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range ents {
+		names[e.Name] = true
+	}
+	if !names["shared"] {
+		t.Errorf("gateway readdir = %v", names)
+	}
+}
+
+func TestVersionQualifiedLookupOverNFS(t *testing.T) {
+	c := newNFSCell(t, 1)
+	ag, err := agent.Mount(c.Addrs(), agent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ag.Close()
+	if err := ag.WriteFile("/doc.txt", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Only one version exists; "doc.txt;1" resolves to it.
+	h, _, err := ag.Walk("/doc.txt;1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ag.Read(h, 0, 10)
+	if err != nil || string(data) != "v1" {
+		t.Errorf("versioned read = %q %v", data, err)
+	}
+	// A nonexistent version index fails.
+	if _, _, err := ag.Walk("/doc.txt;9"); !agent.IsNotExist(err) {
+		t.Errorf("bogus version err = %v", err)
+	}
+}

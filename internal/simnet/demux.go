@@ -1,0 +1,124 @@
+package simnet
+
+import (
+	"sync"
+)
+
+// Demux multiplexes several logical channels over one Transport by
+// prefixing each frame with a channel byte. Deceit uses channel 0 for ISIS
+// group traffic and channel 1 for the direct inter-server protocol (read
+// forwarding and blast replica transfer, §3.1), mirroring how the real
+// system ran ISIS alongside dedicated TCP transfer connections.
+type Demux struct {
+	tr Transport
+	mu sync.Mutex
+	ch map[byte]*DemuxChannel
+	wg sync.WaitGroup
+}
+
+// NewDemux starts demultiplexing tr. The underlying transport's Recv must
+// not be consumed by anyone else.
+func NewDemux(tr Transport) *Demux {
+	d := &Demux{tr: tr, ch: make(map[byte]*DemuxChannel)}
+	d.wg.Add(1)
+	go d.run()
+	return d
+}
+
+func (d *Demux) run() {
+	defer d.wg.Done()
+	for m := range d.tr.Recv() {
+		if len(m.Data) == 0 {
+			continue
+		}
+		d.mu.Lock()
+		c := d.ch[m.Data[0]]
+		d.mu.Unlock()
+		if c == nil {
+			continue
+		}
+		c.deliver(Message{From: m.From, Data: m.Data[1:]})
+	}
+	d.mu.Lock()
+	chans := d.ch
+	d.ch = map[byte]*DemuxChannel{}
+	d.mu.Unlock()
+	for _, c := range chans {
+		c.close()
+	}
+}
+
+// Channel returns the logical transport with the given channel id, creating
+// it on first use.
+func (d *Demux) Channel(id byte) *DemuxChannel {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := d.ch[id]; ok {
+		return c
+	}
+	c := &DemuxChannel{
+		d:     d,
+		id:    id,
+		inbox: make(chan Message, 4096),
+	}
+	d.ch[id] = c
+	return c
+}
+
+// Close closes the underlying transport and all channels.
+func (d *Demux) Close() error {
+	err := d.tr.Close()
+	d.wg.Wait()
+	return err
+}
+
+// DemuxChannel is one logical channel of a Demux; it implements Transport.
+type DemuxChannel struct {
+	d     *Demux
+	id    byte
+	inbox chan Message
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Transport = (*DemuxChannel)(nil)
+
+// Local implements Transport.
+func (c *DemuxChannel) Local() NodeID { return c.d.tr.Local() }
+
+// Recv implements Transport.
+func (c *DemuxChannel) Recv() <-chan Message { return c.inbox }
+
+// Send implements Transport, prefixing the channel id.
+func (c *DemuxChannel) Send(to NodeID, data []byte) error {
+	buf := make([]byte, len(data)+1)
+	buf[0] = c.id
+	copy(buf[1:], data)
+	return c.d.tr.Send(to, buf)
+}
+
+// Close implements Transport. Closing one channel closes the whole demux
+// (the underlying transport cannot meaningfully outlive a consumer).
+func (c *DemuxChannel) Close() error { return c.d.Close() }
+
+func (c *DemuxChannel) deliver(m Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	select {
+	case c.inbox <- m:
+	default:
+	}
+}
+
+func (c *DemuxChannel) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.inbox)
+	}
+}

@@ -1,0 +1,402 @@
+// Package simnet provides the message transport used by all Deceit servers.
+//
+// Two implementations are provided behind one Transport interface: an
+// in-process simulated network (Network) with controllable latency, loss and
+// partitions — used by tests, benchmarks and single-process multi-server
+// examples — and a real TCP transport (see tcp.go) for multi-process
+// deployments on one box or a LAN.
+//
+// The simulated network matches the assumptions in §2.3 of the Deceit paper:
+// communication is symmetric, messages may be lost, and the network may
+// partition for long periods. Delivery between any ordered pair of live,
+// connected nodes is FIFO (TCP-like), which is what the ISIS-style protocols
+// in internal/isis assume.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NodeID names a server endpoint. For the simulated network any unique
+// string works; the TCP transport uses "host:port" addresses.
+type NodeID string
+
+// Message is a datagram delivered to an endpoint.
+type Message struct {
+	From NodeID
+	Data []byte
+}
+
+// Transport is the interface between the protocol layers and the network.
+type Transport interface {
+	// Local returns this endpoint's identity.
+	Local() NodeID
+	// Send transmits data to the named endpoint. Send never blocks on the
+	// receiver; delivery is asynchronous and may silently fail if the
+	// destination is unreachable (crashed or partitioned away).
+	Send(to NodeID, data []byte) error
+	// Recv returns the channel of inbound messages. The channel is closed
+	// when the transport is closed.
+	Recv() <-chan Message
+	// Close shuts the endpoint down.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed endpoint or network.
+var ErrClosed = errors.New("simnet: closed")
+
+// ErrUnknownNode is returned when sending to a node that was never attached.
+var ErrUnknownNode = errors.New("simnet: unknown node")
+
+// Stats counts network activity; useful for experiments that argue about
+// message complexity (e.g. Figure 4: only file-group members receive
+// updates).
+type Stats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64 // loss, partition, or dead destination
+	Bytes     uint64
+}
+
+// Network is an in-process simulated network.
+type Network struct {
+	mu         sync.Mutex
+	nodes      map[NodeID]*Endpoint
+	partitions [][]NodeID         // empty = fully connected
+	blocked    map[[2]NodeID]bool // individually severed ordered pairs
+	latency    time.Duration
+	jitter     time.Duration
+	loss       float64
+	rng        *rand.Rand
+	closed     bool
+
+	sent      atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+	bytes     atomic.Uint64
+}
+
+// NewNetwork returns an empty network with zero latency and no loss.
+func NewNetwork() *Network {
+	return &Network{
+		nodes:   make(map[NodeID]*Endpoint),
+		blocked: make(map[[2]NodeID]bool),
+		rng:     rand.New(rand.NewSource(1)),
+	}
+}
+
+// Seed reseeds the loss-decision RNG, for reproducible loss experiments.
+func (n *Network) Seed(seed int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rng = rand.New(rand.NewSource(seed))
+}
+
+// SetLatency sets the one-way delivery delay and jitter bound. Each message
+// is delayed by latency plus a uniform random amount in [0, jitter).
+func (n *Network) SetLatency(latency, jitter time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency, n.jitter = latency, jitter
+}
+
+// SetLoss sets the probability in [0,1] that any given message is dropped.
+func (n *Network) SetLoss(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.loss = p
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Sent:      n.sent.Load(),
+		Delivered: n.delivered.Load(),
+		Dropped:   n.dropped.Load(),
+		Bytes:     n.bytes.Load(),
+	}
+}
+
+// ResetStats zeroes the traffic counters.
+func (n *Network) ResetStats() {
+	n.sent.Store(0)
+	n.delivered.Store(0)
+	n.dropped.Store(0)
+	n.bytes.Store(0)
+}
+
+// Attach creates a new endpoint on the network. It panics if the id is
+// already in use (a configuration error).
+func (n *Network) Attach(id NodeID) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		panic("simnet: Attach on closed network")
+	}
+	if _, dup := n.nodes[id]; dup {
+		panic(fmt.Sprintf("simnet: duplicate node %q", id))
+	}
+	ep := &Endpoint{
+		net:   n,
+		id:    id,
+		inbox: make(chan Message, 4096),
+		pairs: make(map[NodeID]*pairQueue),
+	}
+	n.nodes[id] = ep
+	return ep
+}
+
+// Detach removes an endpoint, simulating a machine crash: the endpoint's
+// inbox is closed and all in-flight messages to it are dropped.
+func (n *Network) Detach(id NodeID) {
+	n.mu.Lock()
+	ep := n.nodes[id]
+	delete(n.nodes, id)
+	n.mu.Unlock()
+	if ep != nil {
+		ep.close()
+	}
+}
+
+// Partition splits the network into the given groups. Nodes in different
+// groups cannot exchange messages; nodes in the same group can. A node
+// absent from every group is isolated. Passing no groups heals the network.
+func (n *Network) Partition(groups ...[]NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions = groups
+}
+
+// Heal removes all partitions and pair blocks.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions = nil
+	n.blocked = make(map[[2]NodeID]bool)
+}
+
+// BlockPair severs the directed link a→b (and only that direction).
+func (n *Network) BlockPair(a, b NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[[2]NodeID{a, b}] = true
+}
+
+// UnblockPair restores the directed link a→b.
+func (n *Network) UnblockPair(a, b NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, [2]NodeID{a, b})
+}
+
+// Close shuts the whole network down.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	eps := make([]*Endpoint, 0, len(n.nodes))
+	for _, ep := range n.nodes {
+		eps = append(eps, ep)
+	}
+	n.nodes = make(map[NodeID]*Endpoint)
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.close()
+	}
+}
+
+// reachable reports whether a may currently send to b, and the delay to
+// apply. Caller must hold n.mu.
+func (n *Network) reachableLocked(a, b NodeID) (time.Duration, bool) {
+	if n.blocked[[2]NodeID{a, b}] {
+		return 0, false
+	}
+	if len(n.partitions) > 0 {
+		ga, gb := -1, -1
+		for i, g := range n.partitions {
+			for _, id := range g {
+				if id == a {
+					ga = i
+				}
+				if id == b {
+					gb = i
+				}
+			}
+		}
+		if ga == -1 || gb == -1 || ga != gb {
+			return 0, false
+		}
+	}
+	d := n.latency
+	if n.jitter > 0 {
+		d += time.Duration(n.rng.Int63n(int64(n.jitter)))
+	}
+	return d, true
+}
+
+// Endpoint is one attached node of a Network.
+type Endpoint struct {
+	net   *Network
+	id    NodeID
+	inbox chan Message
+
+	mu     sync.Mutex
+	pairs  map[NodeID]*pairQueue
+	closed bool
+}
+
+var _ Transport = (*Endpoint)(nil)
+
+// pairQueue preserves FIFO order for one ordered (sender, receiver) pair
+// while applying per-message latency like a pipelined link: each message is
+// delivered at send-time + latency (monotonically non-decreasing per pair),
+// not serialized behind earlier messages' delays. A single drain goroutine
+// runs while the queue is non-empty.
+type pairQueue struct {
+	mu      sync.Mutex
+	queue   []timedMsg
+	lastAt  time.Time
+	running bool
+}
+
+type timedMsg struct {
+	data      []byte
+	deliverAt time.Time
+}
+
+// Local implements Transport.
+func (e *Endpoint) Local() NodeID { return e.id }
+
+// Recv implements Transport.
+func (e *Endpoint) Recv() <-chan Message { return e.inbox }
+
+// Close implements Transport.
+func (e *Endpoint) Close() error {
+	e.net.Detach(e.id)
+	return nil
+}
+
+func (e *Endpoint) close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.inbox)
+}
+
+// Send implements Transport. Data is copied, so the caller may reuse the
+// buffer immediately.
+func (e *Endpoint) Send(to NodeID, data []byte) error {
+	n := e.net
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	if _, ok := n.nodes[to]; !ok {
+		n.mu.Unlock()
+		n.sent.Add(1)
+		n.dropped.Add(1)
+		return nil // like a dead TCP peer: send succeeds locally, data vanishes
+	}
+	delay, reach := n.reachableLocked(e.id, to)
+	drop := !reach
+	if !drop && n.loss > 0 && n.rng.Float64() < n.loss {
+		drop = true
+	}
+	n.mu.Unlock()
+
+	n.sent.Add(1)
+	n.bytes.Add(uint64(len(data)))
+	if drop {
+		n.dropped.Add(1)
+		return nil
+	}
+
+	cp := make([]byte, len(data))
+	copy(cp, data)
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	pq, ok := e.pairs[to]
+	if !ok {
+		pq = &pairQueue{}
+		e.pairs[to] = pq
+	}
+	e.mu.Unlock()
+
+	pq.mu.Lock()
+	at := time.Now().Add(delay)
+	if at.Before(pq.lastAt) {
+		at = pq.lastAt // FIFO: never deliver before an earlier message
+	}
+	pq.lastAt = at
+	pq.queue = append(pq.queue, timedMsg{data: cp, deliverAt: at})
+	if !pq.running {
+		pq.running = true
+		go e.drain(to, pq)
+	}
+	pq.mu.Unlock()
+	return nil
+}
+
+// drain delivers queued messages for one pair in order.
+func (e *Endpoint) drain(to NodeID, pq *pairQueue) {
+	for {
+		pq.mu.Lock()
+		if len(pq.queue) == 0 {
+			pq.running = false
+			pq.mu.Unlock()
+			return
+		}
+		m := pq.queue[0]
+		pq.queue = pq.queue[1:]
+		pq.mu.Unlock()
+
+		if d := time.Until(m.deliverAt); d > 0 {
+			time.Sleep(d)
+		}
+		e.net.mu.Lock()
+		dst, ok := e.net.nodes[to]
+		e.net.mu.Unlock()
+		if !ok {
+			e.net.dropped.Add(1)
+			continue
+		}
+		dst.deliver(Message{From: e.id, Data: m.data})
+	}
+}
+
+func (e *Endpoint) deliver(m Message) {
+	// The mutex serializes delivery against close so the inbox is never
+	// written after it is closed.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		e.net.dropped.Add(1)
+		return
+	}
+	// Best-effort delivery: if the inbox is full the message is dropped, as
+	// a real kernel would drop under receive-buffer pressure. Protocols above
+	// must tolerate loss anyway.
+	select {
+	case e.inbox <- m:
+		e.net.delivered.Add(1)
+	default:
+		e.net.dropped.Add(1)
+	}
+}

@@ -1,0 +1,329 @@
+package simnet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func recvOne(t *testing.T, ep Transport, timeout time.Duration) Message {
+	t.Helper()
+	select {
+	case m, ok := <-ep.Recv():
+		if !ok {
+			t.Fatal("inbox closed")
+		}
+		return m
+	case <-time.After(timeout):
+		t.Fatal("timed out waiting for message")
+	}
+	panic("unreachable")
+}
+
+func TestBasicDelivery(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	a := n.Attach("a")
+	b := n.Attach("b")
+
+	if err := a.Send("b", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, b, time.Second)
+	if m.From != "a" || string(m.Data) != "hi" {
+		t.Errorf("got %v %q", m.From, m.Data)
+	}
+}
+
+func TestFIFOPerPair(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	n.SetLatency(0, 2*time.Millisecond) // jitter must not reorder a pair
+	a := n.Attach("a")
+	b := n.Attach("b")
+
+	const k = 200
+	for i := 0; i < k; i++ {
+		if err := a.Send("b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < k; i++ {
+		m := recvOne(t, b, 2*time.Second)
+		if m.Data[0] != byte(i) {
+			t.Fatalf("message %d arrived out of order (got %d)", i, m.Data[0])
+		}
+	}
+}
+
+func TestSendCopiesData(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	a := n.Attach("a")
+	b := n.Attach("b")
+
+	buf := []byte("orig")
+	if err := a.Send("b", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X' // mutate after send
+	m := recvOne(t, b, time.Second)
+	if string(m.Data) != "orig" {
+		t.Errorf("Send aliased caller buffer: got %q", m.Data)
+	}
+}
+
+func TestPartitionBlocksAndHeals(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	a := n.Attach("a")
+	b := n.Attach("b")
+	c := n.Attach("c")
+
+	n.Partition([]NodeID{"a", "b"}, []NodeID{"c"})
+	if err := a.Send("c", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, b, time.Second)
+	if string(m.Data) != "y" {
+		t.Errorf("same-partition message lost")
+	}
+	select {
+	case m := <-c.Recv():
+		t.Errorf("cross-partition message delivered: %q", m.Data)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	n.Heal()
+	if err := a.Send("c", []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	m = recvOne(t, c, time.Second)
+	if string(m.Data) != "z" {
+		t.Errorf("post-heal message = %q", m.Data)
+	}
+}
+
+func TestIsolatedNodeNotInAnyGroup(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	a := n.Attach("a")
+	b := n.Attach("b")
+	n.Partition([]NodeID{"a"}) // b is in no group: isolated
+	_ = a.Send("b", []byte("x"))
+	_ = b.Send("a", []byte("y"))
+	select {
+	case <-a.Recv():
+		t.Error("isolated node reached a")
+	case <-b.Recv():
+		t.Error("a reached isolated node")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestBlockPairIsDirectional(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	a := n.Attach("a")
+	b := n.Attach("b")
+	n.BlockPair("a", "b")
+	_ = a.Send("b", []byte("x"))
+	select {
+	case <-b.Recv():
+		t.Fatal("blocked direction delivered")
+	case <-time.After(50 * time.Millisecond):
+	}
+	_ = b.Send("a", []byte("y"))
+	m := recvOne(t, a, time.Second)
+	if string(m.Data) != "y" {
+		t.Errorf("reverse direction broken")
+	}
+	n.UnblockPair("a", "b")
+	_ = a.Send("b", []byte("z"))
+	if m := recvOne(t, b, time.Second); string(m.Data) != "z" {
+		t.Errorf("unblock failed")
+	}
+}
+
+func TestLossDropsApproximately(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	n.Seed(42)
+	n.SetLoss(0.5)
+	a := n.Attach("a")
+	b := n.Attach("b")
+	const k = 1000
+	for i := 0; i < k; i++ {
+		_ = a.Send("b", []byte{1})
+	}
+	// Allow deliveries to finish.
+	time.Sleep(50 * time.Millisecond)
+	got := 0
+	for {
+		select {
+		case <-b.Recv():
+			got++
+		default:
+			if got < 300 || got > 700 {
+				t.Fatalf("with 50%% loss, delivered %d of %d", got, k)
+			}
+			return
+		}
+	}
+}
+
+func TestDetachSimulatesCrash(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	a := n.Attach("a")
+	b := n.Attach("b")
+	n.Detach("b")
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatalf("send to dead node must not error: %v", err)
+	}
+	if _, ok := <-b.Recv(); ok {
+		t.Error("detached inbox not closed")
+	}
+	// Node id may be reused after crash ("recovery").
+	b2 := n.Attach("b")
+	_ = a.Send("b", []byte("back"))
+	m := recvOne(t, b2, time.Second)
+	if string(m.Data) != "back" {
+		t.Errorf("recovered node got %q", m.Data)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	a := n.Attach("a")
+	b := n.Attach("b")
+	_ = a.Send("b", []byte("abcd"))
+	recvOne(t, b, time.Second)
+	n.Partition([]NodeID{"a"}, []NodeID{"b"})
+	_ = a.Send("b", []byte("ef"))
+	time.Sleep(20 * time.Millisecond)
+	s := n.Stats()
+	if s.Sent != 2 || s.Delivered != 1 || s.Dropped != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Bytes != 6 {
+		t.Errorf("bytes = %d, want 6", s.Bytes)
+	}
+	n.ResetStats()
+	if s := n.Stats(); s.Sent != 0 {
+		t.Errorf("reset failed: %+v", s)
+	}
+}
+
+func TestLatencyDelays(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	n.SetLatency(30*time.Millisecond, 0)
+	a := n.Attach("a")
+	b := n.Attach("b")
+	start := time.Now()
+	_ = a.Send("b", []byte("x"))
+	recvOne(t, b, time.Second)
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("message arrived in %v, want >=30ms", d)
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	dst := n.Attach("dst")
+	const senders, per = 8, 50
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		ep := n.Attach(NodeID(fmt.Sprintf("s%d", i)))
+		wg.Add(1)
+		go func(ep *Endpoint) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				_ = ep.Send("dst", []byte{byte(j)})
+			}
+		}(ep)
+	}
+	wg.Wait()
+	got := 0
+	deadline := time.After(2 * time.Second)
+	for got < senders*per {
+		select {
+		case <-dst.Recv():
+			got++
+		case <-deadline:
+			t.Fatalf("received %d of %d", got, senders*per)
+		}
+	}
+}
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.Send(b.Local(), []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, b, 2*time.Second)
+	if m.From != a.Local() || string(m.Data) != "ping" {
+		t.Fatalf("got from=%v data=%q", m.From, m.Data)
+	}
+	// Reply goes over a separately dialed connection.
+	if err := b.Send(a.Local(), []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	m = recvOne(t, a, 2*time.Second)
+	if string(m.Data) != "pong" {
+		t.Fatalf("reply = %q", m.Data)
+	}
+}
+
+func TestTCPSendToDeadPeerIsBestEffort(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send("127.0.0.1:1", []byte("x")); err != nil {
+		t.Fatalf("send to dead peer returned %v, want nil", err)
+	}
+}
+
+func TestTCPOrderPreserved(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	const k = 100
+	for i := 0; i < k; i++ {
+		if err := a.Send(b.Local(), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < k; i++ {
+		m := recvOne(t, b, 2*time.Second)
+		if m.Data[0] != byte(i) {
+			t.Fatalf("out of order at %d: got %d", i, m.Data[0])
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package simnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPTransport implements Transport over real TCP connections, for running
+// multiple Deceit servers as separate processes on one box or a LAN. Frames
+// are length-prefixed: a 4-byte big-endian length, then a length-prefixed
+// sender identity on the first frame of a connection, then payload frames.
+//
+// Connections are dialed lazily per destination and re-dialed on failure.
+// Like the simulated network, Send is asynchronous and best-effort.
+type TCPTransport struct {
+	id       NodeID
+	listener net.Listener
+	inbox    chan Message
+
+	mu       sync.Mutex
+	conns    map[NodeID]*tcpConn
+	accepted map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// maxFrame bounds a single TCP frame to defend against corrupt prefixes.
+const maxFrame = 1 << 28
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// ListenTCP starts a TCP transport on addr. The node's identity is its
+// listen address, so other nodes address it as NodeID(addr). If addr has
+// port 0 the actual bound address becomes the identity.
+func ListenTCP(addr string) (*TCPTransport, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: listen %s: %w", addr, err)
+	}
+	t := &TCPTransport{
+		id:       NodeID(l.Addr().String()),
+		listener: l,
+		inbox:    make(chan Message, 4096),
+		conns:    make(map[NodeID]*tcpConn),
+		accepted: make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Local implements Transport.
+func (t *TCPTransport) Local() NodeID { return t.id }
+
+// Recv implements Transport.
+func (t *TCPTransport) Recv() <-chan Message { return t.inbox }
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = map[NodeID]*tcpConn{}
+	accepted := t.accepted
+	t.accepted = map[net.Conn]struct{}{}
+	t.mu.Unlock()
+
+	t.listener.Close()
+	for _, c := range conns {
+		c.mu.Lock()
+		if c.conn != nil {
+			c.conn.Close()
+		}
+		c.mu.Unlock()
+	}
+	for conn := range accepted {
+		conn.Close()
+	}
+	t.wg.Wait()
+	close(t.inbox)
+	return nil
+}
+
+// Send implements Transport.
+func (t *TCPTransport) Send(to NodeID, data []byte) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	c, ok := t.conns[to]
+	if !ok {
+		c = &tcpConn{}
+		t.conns[to] = c
+	}
+	t.mu.Unlock()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		conn, err := net.DialTimeout("tcp", string(to), 2*time.Second)
+		if err != nil {
+			return nil // unreachable peer: best-effort drop
+		}
+		// First frame on a dialed connection announces our identity so the
+		// receiver can attribute inbound messages.
+		if err := writeFrame(conn, []byte(t.id)); err != nil {
+			conn.Close()
+			return nil
+		}
+		c.conn = conn
+	}
+	if err := writeFrame(c.conn, data); err != nil {
+		c.conn.Close()
+		c.conn = nil // re-dial on next Send
+	}
+	return nil
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.accepted[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+	}()
+	ident, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	from := NodeID(ident)
+	for {
+		data, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case t.inbox <- Message{From: from, Data: data}:
+		default:
+			// Drop under pressure, matching Endpoint behavior.
+		}
+	}
+}
+
+func writeFrame(w io.Writer, data []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("simnet: frame of %d bytes exceeds limit", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}

@@ -1,0 +1,403 @@
+// Package store implements the per-server non-volatile storage Deceit
+// requires (§3.5, "Local Non-volatile Storage"): file/replica data, replica
+// state, version pairs, token state, and the map between file handles and
+// local names are all persisted here.
+//
+// The interface is a bucketed key/value store. Two implementations exist:
+//
+//   - MemStore, an in-memory store with crash simulation. The paper notes
+//     that "some of a server's non-volatile storage is updated immediately
+//     when values change, and some of it is written asynchronously,
+//     depending on safety"; MemStore models this with synchronous and
+//     asynchronous write modes and a Crash operation that discards
+//     unsynced writes.
+//   - DiskStore, a directory-backed store using atomic rename for
+//     durability, one file per key.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is the non-volatile storage interface.
+type Store interface {
+	// Put writes a value. Whether the write is immediately durable depends
+	// on the implementation's write mode.
+	Put(bucket, key string, val []byte) error
+	// Get reads a value, reporting whether it exists.
+	Get(bucket, key string) ([]byte, bool, error)
+	// Delete removes a value; deleting a missing key is not an error.
+	Delete(bucket, key string) error
+	// Keys lists the keys in a bucket in sorted order.
+	Keys(bucket string) ([]string, error)
+	// Sync makes all prior writes durable.
+	Sync() error
+	// Close releases resources. The store must not be used afterwards.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// WriteMode selects durability behavior for MemStore.
+type WriteMode int
+
+// Write modes.
+const (
+	// WriteSync makes every Put durable immediately.
+	WriteSync WriteMode = iota
+	// WriteAsync buffers Puts until Sync; a Crash loses them.
+	WriteAsync
+)
+
+type memEntry struct {
+	val     []byte
+	deleted bool
+}
+
+// MemStore is an in-memory Store with crash simulation.
+type MemStore struct {
+	mu     sync.RWMutex
+	mode   WriteMode
+	synced map[string]map[string][]byte   // durable state
+	dirty  map[string]map[string]memEntry // unsynced overlay (WriteAsync)
+	closed bool
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore(mode WriteMode) *MemStore {
+	return &MemStore{
+		mode:   mode,
+		synced: make(map[string]map[string][]byte),
+		dirty:  make(map[string]map[string]memEntry),
+	}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(bucket, key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	cp := append([]byte(nil), val...)
+	if s.mode == WriteSync {
+		b := s.synced[bucket]
+		if b == nil {
+			b = make(map[string][]byte)
+			s.synced[bucket] = b
+		}
+		b[key] = cp
+		return nil
+	}
+	b := s.dirty[bucket]
+	if b == nil {
+		b = make(map[string]memEntry)
+		s.dirty[bucket] = b
+	}
+	b[key] = memEntry{val: cp}
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(bucket, key string) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	if e, ok := s.dirty[bucket][key]; ok {
+		if e.deleted {
+			return nil, false, nil
+		}
+		return append([]byte(nil), e.val...), true, nil
+	}
+	if v, ok := s.synced[bucket][key]; ok {
+		return append([]byte(nil), v...), true, nil
+	}
+	return nil, false, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(bucket, key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.mode == WriteSync {
+		delete(s.synced[bucket], key)
+		return nil
+	}
+	b := s.dirty[bucket]
+	if b == nil {
+		b = make(map[string]memEntry)
+		s.dirty[bucket] = b
+	}
+	b[key] = memEntry{deleted: true}
+	return nil
+}
+
+// Keys implements Store.
+func (s *MemStore) Keys(bucket string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	set := make(map[string]bool)
+	for k := range s.synced[bucket] {
+		set[k] = true
+	}
+	for k, e := range s.dirty[bucket] {
+		if e.deleted {
+			delete(set, k)
+		} else {
+			set[k] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Sync implements Store: it merges the dirty overlay into durable state.
+func (s *MemStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for bucket, entries := range s.dirty {
+		b := s.synced[bucket]
+		if b == nil {
+			b = make(map[string][]byte)
+			s.synced[bucket] = b
+		}
+		for k, e := range entries {
+			if e.deleted {
+				delete(b, k)
+			} else {
+				b[k] = e.val
+			}
+		}
+	}
+	s.dirty = make(map[string]map[string]memEntry)
+	return nil
+}
+
+// Crash simulates a machine crash: all unsynced writes are lost. The store
+// remains usable, modeling the server restarting with the durable state.
+func (s *MemStore) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dirty = make(map[string]map[string]memEntry)
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// DiskStore is a directory-backed Store. Each bucket is a subdirectory and
+// each key a file whose name is the hex encoding of the key (so arbitrary
+// key bytes are safe). Writes go through a temporary file and an atomic
+// rename.
+type DiskStore struct {
+	mu     sync.Mutex
+	dir    string
+	closed bool
+}
+
+var _ Store = (*DiskStore)(nil)
+
+// OpenDisk opens (creating if necessary) a disk store rooted at dir.
+func OpenDisk(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+func (s *DiskStore) bucketDir(bucket string) string {
+	return filepath.Join(s.dir, hex.EncodeToString([]byte(bucket)))
+}
+
+func (s *DiskStore) keyPath(bucket, key string) string {
+	// The "k" prefix keeps the empty key representable as a filename. Keys
+	// whose hex encoding would exceed filesystem name limits are stored
+	// under a hash; the real key is recoverable from the file header.
+	enc := hex.EncodeToString([]byte(key))
+	if len(enc) <= 200 {
+		return filepath.Join(s.bucketDir(bucket), "k"+enc)
+	}
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.bucketDir(bucket), "h"+hex.EncodeToString(sum[:]))
+}
+
+// encodeRecord frames a key and value into one file body.
+func encodeRecord(key string, val []byte) []byte {
+	out := make([]byte, 4+len(key)+len(val))
+	binary.BigEndian.PutUint32(out, uint32(len(key)))
+	copy(out[4:], key)
+	copy(out[4+len(key):], val)
+	return out
+}
+
+// decodeRecord splits a file body back into key and value.
+func decodeRecord(data []byte) (string, []byte, error) {
+	if len(data) < 4 {
+		return "", nil, errors.New("store: corrupt record header")
+	}
+	n := binary.BigEndian.Uint32(data)
+	if uint64(n)+4 > uint64(len(data)) {
+		return "", nil, errors.New("store: corrupt record key length")
+	}
+	return string(data[4 : 4+n]), data[4+n:], nil
+}
+
+// Put implements Store.
+func (s *DiskStore) Put(bucket, key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	bd := s.bucketDir(bucket)
+	if err := os.MkdirAll(bd, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(bd, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(encodeRecord(key, val)); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(name, s.keyPath(bucket, key)); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *DiskStore) Get(bucket, key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	data, err := os.ReadFile(s.keyPath(bucket, key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	k, val, err := decodeRecord(data)
+	if err != nil {
+		return nil, false, err
+	}
+	if k != key {
+		return nil, false, nil // hash collision with a different key
+	}
+	return val, true, nil
+}
+
+// Delete implements Store.
+func (s *DiskStore) Delete(bucket, key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	err := os.Remove(s.keyPath(bucket, key))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Keys implements Store.
+func (s *DiskStore) Keys(bucket string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	ents, err := os.ReadDir(s.bucketDir(bucket))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	out := make([]string, 0, len(ents))
+	for _, ent := range ents {
+		switch {
+		case strings.HasPrefix(ent.Name(), "k"):
+			raw, err := hex.DecodeString(ent.Name()[1:])
+			if err != nil {
+				continue // foreign file; ignore
+			}
+			out = append(out, string(raw))
+		case strings.HasPrefix(ent.Name(), "h"):
+			// Long key: recover it from the record header.
+			data, err := os.ReadFile(filepath.Join(s.bucketDir(bucket), ent.Name()))
+			if err != nil {
+				continue
+			}
+			k, _, err := decodeRecord(data)
+			if err != nil {
+				continue
+			}
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Sync implements Store. Renames on a journaling filesystem give us the
+// durability the simulation needs; Sync is a no-op.
+func (s *DiskStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close implements Store.
+func (s *DiskStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}

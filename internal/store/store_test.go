@@ -1,0 +1,287 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// storeImpls returns a fresh instance of every Store implementation.
+func storeImpls(t *testing.T) map[string]Store {
+	t.Helper()
+	disk, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{
+		"mem-sync":  NewMemStore(WriteSync),
+		"mem-async": NewMemStore(WriteAsync),
+		"disk":      disk,
+	}
+}
+
+func TestPutGetDeleteAllImpls(t *testing.T) {
+	for name, s := range storeImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			if err := s.Put("b", "k", []byte("v1")); err != nil {
+				t.Fatal(err)
+			}
+			v, ok, err := s.Get("b", "k")
+			if err != nil || !ok || string(v) != "v1" {
+				t.Fatalf("Get = %q %v %v", v, ok, err)
+			}
+			// Overwrite.
+			if err := s.Put("b", "k", []byte("v2")); err != nil {
+				t.Fatal(err)
+			}
+			v, _, _ = s.Get("b", "k")
+			if string(v) != "v2" {
+				t.Fatalf("after overwrite = %q", v)
+			}
+			// Missing key.
+			if _, ok, _ := s.Get("b", "missing"); ok {
+				t.Error("missing key found")
+			}
+			// Bucket isolation.
+			if _, ok, _ := s.Get("other", "k"); ok {
+				t.Error("bucket leak")
+			}
+			// Delete, including idempotence.
+			if err := s.Delete("b", "k"); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, _ := s.Get("b", "k"); ok {
+				t.Error("deleted key found")
+			}
+			if err := s.Delete("b", "k"); err != nil {
+				t.Fatal("second delete errored:", err)
+			}
+		})
+	}
+}
+
+func TestKeysSortedAllImpls(t *testing.T) {
+	for name, s := range storeImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			for _, k := range []string{"zebra", "alpha", "mid"} {
+				if err := s.Put("b", k, []byte(k)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			keys, err := s.Keys("b")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(keys) != 3 || keys[0] != "alpha" || keys[1] != "mid" || keys[2] != "zebra" {
+				t.Fatalf("Keys = %v", keys)
+			}
+			keys, err = s.Keys("empty-bucket")
+			if err != nil || len(keys) != 0 {
+				t.Fatalf("empty bucket Keys = %v, %v", keys, err)
+			}
+		})
+	}
+}
+
+func TestValueIsolationAllImpls(t *testing.T) {
+	for name, s := range storeImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			buf := []byte("data")
+			if err := s.Put("b", "k", buf); err != nil {
+				t.Fatal(err)
+			}
+			buf[0] = 'X' // mutate caller's buffer after Put
+			v, _, _ := s.Get("b", "k")
+			if string(v) != "data" {
+				t.Errorf("Put aliased caller buffer: %q", v)
+			}
+			v[0] = 'Y' // mutate returned buffer
+			v2, _, _ := s.Get("b", "k")
+			if string(v2) != "data" {
+				t.Errorf("Get returned aliased buffer: %q", v2)
+			}
+		})
+	}
+}
+
+func TestBinaryKeysAllImpls(t *testing.T) {
+	for name, s := range storeImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			key := string([]byte{0, 1, '/', '\\', 0xFF, '.', '.'})
+			if err := s.Put("b", key, []byte("bin")); err != nil {
+				t.Fatal(err)
+			}
+			v, ok, err := s.Get("b", key)
+			if err != nil || !ok || string(v) != "bin" {
+				t.Fatalf("binary key Get = %q %v %v", v, ok, err)
+			}
+			keys, _ := s.Keys("b")
+			if len(keys) != 1 || keys[0] != key {
+				t.Fatalf("Keys = %q", keys)
+			}
+		})
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	for name, s := range storeImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			s.Close()
+			if err := s.Put("b", "k", nil); err != ErrClosed {
+				t.Errorf("Put err = %v", err)
+			}
+			if _, _, err := s.Get("b", "k"); err != ErrClosed {
+				t.Errorf("Get err = %v", err)
+			}
+			if err := s.Delete("b", "k"); err != ErrClosed {
+				t.Errorf("Delete err = %v", err)
+			}
+			if _, err := s.Keys("b"); err != ErrClosed {
+				t.Errorf("Keys err = %v", err)
+			}
+			if err := s.Sync(); err != ErrClosed {
+				t.Errorf("Sync err = %v", err)
+			}
+		})
+	}
+}
+
+func TestMemCrashLosesUnsyncedWrites(t *testing.T) {
+	s := NewMemStore(WriteAsync)
+	defer s.Close()
+	if err := s.Put("b", "durable", []byte("d")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", "volatile", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("b", "durable"); err != nil {
+		t.Fatal(err)
+	}
+	// Before the crash the overlay is visible.
+	if _, ok, _ := s.Get("b", "volatile"); !ok {
+		t.Fatal("overlay write invisible")
+	}
+	if _, ok, _ := s.Get("b", "durable"); ok {
+		t.Fatal("overlay delete invisible")
+	}
+
+	s.Crash()
+
+	if _, ok, _ := s.Get("b", "volatile"); ok {
+		t.Error("unsynced write survived crash")
+	}
+	v, ok, _ := s.Get("b", "durable")
+	if !ok || string(v) != "d" {
+		t.Error("unsynced delete survived crash")
+	}
+}
+
+func TestMemSyncModeSurvivesCrash(t *testing.T) {
+	s := NewMemStore(WriteSync)
+	defer s.Close()
+	if err := s.Put("b", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	s.Crash()
+	if _, ok, _ := s.Get("b", "k"); !ok {
+		t.Error("sync-mode write lost on crash")
+	}
+}
+
+func TestDiskPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("seg", "file1", []byte("contents")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	v, ok, err := s2.Get("seg", "file1")
+	if err != nil || !ok || string(v) != "contents" {
+		t.Fatalf("reopened Get = %q %v %v", v, ok, err)
+	}
+}
+
+// Property: a random sequence of puts/deletes leaves MemStore(WriteAsync)
+// after Sync in the same state as MemStore(WriteSync).
+func TestQuickAsyncSyncEquivalence(t *testing.T) {
+	type op struct {
+		Del bool
+		Key uint8
+		Val []byte
+	}
+	f := func(ops []op) bool {
+		a := NewMemStore(WriteSync)
+		b := NewMemStore(WriteAsync)
+		for _, o := range ops {
+			k := fmt.Sprintf("k%d", o.Key%8)
+			if o.Del {
+				_ = a.Delete("b", k)
+				_ = b.Delete("b", k)
+			} else {
+				_ = a.Put("b", k, o.Val)
+				_ = b.Put("b", k, o.Val)
+			}
+		}
+		if err := b.Sync(); err != nil {
+			return false
+		}
+		ka, _ := a.Keys("b")
+		kb, _ := b.Keys("b")
+		if len(ka) != len(kb) {
+			return false
+		}
+		for i := range ka {
+			if ka[i] != kb[i] {
+				return false
+			}
+			va, _, _ := a.Get("b", ka[i])
+			vb, _, _ := b.Get("b", kb[i])
+			if !bytes.Equal(va, vb) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: disk store round-trips arbitrary binary values.
+func TestQuickDiskRoundTrip(t *testing.T) {
+	s, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	f := func(key string, val []byte) bool {
+		if err := s.Put("q", key, val); err != nil {
+			return false
+		}
+		got, ok, err := s.Get("q", key)
+		return err == nil && ok && bytes.Equal(got, val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

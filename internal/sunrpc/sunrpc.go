@@ -1,0 +1,511 @@
+// Package sunrpc implements the ONC Remote Procedure Call protocol, version
+// 2 (RFC 1057), over TCP with record marking. Deceit serves the standard
+// NFS and MOUNT programs over this layer so that stock NFS clients need no
+// modification (§2.1).
+package sunrpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/xdr"
+)
+
+// RPC protocol constants (RFC 1057).
+const (
+	rpcVersion = 2
+
+	msgCall  = 0
+	msgReply = 1
+
+	replyAccepted = 0
+	replyDenied   = 1
+)
+
+// AcceptStat is the status of an accepted RPC call.
+type AcceptStat uint32
+
+// Accept statuses (RFC 1057 §8).
+const (
+	Success      AcceptStat = 0
+	ProgUnavail  AcceptStat = 1
+	ProgMismatch AcceptStat = 2
+	ProcUnavail  AcceptStat = 3
+	GarbageArgs  AcceptStat = 4
+	SystemErr    AcceptStat = 5
+)
+
+// Auth flavors.
+const (
+	AuthNone uint32 = 0
+	AuthUnix uint32 = 1
+)
+
+// Cred carries the caller's credentials.
+type Cred struct {
+	Flavor uint32
+	Body   []byte
+}
+
+// UnixCred is a parsed AUTH_UNIX credential body (RFC 1057 §9.2).
+type UnixCred struct {
+	Stamp       uint32
+	MachineName string
+	UID, GID    uint32
+	GIDs        []uint32
+}
+
+// ParseUnix decodes an AUTH_UNIX credential, returning a zero value for
+// other flavors.
+func (c Cred) ParseUnix() (UnixCred, bool) {
+	if c.Flavor != AuthUnix {
+		return UnixCred{}, false
+	}
+	d := xdr.NewDecoder(c.Body)
+	u := UnixCred{
+		Stamp:       d.Uint32(),
+		MachineName: d.String(),
+		UID:         d.Uint32(),
+		GID:         d.Uint32(),
+	}
+	n := d.Uint32()
+	for i := uint32(0); i < n && i < 16; i++ {
+		u.GIDs = append(u.GIDs, d.Uint32())
+	}
+	if d.Err() != nil {
+		return UnixCred{}, false
+	}
+	return u, true
+}
+
+// MarshalUnixCred encodes an AUTH_UNIX credential body.
+func MarshalUnixCred(u UnixCred) []byte {
+	e := xdr.NewEncoder(nil)
+	e.Uint32(u.Stamp)
+	e.String(u.MachineName)
+	e.Uint32(u.UID)
+	e.Uint32(u.GID)
+	e.Uint32(uint32(len(u.GIDs)))
+	for _, g := range u.GIDs {
+		e.Uint32(g)
+	}
+	return e.Bytes()
+}
+
+// Handler serves one RPC program version. It returns the XDR-encoded result
+// and an accept status; on a non-Success status the result is ignored.
+type Handler func(proc uint32, cred Cred, args []byte) ([]byte, AcceptStat)
+
+type progVers struct {
+	prog, vers uint32
+}
+
+// Server is a TCP RPC server multiplexing any number of programs.
+type Server struct {
+	mu       sync.Mutex
+	handlers map[progVers]Handler
+	versions map[uint32][2]uint32 // prog -> [low, high]
+	ln       net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns an empty RPC server.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[progVers]Handler),
+		versions: make(map[uint32][2]uint32),
+		conns:    make(map[net.Conn]bool),
+	}
+}
+
+// Register installs a handler for one (program, version).
+func (s *Server) Register(prog, vers uint32, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[progVers{prog, vers}] = h
+	lo, hi := vers, vers
+	if v, ok := s.versions[prog]; ok {
+		if v[0] < lo {
+			lo = v[0]
+		}
+		if v[1] > hi {
+			hi = v[1]
+		}
+	}
+	s.versions[prog] = [2]uint32{lo, hi}
+}
+
+// Listen starts accepting connections on addr ("host:port"; port 0 picks a
+// free port). It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("sunrpc: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the server and closes all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var writeMu sync.Mutex
+	for {
+		rec, err := ReadRecord(conn)
+		if err != nil {
+			return
+		}
+		reply, err := s.dispatch(rec)
+		if err != nil {
+			continue // unparseable call; nothing to reply to
+		}
+		writeMu.Lock()
+		err = WriteRecord(conn, reply)
+		writeMu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// dispatch parses one call record and produces the encoded reply record.
+func (s *Server) dispatch(rec []byte) ([]byte, error) {
+	d := xdr.NewDecoder(rec)
+	xid := d.Uint32()
+	mtype := d.Uint32()
+	if d.Err() != nil || mtype != msgCall {
+		return nil, errors.New("sunrpc: not a call")
+	}
+	rpcvers := d.Uint32()
+	prog := d.Uint32()
+	vers := d.Uint32()
+	proc := d.Uint32()
+	credFlavor := d.Uint32()
+	credBody := d.Opaque()
+	_ = d.Uint32() // verf flavor
+	_ = d.Opaque() // verf body
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	args := make([]byte, d.Remaining())
+	copy(args, rec[len(rec)-d.Remaining():])
+
+	if rpcvers != rpcVersion {
+		// RPC version mismatch is a denied reply.
+		e := xdr.NewEncoder(nil)
+		e.Uint32(xid)
+		e.Uint32(msgReply)
+		e.Uint32(replyDenied)
+		e.Uint32(0) // RPC_MISMATCH
+		e.Uint32(rpcVersion)
+		e.Uint32(rpcVersion)
+		return e.Bytes(), nil
+	}
+
+	s.mu.Lock()
+	h := s.handlers[progVers{prog, vers}]
+	vrange, progKnown := s.versions[prog]
+	s.mu.Unlock()
+
+	var result []byte
+	var stat AcceptStat
+	switch {
+	case h != nil:
+		result, stat = h(proc, Cred{Flavor: credFlavor, Body: credBody}, args)
+	case progKnown:
+		stat = ProgMismatch
+	default:
+		stat = ProgUnavail
+	}
+
+	e := xdr.NewEncoder(nil)
+	e.Uint32(xid)
+	e.Uint32(msgReply)
+	e.Uint32(replyAccepted)
+	e.Uint32(AuthNone) // verf
+	e.Opaque(nil)
+	e.Uint32(uint32(stat))
+	switch stat {
+	case Success:
+		e.Raw(result) // result is already XDR-encoded; append verbatim
+	case ProgMismatch:
+		e.Uint32(vrange[0])
+		e.Uint32(vrange[1])
+	}
+	return e.Bytes(), nil
+}
+
+// ---------------------------------------------------------------- client --
+
+// Client is a TCP RPC client. It is safe for concurrent use; calls are
+// matched to replies by xid.
+type Client struct {
+	conn net.Conn
+	xid  atomic.Uint32
+	cred Cred
+
+	writeMu sync.Mutex
+	mu      sync.Mutex
+	pending map[uint32]chan []byte
+	closed  bool
+	readErr error
+}
+
+// Dial connects to an RPC server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("sunrpc: %w", err)
+	}
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint32]chan []byte),
+		cred:    Cred{Flavor: AuthNone},
+	}
+	c.xid.Store(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// SetUnixCred attaches an AUTH_UNIX credential to subsequent calls.
+func (c *Client) SetUnixCred(u UnixCred) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cred = Cred{Flavor: AuthUnix, Body: MarshalUnixCred(u)}
+}
+
+// Close tears the connection down; in-flight calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// ErrClosed reports a call on a closed or failed client.
+var ErrClosed = errors.New("sunrpc: connection closed")
+
+// RPCError is a non-Success accept status from the server.
+type RPCError struct {
+	Stat AcceptStat
+}
+
+func (e *RPCError) Error() string {
+	return fmt.Sprintf("sunrpc: accept status %d", e.Stat)
+}
+
+// Call invokes (prog, vers, proc) with XDR-encoded args and returns the
+// XDR-encoded result.
+func (c *Client) Call(prog, vers, proc uint32, args []byte) ([]byte, error) {
+	xid := c.xid.Add(1)
+	ch := make(chan []byte, 1)
+
+	c.mu.Lock()
+	if c.closed {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+	c.pending[xid] = ch
+	cred := c.cred
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, xid)
+		c.mu.Unlock()
+	}()
+
+	e := xdr.NewEncoder(nil)
+	e.Uint32(xid)
+	e.Uint32(msgCall)
+	e.Uint32(rpcVersion)
+	e.Uint32(prog)
+	e.Uint32(vers)
+	e.Uint32(proc)
+	e.Uint32(cred.Flavor)
+	e.Opaque(cred.Body)
+	e.Uint32(AuthNone)
+	e.Opaque(nil)
+	e.Raw(args)
+
+	c.writeMu.Lock()
+	err := WriteRecord(c.conn, e.Bytes())
+	c.writeMu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("sunrpc: %w", err)
+	}
+
+	rec, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+	return parseReply(rec)
+}
+
+func parseReply(rec []byte) ([]byte, error) {
+	d := xdr.NewDecoder(rec)
+	_ = d.Uint32() // xid, already matched
+	if mtype := d.Uint32(); mtype != msgReply {
+		return nil, errors.New("sunrpc: not a reply")
+	}
+	switch d.Uint32() {
+	case replyAccepted:
+		_ = d.Uint32() // verf flavor
+		_ = d.Opaque() // verf body
+		stat := AcceptStat(d.Uint32())
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if stat != Success {
+			return nil, &RPCError{Stat: stat}
+		}
+		out := make([]byte, d.Remaining())
+		copy(out, rec[len(rec)-d.Remaining():])
+		return out, nil
+	case replyDenied:
+		return nil, errors.New("sunrpc: call denied")
+	default:
+		return nil, errors.New("sunrpc: bad reply status")
+	}
+}
+
+func (c *Client) readLoop() {
+	for {
+		rec, err := ReadRecord(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.closed = true
+			c.readErr = ErrClosed
+			for xid, ch := range c.pending {
+				close(ch)
+				delete(c.pending, xid)
+			}
+			c.mu.Unlock()
+			return
+		}
+		if len(rec) < 4 {
+			continue
+		}
+		xid := binary.BigEndian.Uint32(rec)
+		c.mu.Lock()
+		ch := c.pending[xid]
+		delete(c.pending, xid)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- rec
+			close(ch)
+		}
+	}
+}
+
+// -------------------------------------------------------- record marking --
+
+// maxRecord bounds a reassembled record.
+const maxRecord = 1 << 26
+
+// WriteRecord writes one RPC record with record marking (RFC 1057 §10):
+// a 4-byte header whose high bit marks the final fragment and whose low 31
+// bits give the fragment length.
+func WriteRecord(w io.Writer, data []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data))|0x80000000)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+// ReadRecord reads one possibly-fragmented RPC record.
+func ReadRecord(r io.Reader) ([]byte, error) {
+	var out []byte
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, err
+		}
+		h := binary.BigEndian.Uint32(hdr[:])
+		last := h&0x80000000 != 0
+		n := int(h & 0x7FFFFFFF)
+		if n+len(out) > maxRecord {
+			return nil, errors.New("sunrpc: record too large")
+		}
+		frag := make([]byte, n)
+		if _, err := io.ReadFull(r, frag); err != nil {
+			return nil, err
+		}
+		out = append(out, frag...)
+		if last {
+			return out, nil
+		}
+	}
+}

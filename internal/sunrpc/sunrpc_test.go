@@ -1,0 +1,221 @@
+package sunrpc
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/xdr"
+)
+
+const (
+	testProg = 200100
+	testVers = 1
+)
+
+// echoHandler returns its args; proc 2 reverses them; proc 99 is unknown.
+func echoHandler(proc uint32, cred Cred, args []byte) ([]byte, AcceptStat) {
+	switch proc {
+	case 0: // null
+		return nil, Success
+	case 1:
+		return args, Success
+	case 2:
+		out := make([]byte, len(args))
+		for i := range args {
+			out[i] = args[len(args)-1-i]
+		}
+		return out, Success
+	case 3: // who am I (AUTH_UNIX check)
+		u, ok := cred.ParseUnix()
+		if !ok {
+			return nil, SystemErr
+		}
+		e := xdr.NewEncoder(nil)
+		e.Uint32(u.UID)
+		e.String(u.MachineName)
+		return e.Bytes(), Success
+	default:
+		return nil, ProcUnavail
+	}
+}
+
+func startServer(t *testing.T) (addr string, srv *Server) {
+	t.Helper()
+	srv = NewServer()
+	srv.Register(testProg, testVers, echoHandler)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr, srv
+}
+
+func TestNullAndEchoCall(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Call(testProg, testVers, 0, nil); err != nil {
+		t.Fatalf("null call: %v", err)
+	}
+	args := []byte{0, 0, 0, 42, 1, 2, 3, 4}
+	res, err := c.Call(testProg, testVers, 1, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res, args) {
+		t.Errorf("echo = %v", res)
+	}
+}
+
+func TestProcProgVersErrors(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_, err = c.Call(testProg, testVers, 99, nil)
+	var rpcErr *RPCError
+	if !asRPCError(err, &rpcErr) || rpcErr.Stat != ProcUnavail {
+		t.Errorf("unknown proc err = %v", err)
+	}
+	_, err = c.Call(testProg, testVers+5, 0, nil)
+	if !asRPCError(err, &rpcErr) || rpcErr.Stat != ProgMismatch {
+		t.Errorf("bad version err = %v", err)
+	}
+	_, err = c.Call(999999, 1, 0, nil)
+	if !asRPCError(err, &rpcErr) || rpcErr.Stat != ProgUnavail {
+		t.Errorf("unknown prog err = %v", err)
+	}
+}
+
+func asRPCError(err error, out **RPCError) bool {
+	e, ok := err.(*RPCError)
+	if ok {
+		*out = e
+	}
+	return ok
+}
+
+func TestAuthUnixCredentials(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetUnixCred(UnixCred{Stamp: 7, MachineName: "client-host", UID: 501, GID: 100, GIDs: []uint32{100, 4}})
+
+	res, err := c.Call(testProg, testVers, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := xdr.NewDecoder(res)
+	if uid := d.Uint32(); uid != 501 {
+		t.Errorf("uid = %d", uid)
+	}
+	if host := d.String(); host != "client-host" {
+		t.Errorf("host = %q", host)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				payload := []byte(fmt.Sprintf("worker-%02d-msg-%02d!", i, j)) // multiple of 4
+				res, err := c.Call(testProg, testVers, 2, payload)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for k := range payload {
+					if res[k] != payload[len(payload)-1-k] {
+						errs <- fmt.Errorf("bad reverse for %q: %q", payload, res)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestCallAfterServerClose(t *testing.T) {
+	addr, srv := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv.Close()
+	if _, err := c.Call(testProg, testVers, 0, nil); err == nil {
+		t.Error("call after server close succeeded")
+	}
+}
+
+func TestRecordMarkingFragments(t *testing.T) {
+	// A record split into three fragments reassembles.
+	var buf bytes.Buffer
+	writeFrag := func(data []byte, last bool) {
+		h := uint32(len(data))
+		if last {
+			h |= 0x80000000
+		}
+		var hdr [4]byte
+		hdr[0] = byte(h >> 24)
+		hdr[1] = byte(h >> 16)
+		hdr[2] = byte(h >> 8)
+		hdr[3] = byte(h)
+		buf.Write(hdr[:])
+		buf.Write(data)
+	}
+	writeFrag([]byte("abc"), false)
+	writeFrag([]byte("def"), false)
+	writeFrag([]byte("g"), true)
+	rec, err := ReadRecord(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec) != "abcdefg" {
+		t.Errorf("record = %q", rec)
+	}
+}
+
+func TestWriteReadRecordRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	data := bytes.Repeat([]byte{9}, 10000)
+	if err := WriteRecord(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ReadRecord(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec, data) {
+		t.Error("record corrupted")
+	}
+}

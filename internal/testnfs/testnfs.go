@@ -1,0 +1,106 @@
+package testnfs
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/testutil"
+)
+
+// NFSNode is one full Deceit server with its RPC endpoint.
+type NFSNode struct {
+	Server *server.Server
+	Store  *store.MemStore
+	Addr   string
+}
+
+// NFSCell is a cell of complete Deceit servers: inter-server traffic runs on
+// the simulated network, while clients connect over real localhost TCP —
+// the multi-process-on-one-box shape the reproduction targets.
+type NFSCell struct {
+	Net   *simnet.Network
+	IDs   []simnet.NodeID
+	Nodes []*NFSNode
+}
+
+// NewNFSCell starts n full servers; the first one initializes the cell root.
+func NewNFSCell(n int) (*NFSCell, error) {
+	return NewNFSCellParams(n, core.DefaultParams())
+}
+
+// NewNFSCellParams starts a cell whose new files default to params.
+func NewNFSCellParams(n int, params core.Params) (*NFSCell, error) {
+	c := &NFSCell{Net: simnet.NewNetwork()}
+	for i := 0; i < n; i++ {
+		c.IDs = append(c.IDs, simnet.NodeID(fmt.Sprintf("srv%d", i)))
+	}
+	for i := 0; i < n; i++ {
+		nd, err := c.StartNFSNode(i, store.NewMemStore(store.WriteSync), i == 0, params)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, nd)
+	}
+	return c, nil
+}
+
+// StartNFSNode boots server i with the given store.
+func (c *NFSCell) StartNFSNode(i int, st *store.MemStore, initRoot bool, params core.Params) (*NFSNode, error) {
+	ep := c.Net.Attach(c.IDs[i])
+	srv, err := server.New(server.Config{
+		Transport:     ep,
+		Peers:         c.IDs,
+		Store:         st,
+		ISIS:          testutil.FastISISOpts(),
+		Core:          testutil.FastCoreOpts(),
+		DefaultParams: params,
+		InitRoot:      initRoot,
+	})
+	if err != nil {
+		return nil, err
+	}
+	addr, err := srv.ServeNFS("127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	return &NFSNode{Server: srv, Store: st, Addr: addr}, nil
+}
+
+// Addrs returns the NFS endpoints of all live nodes.
+func (c *NFSCell) Addrs() []string {
+	out := make([]string, 0, len(c.Nodes))
+	for _, nd := range c.Nodes {
+		if nd != nil {
+			out = append(out, nd.Addr)
+		}
+	}
+	return out
+}
+
+// CrashNFS kills node i (server, endpoint and all).
+func (c *NFSCell) CrashNFS(i int) *store.MemStore {
+	nd := c.Nodes[i]
+	if nd == nil {
+		return nil
+	}
+	st := nd.Store
+	nd.Server.Close()
+	c.Net.Detach(c.IDs[i])
+	c.Nodes[i] = nil
+	return st
+}
+
+// Close shuts the whole cell down.
+func (c *NFSCell) Close() {
+	for _, nd := range c.Nodes {
+		if nd != nil {
+			nd.Server.Close()
+		}
+	}
+	c.Net.Close()
+}

@@ -1,0 +1,275 @@
+// Package version implements Deceit's version pairs and history-tree
+// comparison (§3.5, "Histories and Version Pairs").
+//
+// Each replica of a file implicitly carries an update history. Deceit does
+// not store full histories; it maintains a one-to-one mapping from histories
+// to integer pairs (v1, v2) where v1 is the major version number and v2 the
+// subversion number. v2 increments on every update; v1 changes to a fresh
+// globally unique value at every potential branch point in the history tree.
+// Branch points are recorded so that version pairs can be compared as if the
+// full histories were available.
+package version
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Pair is a (major, subversion) version pair. The zero Pair is "no version".
+type Pair struct {
+	Major uint64
+	Sub   uint64
+}
+
+// InitialMajor is the major version of a freshly created file.
+const InitialMajor = 1
+
+// Initial is the version pair of a freshly created file before any update.
+func Initial() Pair { return Pair{Major: InitialMajor, Sub: 0} }
+
+// IsZero reports whether p is the "no version" value.
+func (p Pair) IsZero() bool { return p == Pair{} }
+
+// Next returns the pair after one more update under the same major version.
+func (p Pair) Next() Pair { return Pair{Major: p.Major, Sub: p.Sub + 1} }
+
+func (p Pair) String() string { return fmt.Sprintf("(%d,%d)", p.Major, p.Sub) }
+
+// MarshalWire implements wire.Marshaler.
+func (p *Pair) MarshalWire(e *wire.Encoder) {
+	e.Uint64(p.Major)
+	e.Uint64(p.Sub)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (p *Pair) UnmarshalWire(d *wire.Decoder) error {
+	p.Major = d.Uint64()
+	p.Sub = d.Uint64()
+	return d.Err()
+}
+
+// Relation is the outcome of comparing two version pairs as histories.
+type Relation int
+
+// Possible history relations.
+const (
+	Equal Relation = iota
+	AncestorOf
+	DescendantOf
+	Incomparable
+)
+
+func (r Relation) String() string {
+	switch r {
+	case Equal:
+		return "equal"
+	case AncestorOf:
+		return "ancestor"
+	case DescendantOf:
+		return "descendant"
+	case Incomparable:
+		return "incomparable"
+	default:
+		return "invalid"
+	}
+}
+
+// Branch records a potential branch point: major NewMajor was forked from
+// history (FromMajor, FromSub).
+type Branch struct {
+	NewMajor  uint64
+	FromMajor uint64
+	FromSub   uint64
+}
+
+// Log is the set of branch records for one file, stored alongside each
+// replica (§3.5: "these branch points are recorded with a replica so that
+// version number pairs can be compared as if the histories that they
+// represent were available"). Log is safe for concurrent use.
+type Log struct {
+	mu       sync.RWMutex
+	branches map[uint64]Branch // NewMajor -> record
+}
+
+// NewLog returns an empty branch log.
+func NewLog() *Log {
+	return &Log{branches: make(map[uint64]Branch)}
+}
+
+// Add records a branch point. Adding the same record twice is a no-op;
+// adding a conflicting record for an existing major is rejected, since major
+// numbers are globally unique.
+func (l *Log) Add(b Branch) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if old, ok := l.branches[b.NewMajor]; ok {
+		if old != b {
+			return fmt.Errorf("version: conflicting branch records for major %d: %+v vs %+v", b.NewMajor, old, b)
+		}
+		return nil
+	}
+	l.branches[b.NewMajor] = b
+	return nil
+}
+
+// Known reports whether the log has a branch record for major (or major is
+// the initial major, which needs none).
+func (l *Log) Known(major uint64) bool {
+	if major == InitialMajor {
+		return true
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	_, ok := l.branches[major]
+	return ok
+}
+
+// Majors returns every major version mentioned in the log plus the initial
+// major, sorted.
+func (l *Log) Majors() []uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	set := map[uint64]bool{InitialMajor: true}
+	for m, b := range l.branches {
+		set[m] = true
+		set[b.FromMajor] = true
+	}
+	out := make([]uint64, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// chain returns the history of p as a list of (major, sub-at-branch) hops
+// from p's major back toward the root. The first element is p itself.
+func (l *Log) chain(p Pair) []Pair {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := []Pair{p}
+	cur := p
+	for cur.Major != InitialMajor {
+		b, ok := l.branches[cur.Major]
+		if !ok {
+			break // unknown lineage; comparison degrades to incomparable
+		}
+		cur = Pair{Major: b.FromMajor, Sub: b.FromSub}
+		out = append(out, cur)
+		if len(out) > 1<<16 {
+			break // defensive: corrupt log with a cycle
+		}
+	}
+	return out
+}
+
+// ancestorOf reports whether history a is a prefix of history b, i.e. every
+// update in a is also in b.
+func (l *Log) ancestorOf(a, b Pair) bool {
+	// Walk b's lineage; if we find a's major, a is an ancestor iff a's sub
+	// is no later than the point at which b's lineage passed through it.
+	for _, hop := range l.chain(b) {
+		if hop.Major == a.Major {
+			return a.Sub <= hop.Sub
+		}
+	}
+	return false
+}
+
+// Compare determines the history relation of a and b using the branch log.
+// The identity (v1==v1' && v2<v2') => ancestor from §3.5 is the same-major
+// fast path.
+func (l *Log) Compare(a, b Pair) Relation {
+	if a == b {
+		return Equal
+	}
+	if a.Major == b.Major {
+		if a.Sub < b.Sub {
+			return AncestorOf
+		}
+		return DescendantOf
+	}
+	if l.ancestorOf(a, b) {
+		return AncestorOf
+	}
+	if l.ancestorOf(b, a) {
+		return DescendantOf
+	}
+	return Incomparable
+}
+
+// Snapshot serializes the log.
+func (l *Log) Snapshot() []byte {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	majors := make([]uint64, 0, len(l.branches))
+	for m := range l.branches {
+		majors = append(majors, m)
+	}
+	sort.Slice(majors, func(i, j int) bool { return majors[i] < majors[j] })
+	e := wire.NewEncoder(nil)
+	e.Uint32(uint32(len(majors)))
+	for _, m := range majors {
+		b := l.branches[m]
+		e.Uint64(b.NewMajor)
+		e.Uint64(b.FromMajor)
+		e.Uint64(b.FromSub)
+	}
+	return e.Bytes()
+}
+
+// Merge installs every branch record from a snapshot produced by Snapshot,
+// keeping existing records. Conflicting records are reported but the merge
+// continues, so one corrupt peer cannot wedge reconciliation.
+func (l *Log) Merge(snap []byte) error {
+	d := wire.NewDecoder(snap)
+	n := int(d.Uint32())
+	var firstErr error
+	for i := 0; i < n; i++ {
+		b := Branch{NewMajor: d.Uint64(), FromMajor: d.Uint64(), FromSub: d.Uint64()}
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if err := l.Add(b); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	return firstErr
+}
+
+// Allocator hands out globally unique major version numbers. Uniqueness is
+// achieved by embedding a 32-bit hash of the allocating server's name in the
+// high bits and a local counter in the low bits; the paper similarly has
+// each server pick "a globally unique major version number" (§3.5, Token
+// Generation).
+type Allocator struct {
+	mu      sync.Mutex
+	base    uint64
+	counter uint64
+}
+
+// NewAllocator returns an allocator seeded by the server name.
+func NewAllocator(server string) *Allocator {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(server))
+	base := uint64(h.Sum32())
+	if base == 0 {
+		base = 1 // avoid colliding with InitialMajor space
+	}
+	return &Allocator{base: base << 32}
+}
+
+// Next returns a fresh major version number, never InitialMajor or zero.
+func (a *Allocator) Next() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.counter++
+	return a.base | a.counter
+}

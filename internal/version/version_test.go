@@ -1,0 +1,255 @@
+package version
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wire"
+)
+
+func TestPairBasics(t *testing.T) {
+	p := Initial()
+	if p.Major != InitialMajor || p.Sub != 0 {
+		t.Fatalf("Initial = %v", p)
+	}
+	if p.IsZero() {
+		t.Error("Initial must not be zero")
+	}
+	if (Pair{}).IsZero() == false {
+		t.Error("zero pair must be zero")
+	}
+	n := p.Next()
+	if n.Major != p.Major || n.Sub != p.Sub+1 {
+		t.Errorf("Next = %v", n)
+	}
+	if p.String() != "(1,0)" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestPairWireRoundTrip(t *testing.T) {
+	f := func(major, sub uint64) bool {
+		in := Pair{Major: major, Sub: sub}
+		var out Pair
+		if err := wire.Unmarshal(wire.Marshal(&in), &out); err != nil {
+			return false
+		}
+		return in == out
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameMajorComparison(t *testing.T) {
+	l := NewLog()
+	a := Pair{Major: 1, Sub: 3}
+	b := Pair{Major: 1, Sub: 7}
+	if r := l.Compare(a, b); r != AncestorOf {
+		t.Errorf("Compare(a,b) = %v", r)
+	}
+	if r := l.Compare(b, a); r != DescendantOf {
+		t.Errorf("Compare(b,a) = %v", r)
+	}
+	if r := l.Compare(a, a); r != Equal {
+		t.Errorf("Compare(a,a) = %v", r)
+	}
+}
+
+// Build the history tree from the paper's partition scenario: major 1 is
+// updated to sub 5, then a partition forks major 9 at (1,3) and major 12 at
+// (1,5).
+func partitionLog(t *testing.T) *Log {
+	t.Helper()
+	l := NewLog()
+	if err := l.Add(Branch{NewMajor: 9, FromMajor: 1, FromSub: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add(Branch{NewMajor: 12, FromMajor: 1, FromSub: 5}); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestBranchComparison(t *testing.T) {
+	l := partitionLog(t)
+
+	// The fork point is an ancestor of the fork.
+	if r := l.Compare(Pair{1, 3}, Pair{9, 2}); r != AncestorOf {
+		t.Errorf("(1,3) vs (9,2) = %v", r)
+	}
+	if r := l.Compare(Pair{9, 2}, Pair{1, 3}); r != DescendantOf {
+		t.Errorf("(9,2) vs (1,3) = %v", r)
+	}
+	// Updates past the fork point are incomparable with the fork.
+	if r := l.Compare(Pair{1, 4}, Pair{9, 2}); r != Incomparable {
+		t.Errorf("(1,4) vs (9,2) = %v", r)
+	}
+	// The two forks are incomparable with each other.
+	if r := l.Compare(Pair{9, 1}, Pair{12, 1}); r != Incomparable {
+		t.Errorf("(9,1) vs (12,1) = %v", r)
+	}
+	// (1,5) is an ancestor of major 12 (forked at sub 5) but not of major 9
+	// (forked at sub 3).
+	if r := l.Compare(Pair{1, 5}, Pair{12, 0}); r != AncestorOf {
+		t.Errorf("(1,5) vs (12,0) = %v", r)
+	}
+	if r := l.Compare(Pair{1, 5}, Pair{9, 9}); r != Incomparable {
+		t.Errorf("(1,5) vs (9,9) = %v", r)
+	}
+}
+
+func TestNestedBranches(t *testing.T) {
+	l := NewLog()
+	must := func(b Branch) {
+		t.Helper()
+		if err := l.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(Branch{NewMajor: 5, FromMajor: 1, FromSub: 2})
+	must(Branch{NewMajor: 7, FromMajor: 5, FromSub: 4})
+
+	// Root is an ancestor of the grandchild through two hops.
+	if r := l.Compare(Pair{1, 1}, Pair{7, 0}); r != AncestorOf {
+		t.Errorf("(1,1) vs (7,0) = %v", r)
+	}
+	if r := l.Compare(Pair{7, 3}, Pair{1, 2}); r != DescendantOf {
+		t.Errorf("(7,3) vs (1,2) = %v", r)
+	}
+	// Sibling-of-lineage updates are incomparable.
+	if r := l.Compare(Pair{5, 5}, Pair{7, 0}); r != Incomparable {
+		t.Errorf("(5,5) vs (7,0) = %v", r)
+	}
+}
+
+func TestUnknownLineageIsIncomparable(t *testing.T) {
+	l := NewLog()
+	if r := l.Compare(Pair{42, 1}, Pair{1, 5}); r != Incomparable {
+		t.Errorf("unknown major comparison = %v", r)
+	}
+	if l.Known(42) {
+		t.Error("Known(42) = true on empty log")
+	}
+	if !l.Known(InitialMajor) {
+		t.Error("initial major must be known")
+	}
+}
+
+func TestAddConflictRejected(t *testing.T) {
+	l := NewLog()
+	b := Branch{NewMajor: 9, FromMajor: 1, FromSub: 3}
+	if err := l.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add(b); err != nil {
+		t.Fatalf("idempotent Add failed: %v", err)
+	}
+	if err := l.Add(Branch{NewMajor: 9, FromMajor: 1, FromSub: 4}); err == nil {
+		t.Error("conflicting Add accepted")
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	l := partitionLog(t)
+	snap := l.Snapshot()
+
+	other := NewLog()
+	if err := other.Add(Branch{NewMajor: 20, FromMajor: 1, FromSub: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Merge(snap); err != nil {
+		t.Fatal(err)
+	}
+	// Merged log answers both sides' questions.
+	if r := other.Compare(Pair{1, 3}, Pair{9, 0}); r != AncestorOf {
+		t.Errorf("merged compare = %v", r)
+	}
+	if !other.Known(20) || !other.Known(9) || !other.Known(12) {
+		t.Error("merge lost records")
+	}
+	ms := other.Majors()
+	if len(ms) != 4 { // 1, 9, 12, 20
+		t.Errorf("Majors = %v", ms)
+	}
+}
+
+func TestMergeEmptyAndCorrupt(t *testing.T) {
+	l := NewLog()
+	if err := l.Merge(NewLog().Snapshot()); err != nil {
+		t.Fatalf("empty merge: %v", err)
+	}
+	if err := l.Merge([]byte{0, 0, 0, 9, 1}); err == nil {
+		t.Error("corrupt merge accepted")
+	}
+}
+
+func TestAllocatorUnique(t *testing.T) {
+	a := NewAllocator("serverA")
+	b := NewAllocator("serverB")
+	seen := map[uint64]bool{InitialMajor: true, 0: true}
+	for i := 0; i < 1000; i++ {
+		for _, al := range []*Allocator{a, b} {
+			v := al.Next()
+			if seen[v] {
+				t.Fatalf("duplicate major %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// Property: Compare is antisymmetric and Equal only on identity.
+func TestQuickCompareAntisymmetry(t *testing.T) {
+	l := partitionLog(t)
+	f := func(am, as, bm, bs uint16) bool {
+		majors := []uint64{1, 9, 12}
+		a := Pair{Major: majors[int(am)%3], Sub: uint64(as % 8)}
+		b := Pair{Major: majors[int(bm)%3], Sub: uint64(bs % 8)}
+		ab, ba := l.Compare(a, b), l.Compare(b, a)
+		switch ab {
+		case Equal:
+			return a == b && ba == Equal
+		case AncestorOf:
+			return ba == DescendantOf
+		case DescendantOf:
+			return ba == AncestorOf
+		case Incomparable:
+			return ba == Incomparable
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ancestor relation is transitive along a lineage.
+func TestQuickAncestorTransitive(t *testing.T) {
+	l := NewLog()
+	_ = l.Add(Branch{NewMajor: 5, FromMajor: 1, FromSub: 2})
+	_ = l.Add(Branch{NewMajor: 7, FromMajor: 5, FromSub: 4})
+	f := func(x, y, z uint8) bool {
+		a := Pair{Major: 1, Sub: uint64(x % 3)}   // <= fork point 2
+		b := Pair{Major: 5, Sub: uint64(y%3) + 1} // on 5's lineage, <= 4
+		c := Pair{Major: 7, Sub: uint64(z)}       // descendant of both
+		if l.Compare(a, b) == AncestorOf && l.Compare(b, c) == AncestorOf {
+			return l.Compare(a, c) == AncestorOf
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	for r, want := range map[Relation]string{
+		Equal: "equal", AncestorOf: "ancestor", DescendantOf: "descendant",
+		Incomparable: "incomparable", Relation(9): "invalid",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("%d = %q, want %q", r, got, want)
+		}
+	}
+}

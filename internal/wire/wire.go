@@ -1,0 +1,293 @@
+// Package wire implements a small, allocation-conscious binary codec used
+// for all Deceit inter-server messages. It is deliberately simpler than XDR
+// (which is implemented separately in internal/xdr for the NFS wire
+// protocol): values are encoded in big-endian order with explicit lengths,
+// and decoding is error-sticky so call sites can check a single error after
+// a sequence of reads.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrTruncated is reported when a decoder runs past the end of its buffer.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrTooLong is reported when a length prefix exceeds the sanity limit.
+var ErrTooLong = errors.New("wire: length prefix exceeds limit")
+
+// MaxBytes bounds any single length-prefixed field. It exists to prevent a
+// corrupt length prefix from driving a huge allocation.
+const MaxBytes = 1 << 28 // 256 MiB
+
+// Encoder appends values to a byte slice.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an Encoder that appends to buf (which may be nil).
+func NewEncoder(buf []byte) *Encoder { return &Encoder{buf: buf} }
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards all encoded data but keeps the underlying capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Uint8 appends a single byte.
+func (e *Encoder) Uint8(v uint8) { e.buf = append(e.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Uint8(1)
+	} else {
+		e.Uint8(0)
+	}
+}
+
+// Uint16 appends a big-endian 16-bit value.
+func (e *Encoder) Uint16(v uint16) {
+	e.buf = binary.BigEndian.AppendUint16(e.buf, v)
+}
+
+// Uint32 appends a big-endian 32-bit value.
+func (e *Encoder) Uint32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// Uint64 appends a big-endian 64-bit value.
+func (e *Encoder) Uint64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// Int64 appends a 64-bit signed value.
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Int appends an int as 64 bits.
+func (e *Encoder) Int(v int) { e.Int64(int64(v)) }
+
+// Float64 appends an IEEE-754 64-bit float.
+func (e *Encoder) Float64(v float64) { e.Uint64(math.Float64bits(v)) }
+
+// Bytes32 appends a 32-bit length prefix followed by the bytes.
+func (e *Encoder) Bytes32(b []byte) {
+	e.Uint32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String appends a 32-bit length prefix followed by the string bytes.
+func (e *Encoder) String(s string) {
+	e.Uint32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// StringSlice appends a count followed by each string.
+func (e *Encoder) StringSlice(ss []string) {
+	e.Uint32(uint32(len(ss)))
+	for _, s := range ss {
+		e.String(s)
+	}
+}
+
+// Uint64Slice appends a count followed by each value.
+func (e *Encoder) Uint64Slice(vs []uint64) {
+	e.Uint32(uint32(len(vs)))
+	for _, v := range vs {
+		e.Uint64(v)
+	}
+}
+
+// Marshaler is implemented by message types that can encode themselves.
+type Marshaler interface {
+	MarshalWire(e *Encoder)
+}
+
+// Unmarshaler is implemented by message types that can decode themselves.
+type Unmarshaler interface {
+	UnmarshalWire(d *Decoder) error
+}
+
+// Marshal encodes m into a fresh buffer.
+func Marshal(m Marshaler) []byte {
+	e := NewEncoder(nil)
+	m.MarshalWire(e)
+	return e.Bytes()
+}
+
+// Unmarshal decodes data into m and fails if bytes remain.
+func Unmarshal(data []byte, m Unmarshaler) error {
+	d := NewDecoder(data)
+	if err := m.UnmarshalWire(d); err != nil {
+		return err
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("wire: %d trailing bytes after %T", d.Remaining(), m)
+	}
+	return d.Err()
+}
+
+// Decoder consumes values from a byte slice. The first error encountered is
+// sticky: subsequent reads return zero values, so callers may decode a whole
+// struct and check Err once at the end.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a Decoder reading from data.
+func NewDecoder(data []byte) *Decoder { return &Decoder{buf: data} }
+
+// Err returns the first decoding error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unconsumed bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.Remaining() < n {
+		d.fail(ErrTruncated)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// Uint8 reads a single byte.
+func (d *Decoder) Uint8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a boolean.
+func (d *Decoder) Bool() bool { return d.Uint8() != 0 }
+
+// Uint16 reads a big-endian 16-bit value.
+func (d *Decoder) Uint16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// Uint32 reads a big-endian 32-bit value.
+func (d *Decoder) Uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// Uint64 reads a big-endian 64-bit value.
+func (d *Decoder) Uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Int64 reads a 64-bit signed value.
+func (d *Decoder) Int64() int64 { return int64(d.Uint64()) }
+
+// Int reads an int encoded as 64 bits.
+func (d *Decoder) Int() int { return int(d.Int64()) }
+
+// Float64 reads an IEEE-754 64-bit float.
+func (d *Decoder) Float64() float64 { return math.Float64frombits(d.Uint64()) }
+
+func (d *Decoder) length() int {
+	n := d.Uint32()
+	if d.err != nil {
+		return 0
+	}
+	if n > MaxBytes {
+		d.fail(ErrTooLong)
+		return 0
+	}
+	return int(n)
+}
+
+// Bytes32 reads a length-prefixed byte slice. The returned slice is a copy.
+func (d *Decoder) Bytes32() []byte {
+	n := d.length()
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// BytesView reads a length-prefixed byte slice without copying. The returned
+// slice aliases the decoder's buffer and must not be retained past its
+// lifetime.
+func (d *Decoder) BytesView() []byte {
+	n := d.length()
+	return d.take(n)
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.length()
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// StringSlice reads a counted sequence of strings.
+func (d *Decoder) StringSlice() []string {
+	n := d.length()
+	if d.err != nil {
+		return nil
+	}
+	out := make([]string, 0, min(n, 1024))
+	for i := 0; i < n; i++ {
+		out = append(out, d.String())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// Uint64Slice reads a counted sequence of 64-bit values.
+func (d *Decoder) Uint64Slice() []uint64 {
+	n := d.length()
+	if d.err != nil {
+		return nil
+	}
+	out := make([]uint64, 0, min(n, 1024))
+	for i := 0; i < n; i++ {
+		out = append(out, d.Uint64())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}

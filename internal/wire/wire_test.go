@@ -1,0 +1,211 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uint8(0xAB)
+	e.Bool(true)
+	e.Bool(false)
+	e.Uint16(0xBEEF)
+	e.Uint32(0xDEADBEEF)
+	e.Uint64(0x0123456789ABCDEF)
+	e.Int64(-42)
+	e.Int(-7)
+	e.Float64(math.Pi)
+
+	d := NewDecoder(e.Bytes())
+	if got := d.Uint8(); got != 0xAB {
+		t.Errorf("Uint8 = %#x", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := d.Uint16(); got != 0xBEEF {
+		t.Errorf("Uint16 = %#x", got)
+	}
+	if got := d.Uint32(); got != 0xDEADBEEF {
+		t.Errorf("Uint32 = %#x", got)
+	}
+	if got := d.Uint64(); got != 0x0123456789ABCDEF {
+		t.Errorf("Uint64 = %#x", got)
+	}
+	if got := d.Int64(); got != -42 {
+		t.Errorf("Int64 = %d", got)
+	}
+	if got := d.Int(); got != -7 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := d.Float64(); got != math.Pi {
+		t.Errorf("Float64 = %v", got)
+	}
+	if d.Err() != nil {
+		t.Fatalf("decoder error: %v", d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("remaining = %d, want 0", d.Remaining())
+	}
+}
+
+func TestRoundTripComposite(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Bytes32([]byte("hello"))
+	e.String("world")
+	e.StringSlice([]string{"a", "", "ccc"})
+	e.Uint64Slice([]uint64{1, 2, 3})
+
+	d := NewDecoder(e.Bytes())
+	if got := d.Bytes32(); !bytes.Equal(got, []byte("hello")) {
+		t.Errorf("Bytes32 = %q", got)
+	}
+	if got := d.String(); got != "world" {
+		t.Errorf("String = %q", got)
+	}
+	ss := d.StringSlice()
+	if len(ss) != 3 || ss[0] != "a" || ss[1] != "" || ss[2] != "ccc" {
+		t.Errorf("StringSlice = %q", ss)
+	}
+	us := d.Uint64Slice()
+	if len(us) != 3 || us[0] != 1 || us[2] != 3 {
+		t.Errorf("Uint64Slice = %v", us)
+	}
+	if d.Err() != nil {
+		t.Fatalf("decoder error: %v", d.Err())
+	}
+}
+
+func TestTruncationIsSticky(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uint64(1)
+	data := e.Bytes()[:5] // cut mid-value
+
+	d := NewDecoder(data)
+	if got := d.Uint64(); got != 0 {
+		t.Errorf("truncated Uint64 = %d, want 0", got)
+	}
+	if d.Err() != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", d.Err())
+	}
+	// Subsequent reads keep failing and keep the first error.
+	_ = d.Uint32()
+	_ = d.String()
+	if d.Err() != ErrTruncated {
+		t.Fatalf("sticky err = %v, want ErrTruncated", d.Err())
+	}
+}
+
+func TestLengthSanityLimit(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uint32(MaxBytes + 1)
+	d := NewDecoder(e.Bytes())
+	_ = d.Bytes32()
+	if d.Err() != ErrTooLong {
+		t.Fatalf("err = %v, want ErrTooLong", d.Err())
+	}
+}
+
+func TestBytesViewAliases(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Bytes32([]byte{1, 2, 3})
+	data := e.Bytes()
+	d := NewDecoder(data)
+	v := d.BytesView()
+	if len(v) != 3 {
+		t.Fatalf("view len = %d", len(v))
+	}
+	data[4] = 99 // mutate underlying buffer; view must observe it
+	if v[0] != 99 {
+		t.Error("BytesView did not alias the decoder buffer")
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uint64(7)
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", e.Len())
+	}
+	e.Uint8(1)
+	if e.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", e.Len())
+	}
+}
+
+type testMsg struct {
+	A uint64
+	B string
+	C []byte
+}
+
+func (m *testMsg) MarshalWire(e *Encoder) {
+	e.Uint64(m.A)
+	e.String(m.B)
+	e.Bytes32(m.C)
+}
+
+func (m *testMsg) UnmarshalWire(d *Decoder) error {
+	m.A = d.Uint64()
+	m.B = d.String()
+	m.C = d.Bytes32()
+	return d.Err()
+}
+
+func TestMarshalUnmarshal(t *testing.T) {
+	in := &testMsg{A: 99, B: "x", C: []byte{4, 5}}
+	data := Marshal(in)
+	var out testMsg
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.A != in.A || out.B != in.B || !bytes.Equal(out.C, in.C) {
+		t.Errorf("round trip mismatch: %+v vs %+v", out, *in)
+	}
+	// Trailing garbage is an error.
+	if err := Unmarshal(append(data, 0), &out); err == nil {
+		t.Error("Unmarshal accepted trailing bytes")
+	}
+}
+
+// Property: any (uint64, string, bytes) triple survives a round trip.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(a uint64, b string, c []byte) bool {
+		in := &testMsg{A: a, B: b, C: c}
+		var out testMsg
+		if err := Unmarshal(Marshal(in), &out); err != nil {
+			return false
+		}
+		return out.A == a && out.B == b && bytes.Equal(out.C, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a decoder never reads past its buffer regardless of input.
+func TestQuickNoOverread(t *testing.T) {
+	f := func(data []byte) bool {
+		d := NewDecoder(data)
+		for d.Err() == nil && d.Remaining() > 0 {
+			switch d.Remaining() % 4 {
+			case 0:
+				d.Bytes32()
+			case 1:
+				d.Uint8()
+			case 2:
+				_ = d.String()
+			case 3:
+				d.Uint64()
+			}
+		}
+		return d.Remaining() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

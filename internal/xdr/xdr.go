@@ -1,0 +1,238 @@
+// Package xdr implements the External Data Representation encoding
+// (RFC 1014/4506) used by Sun RPC and NFS. Deceit speaks the standard NFS
+// protocol to clients (§2.1: "Deceit and NFS use the same client/server
+// communication protocol, i.e. the same transport and RPC interface"), so
+// this package provides the exact on-the-wire encoding: big-endian 32-bit
+// units with 4-byte alignment and zero padding.
+package xdr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors.
+var (
+	ErrTruncated = errors.New("xdr: truncated data")
+	ErrTooLong   = errors.New("xdr: length exceeds limit")
+)
+
+// MaxOpaque bounds variable-length fields to defend against corrupt lengths.
+const MaxOpaque = 1 << 26 // 64 MiB
+
+// Encoder appends XDR-encoded values to a buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder appending to buf (which may be nil).
+func NewEncoder(buf []byte) *Encoder { return &Encoder{buf: buf} }
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the current encoded length.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Uint32 encodes an unsigned 32-bit integer.
+func (e *Encoder) Uint32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// Int32 encodes a signed 32-bit integer.
+func (e *Encoder) Int32(v int32) { e.Uint32(uint32(v)) }
+
+// Uint64 encodes an unsigned 64-bit hyper integer.
+func (e *Encoder) Uint64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// Int64 encodes a signed 64-bit hyper integer.
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Bool encodes a boolean as a 32-bit 0/1.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Uint32(1)
+	} else {
+		e.Uint32(0)
+	}
+}
+
+// pad appends zero bytes up to 4-byte alignment.
+func (e *Encoder) pad(n int) {
+	for ; n%4 != 0; n++ {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// FixedOpaque encodes fixed-length opaque data (no length prefix), padded to
+// a 4-byte boundary.
+func (e *Encoder) FixedOpaque(b []byte) {
+	e.buf = append(e.buf, b...)
+	e.pad(len(b))
+}
+
+// Raw appends already-encoded XDR bytes verbatim, without padding.
+func (e *Encoder) Raw(b []byte) {
+	e.buf = append(e.buf, b...)
+}
+
+// Opaque encodes variable-length opaque data: length then padded bytes.
+func (e *Encoder) Opaque(b []byte) {
+	e.Uint32(uint32(len(b)))
+	e.FixedOpaque(b)
+}
+
+// String encodes a string as variable-length opaque.
+func (e *Encoder) String(s string) {
+	e.Uint32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+	e.pad(len(s))
+}
+
+// Decoder consumes XDR values from a buffer with a sticky error, mirroring
+// wire.Decoder's style.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over data.
+func NewDecoder(data []byte) *Decoder { return &Decoder{buf: data} }
+
+// Err returns the first decoding error.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unconsumed bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.Remaining() < n {
+		d.fail(ErrTruncated)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func pad4(n int) int {
+	if r := n % 4; r != 0 {
+		return n + 4 - r
+	}
+	return n
+}
+
+// Uint32 decodes an unsigned 32-bit integer.
+func (d *Decoder) Uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// Int32 decodes a signed 32-bit integer.
+func (d *Decoder) Int32() int32 { return int32(d.Uint32()) }
+
+// Uint64 decodes an unsigned 64-bit hyper integer.
+func (d *Decoder) Uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Int64 decodes a signed 64-bit hyper integer.
+func (d *Decoder) Int64() int64 { return int64(d.Uint64()) }
+
+// Bool decodes a boolean.
+func (d *Decoder) Bool() bool { return d.Uint32() != 0 }
+
+// FixedOpaque decodes n bytes of fixed-length opaque data plus padding. The
+// returned slice is a copy.
+func (d *Decoder) FixedOpaque(n int) []byte {
+	b := d.take(pad4(n))
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b[:n])
+	return out
+}
+
+// Opaque decodes variable-length opaque data.
+func (d *Decoder) Opaque() []byte {
+	n := d.Uint32()
+	if d.err != nil {
+		return nil
+	}
+	if n > MaxOpaque {
+		d.fail(ErrTooLong)
+		return nil
+	}
+	return d.FixedOpaque(int(n))
+}
+
+// String decodes an XDR string.
+func (d *Decoder) String() string {
+	return string(d.Opaque())
+}
+
+// Skip discards n bytes plus padding.
+func (d *Decoder) Skip(n int) { d.take(pad4(n)) }
+
+// Marshaler is implemented by types that encode themselves as XDR.
+type Marshaler interface {
+	MarshalXDR(e *Encoder)
+}
+
+// Unmarshaler is implemented by types that decode themselves from XDR.
+type Unmarshaler interface {
+	UnmarshalXDR(d *Decoder) error
+}
+
+// Marshal encodes m into a fresh buffer.
+func Marshal(m Marshaler) []byte {
+	e := NewEncoder(nil)
+	m.MarshalXDR(e)
+	return e.Bytes()
+}
+
+// Unmarshal decodes data into m, tolerating trailing bytes (RPC bodies are
+// concatenated on the wire).
+func Unmarshal(data []byte, m Unmarshaler) error {
+	d := NewDecoder(data)
+	if err := m.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	return d.Err()
+}
+
+// UnmarshalStrict decodes data into m and rejects trailing bytes.
+func UnmarshalStrict(data []byte, m Unmarshaler) error {
+	d := NewDecoder(data)
+	if err := m.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("xdr: %d trailing bytes after %T", d.Remaining(), m)
+	}
+	return nil
+}

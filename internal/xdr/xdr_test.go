@@ -1,0 +1,186 @@
+package xdr
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarsRoundTrip(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uint32(0xDEADBEEF)
+	e.Int32(-5)
+	e.Uint64(1 << 40)
+	e.Int64(-1 << 40)
+	e.Bool(true)
+	e.Bool(false)
+
+	d := NewDecoder(e.Bytes())
+	if got := d.Uint32(); got != 0xDEADBEEF {
+		t.Errorf("Uint32 = %#x", got)
+	}
+	if got := d.Int32(); got != -5 {
+		t.Errorf("Int32 = %d", got)
+	}
+	if got := d.Uint64(); got != 1<<40 {
+		t.Errorf("Uint64 = %d", got)
+	}
+	if got := d.Int64(); got != -1<<40 {
+		t.Errorf("Int64 = %d", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if d.Err() != nil || d.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", d.Err(), d.Remaining())
+	}
+}
+
+func TestPaddingTo4Bytes(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		e := NewEncoder(nil)
+		data := bytes.Repeat([]byte{0xFF}, n)
+		e.Opaque(data)
+		want := 4 + pad4(n)
+		if e.Len() != want {
+			t.Errorf("opaque(%d) encoded to %d bytes, want %d", n, e.Len(), want)
+		}
+		// Padding bytes must be zero.
+		raw := e.Bytes()
+		for i := 4 + n; i < len(raw); i++ {
+			if raw[i] != 0 {
+				t.Errorf("opaque(%d): pad byte %d = %#x", n, i, raw[i])
+			}
+		}
+		d := NewDecoder(raw)
+		got := d.Opaque()
+		if !bytes.Equal(got, data) || d.Err() != nil || d.Remaining() != 0 {
+			t.Errorf("opaque(%d) round trip: %v, err=%v rem=%d", n, got, d.Err(), d.Remaining())
+		}
+	}
+}
+
+func TestStringAndFixedOpaque(t *testing.T) {
+	e := NewEncoder(nil)
+	e.String("abc")                      // 3 bytes + 1 pad
+	e.FixedOpaque([]byte{1, 2, 3, 4, 5}) // 5 bytes + 3 pad
+	d := NewDecoder(e.Bytes())
+	if got := d.String(); got != "abc" {
+		t.Errorf("String = %q", got)
+	}
+	if got := d.FixedOpaque(5); !bytes.Equal(got, []byte{1, 2, 3, 4, 5}) {
+		t.Errorf("FixedOpaque = %v", got)
+	}
+	if d.Err() != nil || d.Remaining() != 0 {
+		t.Fatalf("err=%v rem=%d", d.Err(), d.Remaining())
+	}
+}
+
+func TestWireFormatKnownAnswer(t *testing.T) {
+	// "hi" encodes as length 2, 'h','i', two pad bytes (RFC 4506 §4.11).
+	e := NewEncoder(nil)
+	e.String("hi")
+	want := []byte{0, 0, 0, 2, 'h', 'i', 0, 0}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Errorf("encoding = %v, want %v", e.Bytes(), want)
+	}
+}
+
+func TestTruncationSticky(t *testing.T) {
+	d := NewDecoder([]byte{0, 0})
+	_ = d.Uint32()
+	if d.Err() != ErrTruncated {
+		t.Fatalf("err = %v", d.Err())
+	}
+	_ = d.Opaque()
+	if d.Err() != ErrTruncated {
+		t.Fatalf("sticky err = %v", d.Err())
+	}
+}
+
+func TestOpaqueLengthLimit(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uint32(MaxOpaque + 1)
+	d := NewDecoder(e.Bytes())
+	_ = d.Opaque()
+	if d.Err() != ErrTooLong {
+		t.Fatalf("err = %v, want ErrTooLong", d.Err())
+	}
+}
+
+func TestSkip(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Opaque([]byte("xyz"))
+	e.Uint32(7)
+	d := NewDecoder(e.Bytes())
+	n := d.Uint32()
+	d.Skip(int(n))
+	if got := d.Uint32(); got != 7 {
+		t.Errorf("after skip = %d, want 7", got)
+	}
+}
+
+type pair struct {
+	A uint32
+	B string
+}
+
+func (p *pair) MarshalXDR(e *Encoder)         { e.Uint32(p.A); e.String(p.B) }
+func (p *pair) UnmarshalXDR(d *Decoder) error { p.A = d.Uint32(); p.B = d.String(); return d.Err() }
+
+func TestMarshalUnmarshalStrict(t *testing.T) {
+	in := &pair{A: 9, B: "name"}
+	data := Marshal(in)
+	var out pair
+	if err := UnmarshalStrict(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != *in {
+		t.Errorf("round trip: %+v != %+v", out, *in)
+	}
+	if err := UnmarshalStrict(append(data, 0, 0, 0, 0), &out); err == nil {
+		t.Error("strict accepted trailing bytes")
+	}
+	if err := Unmarshal(append(data, 0, 0, 0, 0), &out); err != nil {
+		t.Errorf("lenient rejected trailing bytes: %v", err)
+	}
+}
+
+// Property: any byte slice round-trips through Opaque, and the encoded
+// length is always 4-aligned.
+func TestQuickOpaqueRoundTrip(t *testing.T) {
+	f := func(b []byte) bool {
+		e := NewEncoder(nil)
+		e.Opaque(b)
+		if e.Len()%4 != 0 {
+			return false
+		}
+		d := NewDecoder(e.Bytes())
+		got := d.Opaque()
+		return d.Err() == nil && bytes.Equal(got, b) && d.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the decoder never panics or over-reads on arbitrary input.
+func TestQuickDecoderNoOverread(t *testing.T) {
+	f := func(data []byte) bool {
+		d := NewDecoder(data)
+		for d.Err() == nil && d.Remaining() > 0 {
+			switch d.Remaining() % 3 {
+			case 0:
+				d.Opaque()
+			case 1:
+				d.Uint32()
+			case 2:
+				_ = d.String()
+			}
+		}
+		return d.Remaining() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
