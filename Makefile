@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench-smoke
+
+check: fmt vet build test bench-smoke
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core ./internal/isis
+
+bench-smoke:
+	$(GO) test -run XXX -bench BenchmarkT1 -benchtime=1x .

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -470,6 +471,111 @@ func BenchmarkAblationHotRoot(b *testing.B) {
 	}
 	b.Run("hot=off", func(b *testing.B) { run(b, false) })
 	b.Run("hot=on", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkContentionMultiWriter measures the multi-writer contention path:
+// 4 concurrent writers updating one segment through the same server. With
+// write coalescing on, runs of queued writes ride one batched total-order
+// cast (isis.Group.CastBatch) instead of one cast each; msgs/op shows the
+// saving in network rounds directly.
+func BenchmarkContentionMultiWriter(b *testing.B) {
+	run := func(b *testing.B, coalesce bool) {
+		copts := testutil.FastCoreOpts()
+		copts.Piggyback = true
+		copts.CoalesceWrites = coalesce
+		c := testutil.NewCellOpts(3, testutil.FastISISOpts(), copts)
+		b.Cleanup(c.Close)
+		ctx := benchCtx(b)
+		params := core.DefaultParams()
+		params.MinReplicas = 3
+		id, err := c.Nodes[0].Core.Create(ctx, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Nodes[0].Core.Write(ctx, id, core.WriteReq{Data: []byte("seed")}); err != nil {
+			b.Fatal(err)
+		}
+		for r := 1; r < 3; r++ {
+			addReplicaRetry(b, ctx, c.Nodes[0].Core, id, c.IDs[r])
+		}
+		waitBenchStable(b, ctx, c.Nodes[0].Core, id)
+
+		const writers = 4
+		srv := c.Nodes[0].Core
+		payload := []byte("contended-write-payload")
+		c.Net.ResetStats()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < b.N; i++ {
+					if _, err := srv.Write(ctx, id, core.WriteReq{Off: int64(w * 32), Data: payload}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		b.StopTimer()
+		b.ReportMetric(float64(c.Net.Stats().Sent)/float64(writers*b.N), "msgs/op")
+	}
+	b.Run("coalesce=off", func(b *testing.B) { run(b, false) })
+	b.Run("coalesce=on", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationBatchedCasts is the batched-vs-unbatched ablation for the
+// explicit narrow-waist batch call: a run of 8 updates issued as one
+// WriteBatch versus 8 sequential Writes.
+func BenchmarkAblationBatchedCasts(b *testing.B) {
+	run := func(b *testing.B, batched bool) {
+		copts := testutil.FastCoreOpts()
+		copts.Piggyback = true
+		c := testutil.NewCellOpts(3, testutil.FastISISOpts(), copts)
+		b.Cleanup(c.Close)
+		ctx := benchCtx(b)
+		params := core.DefaultParams()
+		params.MinReplicas = 3
+		id, err := c.Nodes[0].Core.Create(ctx, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Nodes[0].Core.Write(ctx, id, core.WriteReq{Data: []byte("seed")}); err != nil {
+			b.Fatal(err)
+		}
+		for r := 1; r < 3; r++ {
+			addReplicaRetry(b, ctx, c.Nodes[0].Core, id, c.IDs[r])
+		}
+		waitBenchStable(b, ctx, c.Nodes[0].Core, id)
+
+		const run = 8
+		srv := c.Nodes[0].Core
+		reqs := make([]core.WriteReq, run)
+		for i := range reqs {
+			reqs[i] = core.WriteReq{Off: int64(i * 16), Data: []byte("batched-payload!")}
+		}
+		c.Net.ResetStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if batched {
+				if _, err := srv.WriteBatch(ctx, id, reqs); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				for _, r := range reqs {
+					if _, err := srv.Write(ctx, id, r); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(c.Net.Stats().Sent)/float64(b.N*run), "msgs/write")
+	}
+	b.Run("batched=off", func(b *testing.B) { run(b, false) })
+	b.Run("batched=on", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkEnvelopeOps measures the NFS envelope's directory machinery

@@ -31,8 +31,10 @@ import (
 	"path"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/agent"
+	"repro/internal/core"
 	"repro/internal/server"
 )
 
@@ -79,12 +81,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := ag.WriteFile(rest[0], data); err != nil {
+		if err := withRetry(func() error { return ag.WriteFile(rest[0], data) }); err != nil {
 			fatal(err)
 		}
 	case "mkdir":
 		requireArgs(rest, 1)
-		if err := ag.MkdirAll(rest[0]); err != nil {
+		if err := withRetry(func() error { return ag.MkdirAll(rest[0]) }); err != nil {
 			fatal(err)
 		}
 	case "rm":
@@ -94,7 +96,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := ag.Remove(dh, name); err != nil {
+		if err := withRetry(func() error { return ag.Remove(dh, name) }); err != nil {
 			fatal(err)
 		}
 	case "stat":
@@ -211,6 +213,21 @@ func main() {
 		fatal(fmt.Errorf("unknown command %q", cmd))
 	}
 	_ = server.CtlProgram // keep the control program linked for docs
+}
+
+// withRetry reruns a mutating command while it fails with a transient
+// condition: core.IsRetryable (segment busy, group mid-rejoin) for errors
+// from an in-process segment layer, or the agent's NFS-level reflection of
+// the same class (agent.IsTransient) when the failure crossed the wire.
+func withRetry(fn func() error) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if err = fn(); !core.IsRetryable(err) && !agent.IsTransient(err) {
+			return err
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	return err
 }
 
 func requireArgs(args []string, n int) {

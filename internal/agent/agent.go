@@ -41,6 +41,16 @@ func IsNotExist(err error) bool {
 	return errors.As(err, &ne) && ne.Status == nfsproto.ErrNoEnt
 }
 
+// IsTransient reports whether err is worth retrying: an NFSERR_IO, which is
+// how the envelope surfaces a segment-layer retryable condition
+// (core.IsRetryable — token movement, a group mid-rejoin) once the server's
+// own retries are exhausted. Definitive failures (NOENT, STALE, ROFS, ...)
+// are not transient.
+func IsTransient(err error) bool {
+	var ne *NFSError
+	return errors.As(err, &ne) && ne.Status == nfsproto.ErrIO
+}
+
 func statusErr(st nfsproto.Status) error {
 	if st == nfsproto.OK {
 		return nil

@@ -120,9 +120,7 @@ func (cs *chaosState) read() {
 	cs.readsChecked++
 	if !cs.acceptable[string(data)] && !cs.forkable[string(data)] {
 		nd := cs.c.nodes[i]
-		nd.srv.mu.Lock()
-		sg := nd.srv.segs[cs.id]
-		nd.srv.mu.Unlock()
+		sg := nd.srv.tab.get(cs.id)
 		detail := "no segment"
 		if sg != nil {
 			sg.mu.Lock()
@@ -149,9 +147,7 @@ func dumpSegment(c *testCluster, i int, id SegID) string {
 	if nd == nil {
 		return "crashed"
 	}
-	nd.srv.mu.Lock()
-	sg := nd.srv.segs[id]
-	nd.srv.mu.Unlock()
+	sg := nd.srv.tab.get(id)
 	if sg == nil {
 		return "no segment"
 	}

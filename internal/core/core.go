@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/isis"
 	"repro/internal/simnet"
 	"repro/internal/version"
 	"repro/internal/wire"
@@ -227,3 +228,20 @@ var (
 	// ErrDeleted reports an operation on a deleted segment.
 	ErrDeleted = errors.New("core: segment deleted")
 )
+
+// IsRetryable reports whether err is a transient condition that a caller
+// should retry: the segment is busy (token movement, replica transfer), or
+// its group dissolved for a partition-heal rejoin that is still in flight.
+// Server's own operations retry these internally; callers driving the
+// narrow five-call interface from above (the envelope, CLIs) use this
+// predicate instead of enumerating sentinel errors.
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrBusy) || errors.Is(err, isis.ErrDissolved)
+}
+
+// IsGone reports whether err means the segment (or the requested version of
+// it) no longer exists anywhere: unknown or deleted. Gone errors are
+// definitive — retrying cannot help — and map to ErrStale at the NFS layer.
+func IsGone(err error) bool {
+	return errors.Is(err, ErrNotFound) || errors.Is(err, ErrDeleted)
+}

@@ -176,9 +176,7 @@ func TestPhantomReplicaRecordSelfHeals(t *testing.T) {
 		if !listed {
 			return true
 		}
-		nd.srv.mu.Lock()
-		sg := nd.srv.segs[id]
-		nd.srv.mu.Unlock()
+		sg := nd.srv.tab.get(id)
 		if sg == nil {
 			return false
 		}

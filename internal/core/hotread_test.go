@@ -93,9 +93,7 @@ func TestHotReadWriteReachesAllReplicasBeforeReturn(t *testing.T) {
 	}
 	for i := 0; i < 3; i++ {
 		nd := c.nodes[i]
-		nd.srv.mu.Lock()
-		sg := nd.srv.segs[id]
-		nd.srv.mu.Unlock()
+		sg := nd.srv.tab.get(id)
 		if sg == nil {
 			t.Fatalf("node %d lost the segment", i)
 		}

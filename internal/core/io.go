@@ -10,48 +10,62 @@ import (
 	"repro/internal/version"
 )
 
-// readOnce attempts one read. It may return ErrBusy for transient
-// conditions, in which case Read retries.
-func (s *Server) readOnce(ctx context.Context, id SegID, major uint64, off, n int64) ([]byte, version.Pair, error) {
-	sg, err := s.openSegment(ctx, id)
-	if err != nil {
-		return nil, version.Pair{}, err
-	}
-	sg.mu.Lock()
+// readPlan is an immutable snapshot of everything the read path needs to
+// decide how to serve one read. It is taken in a single critical section on
+// the segment lock (readPlanLocked); every forwarding decision afterwards
+// works off the snapshot, so the lock is never held across network calls and
+// a read never observes two different metadata states mid-decision.
+type readPlan struct {
+	err    error // terminal outcome decided under the lock, if any
+	served bool  // fast path hit: data/pair below are the result
+	data   []byte
+	pair   version.Pair
+
+	major    uint64
+	holder   simnet.NodeID
+	holderIn bool
+	unstable bool
+	stale    bool // local replica lags the group-agreed pair (§3.6)
+	phantom  bool // group lists us as a replica but the data is gone
+	migrate  bool
+	targets  []simnet.NodeID // forwarding candidates, holder first
+}
+
+// readPlanLocked builds the plan for one read under sg.mu.
+func (s *Server) readPlanLocked(sg *segment, major uint64, off, n int64) readPlan {
 	if sg.dissolved {
-		sg.mu.Unlock()
-		return nil, version.Pair{}, ErrBusy
+		return readPlan{err: ErrBusy}
 	}
 	if sg.deleted {
-		sg.mu.Unlock()
-		return nil, version.Pair{}, ErrNotFound
+		return readPlan{err: ErrNotFound}
 	}
 	if major == 0 {
 		major = sg.currentMajorLocked()
 	}
 	ms := sg.majors[major]
 	if ms == nil {
-		sg.mu.Unlock()
-		return nil, version.Pair{}, ErrNotFound
+		return readPlan{err: ErrNotFound}
 	}
 	params := sg.params
-	holder := ms.holder
-	holderIn := holder != "" && sg.view.Contains(holder)
-	unstable := ms.unstable && params.Stability
 	rep := sg.local[major]
-	grp := sg.group
-	view := sg.view
-	replicas := ms.replicaList()
-
-	// A replica whose pair lags the group-agreed pair missed updates while
-	// this server was crashed or partitioned (§3.6 "Non-token Replica
-	// Crash"). It must never serve reads; refresh it in the background and
-	// forward like a server with no replica.
-	stale := rep != nil && rep.pair != ms.pair
-	// The inverse lie: the group record lists us as a replica holder but
-	// the data is gone (partial recovery). Correct the record so readers
-	// and forks stop routing to phantom data.
-	phantom := rep == nil && ms.replicas[s.id]
+	p := readPlan{
+		major:    major,
+		holder:   ms.holder,
+		holderIn: ms.holder != "" && sg.view.Contains(ms.holder),
+		unstable: ms.unstable && params.Stability,
+		// A replica whose pair lags the group-agreed pair missed updates
+		// while this server was crashed or partitioned (§3.6 "Non-token
+		// Replica Crash"). It must never serve reads; refresh it in the
+		// background and forward like a server with no replica.
+		stale: rep != nil && rep.pair != ms.pair,
+		// The inverse lie: the group record lists us as a replica holder but
+		// the data is gone (partial recovery). Correct the record so readers
+		// and forks stop routing to phantom data.
+		phantom: rep == nil && ms.replicas[s.id],
+		// Migration and §7 hot-read self-replication trigger in the
+		// background before forwarding (§3.1 method 4).
+		migrate: rep == nil && (params.Migration || params.HotRead),
+	}
 
 	// Fast path: serve from the local replica. While the file is unstable,
 	// only the token holder's replica may serve reads (§3.4: "after
@@ -60,57 +74,68 @@ func (s *Server) readOnce(ctx context.Context, id SegID, major uint64, off, n in
 	// inside the recreation grace window) must not serve its possibly-
 	// obsolete pre-crash state (§3.6 "Non-token Replica Crash": the
 	// recovering server first checks with the token holder).
-	if rep != nil && !stale && sg.readyLocked() && (!unstable || holder == s.id) {
-		data, pair := sliceReplica(rep, off, n)
-		sg.mu.Unlock()
-		return data, pair, nil
+	if rep != nil && !p.stale && sg.readyLocked() && (!p.unstable || ms.holder == s.id) {
+		p.served = true
+		p.data, p.pair = sliceReplica(rep, off, n)
+		return p
 	}
+
+	// Stable forwarding candidates: any available replica, preferring the
+	// holder (Figure 2's server-to-server forwarding).
+	if p.holderIn {
+		p.targets = append(p.targets, ms.holder)
+	}
+	for _, r := range ms.replicaList() {
+		if r != ms.holder && r != s.id && sg.view.Contains(r) {
+			p.targets = append(p.targets, r)
+		}
+	}
+	return p
+}
+
+// readOnce attempts one read. It may return ErrBusy for transient
+// conditions, in which case Read retries.
+func (s *Server) readOnce(ctx context.Context, id SegID, major uint64, off, n int64) ([]byte, version.Pair, error) {
+	sg, err := s.openSegment(ctx, id)
+	if err != nil {
+		return nil, version.Pair{}, err
+	}
+	sg.mu.Lock()
+	p := s.readPlanLocked(sg, major, off, n)
 	sg.mu.Unlock()
-
-	if stale {
-		go s.refreshReplica(sg, major)
+	if p.err != nil {
+		return nil, version.Pair{}, p.err
 	}
-	if phantom {
-		go s.dropPhantomReplica(sg, major)
-	}
-
-	// Trigger migration in the background before forwarding (§3.1 method 4).
-	// Hot-read files (§7's read-optimized mode) self-replicate onto every
-	// server that touches them regardless of the Migration parameter.
-	if rep == nil && (params.Migration || params.HotRead) {
-		go s.requestMigration(sg, major)
+	if p.served {
+		return p.data, p.pair, nil
 	}
 
-	if unstable {
-		if holderIn && holder != s.id {
-			data, pair, err := s.directRead(ctx, holder, id, major, off, n)
+	if p.stale {
+		go s.refreshReplica(sg, p.major)
+	}
+	if p.phantom {
+		go s.dropPhantomReplica(sg, p.major)
+	}
+	if p.migrate {
+		go s.requestMigration(sg, p.major)
+	}
+
+	if p.unstable {
+		if p.holderIn && p.holder != s.id {
+			data, pair, err := s.directRead(ctx, p.holder, id, p.major, off, n)
 			if err == nil {
 				return data, pair, nil
 			}
 			// Fall through to the §3.6 failure path.
 		}
-		return s.readAfterHolderFailure(ctx, sg, major, off, n)
+		return s.readAfterHolderFailure(ctx, sg, p.major, off, n)
 	}
 
-	// Stable but no local replica: forward to any available replica,
-	// preferring the holder (Figure 2's server-to-server forwarding).
-	targets := make([]simnet.NodeID, 0, len(replicas)+1)
-	if holderIn {
-		targets = append(targets, holder)
-	}
-	for _, r := range replicas {
-		if r != holder && r != s.id && view.Contains(r) {
-			targets = append(targets, r)
-		}
-	}
-	for _, t := range targets {
-		data, pair, err := s.directRead(ctx, t, id, major, off, n)
+	for _, t := range p.targets {
+		data, pair, err := s.directRead(ctx, t, id, p.major, off, n)
 		if err == nil {
 			return data, pair, nil
 		}
-	}
-	if grp == nil {
-		return nil, version.Pair{}, ErrBusy
 	}
 	return nil, version.Pair{}, ErrBusy
 }

@@ -37,9 +37,7 @@ func holderOf(t *testing.T, s *Server, id SegID) simnet.NodeID {
 // partition/crash view.
 func fileGroupViewSize(c *testCluster, i int, id SegID) int {
 	nd := c.nodes[i]
-	nd.srv.mu.Lock()
-	sg := nd.srv.segs[id]
-	nd.srv.mu.Unlock()
+	sg := nd.srv.tab.get(id)
 	if sg == nil {
 		return 0
 	}

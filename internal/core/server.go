@@ -62,6 +62,16 @@ type Options struct {
 	// ForwardMax bounds the size of writes the ForwardSingles heuristic
 	// forwards. Default 8 KiB.
 	ForwardMax int
+	// CoalesceWrites routes concurrent writes to the same segment through a
+	// per-segment op queue that packs a whole run of queued updates into one
+	// batched total-order cast (isis.Group.CastBatch): N queued writes cost
+	// one communication round instead of N. This extends the §3.3 piggyback
+	// optimization from "the update rides the token request" to "any run of
+	// same-holder updates rides one cast".
+	CoalesceWrites bool
+	// BatchMax bounds the number of updates packed into one batched cast.
+	// Default 64.
+	BatchMax int
 }
 
 func (o *Options) fill() {
@@ -83,6 +93,9 @@ func (o *Options) fill() {
 	if o.ForwardMax <= 0 {
 		o.ForwardMax = 8 << 10
 	}
+	if o.BatchMax <= 0 {
+		o.BatchMax = 64
+	}
 }
 
 // Server is the segment server on one node (§5.1). It owns this node's
@@ -96,12 +109,14 @@ type Server struct {
 	majAlloc *version.Allocator
 	segAlloc *version.Allocator
 
-	mu        sync.Mutex
-	segs      map[SegID]*segment
-	opening   map[SegID]chan struct{}
+	// tab is the sharded segment table: per-shard locks keep unrelated
+	// segments from contending on one server-wide mutex.
+	tab *segTable
+
+	stateMu   sync.Mutex // guards conflicts, confSeen
 	conflicts []Conflict
 	confSeen  map[string]bool
-	closed    bool
+	closed    atomic.Bool
 
 	reqID   atomic.Uint64
 	pending sync.Map // reqID -> chan *directMsg
@@ -125,8 +140,7 @@ func NewServer(proc *isis.Process, direct simnet.Transport, st store.Store, opts
 		opts:     opts,
 		majAlloc: version.NewAllocator(string(proc.ID()) + "/major"),
 		segAlloc: version.NewAllocator(string(proc.ID()) + "/seg"),
-		segs:     make(map[SegID]*segment),
-		opening:  make(map[SegID]chan struct{}),
+		tab:      newSegTable(),
 		confSeen: make(map[string]bool),
 		done:     make(chan struct{}),
 	}
@@ -142,16 +156,11 @@ func (s *Server) ID() simnet.NodeID { return s.id }
 // Close shuts the server down. The ISIS process and store are owned by the
 // caller and are not closed.
 func (s *Server) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Swap(true) {
 		return
 	}
-	s.closed = true
-	segs := s.segs
-	s.mu.Unlock()
 	close(s.done)
-	for _, sg := range segs {
+	for _, sg := range s.tab.snapshot() {
 		sg.mu.Lock()
 		if sg.stabTimer != nil {
 			sg.stabTimer.Stop()
@@ -163,8 +172,8 @@ func (s *Server) Close() {
 
 // Conflicts returns the version conflicts recorded on this server (§3.6).
 func (s *Server) Conflicts() []Conflict {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	out := make([]Conflict, len(s.conflicts))
 	copy(out, s.conflicts)
 	return out
@@ -172,15 +181,15 @@ func (s *Server) Conflicts() []Conflict {
 
 func (s *Server) recordConflict(c Conflict) {
 	key := fmt.Sprintf("%d/%d/%d", c.Seg, c.MajorA, c.MajorB)
-	s.mu.Lock()
+	s.stateMu.Lock()
 	if s.confSeen[key] {
-		s.mu.Unlock()
+		s.stateMu.Unlock()
 		return
 	}
 	s.confSeen[key] = true
 	s.conflicts = append(s.conflicts, c)
 	cb := s.opts.OnConflict
-	s.mu.Unlock()
+	s.stateMu.Unlock()
 	if cb != nil {
 		cb(c)
 	}
@@ -206,9 +215,7 @@ func (s *Server) CreateWithID(ctx context.Context, id SegID, params Params) (Seg
 // ProbeCell asks the segment's group to probe all cell peers for divergent
 // instances of the same group (see isis.Group.ProbeTargets).
 func (s *Server) ProbeCell(id SegID) {
-	s.mu.Lock()
-	sg := s.segs[id]
-	s.mu.Unlock()
+	sg := s.tab.get(id)
 	if sg == nil {
 		return
 	}
@@ -236,9 +243,7 @@ func (s *Server) createSeg(ctx context.Context, id SegID, params Params) (SegID,
 		return 0, err
 	}
 	sg.group = grp
-	s.mu.Lock()
-	s.segs[id] = sg
-	s.mu.Unlock()
+	s.tab.put(id, sg)
 	s.persistMeta(sg)
 	s.persistReplica(id, version.InitialMajor, sg.local[version.InitialMajor])
 	return id, nil
@@ -402,22 +407,31 @@ func (s *Server) Read(ctx context.Context, id SegID, major uint64, off, n int64)
 
 // Write applies one update (§5.1). It returns the version pair of the
 // segment after the write. With write safety 0 the write is asynchronous and
-// the returned pair is zero.
+// the returned pair is zero. With Options.CoalesceWrites, concurrent writes
+// to the same segment ride a shared batched cast (see wbatch.go).
 func (s *Server) Write(ctx context.Context, id SegID, req WriteReq) (version.Pair, error) {
 	var pair version.Pair
-	err := s.retry(ctx, func() error {
+	once := func() error {
 		var err error
 		pair, err = s.writeOnce(ctx, id, req)
 		return err
-	})
-	return pair, err
+	}
+	if s.opts.CoalesceWrites && coalescible(req) {
+		once = func() error {
+			var err error
+			pair, err = s.writeCoalescedOnce(ctx, id, req)
+			return err
+		}
+	}
+	return pair, s.retry(ctx, once)
 }
 
-// retry re-runs fn while it reports ErrBusy, spacing attempts by RetryDelay.
+// retry re-runs fn while it reports a retryable condition (IsRetryable),
+// spacing attempts by RetryDelay.
 func (s *Server) retry(ctx context.Context, fn func() error) error {
 	for {
 		err := fn()
-		if !errors.Is(err, ErrBusy) {
+		if !IsRetryable(err) {
 			return err
 		}
 		select {
@@ -502,18 +516,18 @@ func decodeReply(data []byte) (*castReply, error) {
 // this server has never seen the segment (the Figure 2 forwarding path: any
 // server can serve any file).
 func (s *Server) openSegment(ctx context.Context, id SegID) (*segment, error) {
+	sh := s.tab.shard(id)
 	for {
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
+		if s.closed.Load() {
 			return nil, ErrDeleted
 		}
-		if sg, ok := s.segs[id]; ok {
-			s.mu.Unlock()
+		sh.mu.Lock()
+		if sg, ok := sh.segs[id]; ok {
+			sh.mu.Unlock()
 			return sg, nil
 		}
-		if ch, ok := s.opening[id]; ok {
-			s.mu.Unlock()
+		if ch, ok := sh.opening[id]; ok {
+			sh.mu.Unlock()
 			select {
 			case <-ch:
 				continue
@@ -522,17 +536,17 @@ func (s *Server) openSegment(ctx context.Context, id SegID) (*segment, error) {
 			}
 		}
 		ch := make(chan struct{})
-		s.opening[id] = ch
-		s.mu.Unlock()
+		sh.opening[id] = ch
+		sh.mu.Unlock()
 
 		sg, err := s.joinSegment(ctx, id)
 
-		s.mu.Lock()
-		delete(s.opening, id)
+		sh.mu.Lock()
+		delete(sh.opening, id)
 		if err == nil {
-			s.segs[id] = sg
+			sh.segs[id] = sg
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		close(ch)
 		if err != nil {
 			return nil, err
@@ -558,10 +572,7 @@ func (s *Server) joinSegment(ctx context.Context, id SegID) (*segment, error) {
 
 // forgetSegment drops local state after opDeleteSeg and leaves the group.
 func (s *Server) forgetSegment(id SegID) {
-	s.mu.Lock()
-	sg := s.segs[id]
-	delete(s.segs, id)
-	s.mu.Unlock()
+	sg := s.tab.remove(id)
 	if sg != nil {
 		sg.mu.Lock()
 		grp := sg.group
@@ -605,9 +616,7 @@ func (s *Server) recover() {
 			}
 		}
 		sg.mu.Unlock()
-		s.mu.Lock()
-		s.segs[id] = sg
-		s.mu.Unlock()
+		s.tab.put(id, sg)
 
 		s.wg.Add(1)
 		go func(sg *segment) {

@@ -1,0 +1,77 @@
+package core
+
+import "sync"
+
+// The segment table is sharded so that unrelated segments never contend on
+// one server-wide lock: every read and write resolves its SegID through
+// openSegment, which under the old single `Server.mu` serialized the whole
+// node. Each shard has its own lock and its own set of in-flight opens.
+const segShardCount = 32
+
+// segShard holds the segments (and pending opens) whose ids hash to it.
+type segShard struct {
+	mu      sync.Mutex
+	segs    map[SegID]*segment
+	opening map[SegID]chan struct{}
+}
+
+// segTable is a fixed-fanout sharded SegID -> *segment map.
+type segTable struct {
+	shards [segShardCount]segShard
+}
+
+func newSegTable() *segTable {
+	t := &segTable{}
+	for i := range t.shards {
+		t.shards[i].segs = make(map[SegID]*segment)
+		t.shards[i].opening = make(map[SegID]chan struct{})
+	}
+	return t
+}
+
+// shard maps a segment id to its shard. SegIDs are allocator-dense, so a
+// Fibonacci multiplicative hash spreads consecutive ids across shards.
+func (t *segTable) shard(id SegID) *segShard {
+	return &t.shards[(uint64(id)*0x9e3779b97f4a7c15)>>(64-5)]
+}
+
+// get returns the segment or nil, taking only the owning shard's lock.
+func (t *segTable) get(id SegID) *segment {
+	sh := t.shard(id)
+	sh.mu.Lock()
+	sg := sh.segs[id]
+	sh.mu.Unlock()
+	return sg
+}
+
+// put installs a segment.
+func (t *segTable) put(id SegID, sg *segment) {
+	sh := t.shard(id)
+	sh.mu.Lock()
+	sh.segs[id] = sg
+	sh.mu.Unlock()
+}
+
+// remove deletes and returns the segment, or nil if absent.
+func (t *segTable) remove(id SegID) *segment {
+	sh := t.shard(id)
+	sh.mu.Lock()
+	sg := sh.segs[id]
+	delete(sh.segs, id)
+	sh.mu.Unlock()
+	return sg
+}
+
+// snapshot returns all segments across every shard.
+func (t *segTable) snapshot() []*segment {
+	var out []*segment
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, sg := range sh.segs {
+			out = append(out, sg)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

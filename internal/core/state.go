@@ -95,6 +95,12 @@ type segment struct {
 	graceUntil time.Time       // until then, a recovery-recreated group must not serve
 
 	group *isis.Group
+
+	// Write-coalescing queue (Options.CoalesceWrites): pending writes wait
+	// here until the current leader packs them into one batched cast.
+	wqMu      sync.Mutex
+	wqPending []*pendingWrite
+	wqActive  bool
 }
 
 func newSegment(srv *Server, id SegID) *segment {
@@ -220,8 +226,28 @@ func (sg *segment) tokenDisabledLocked(ms *majorState) bool {
 	return 2*ms.availableReplicas(sg.view) < total
 }
 
+// resolveUpdateMajor picks the major an update applies to. A plain update
+// names it directly in Major. A batch-follower update — one riding the same
+// batched cast as an opTokenUpdate (see Server.writeBatchOnce) — names the
+// pre-cast major in Major and the proposed fork major in NewMajor; whichever
+// one the token op actually granted (a normal pass keeps Major, token
+// regeneration created NewMajor) is the one whose holder is now the origin.
+// The token op executed earlier in the same total-order slot, so every
+// member resolves identically.
+func (sg *segment) resolveUpdateMajor(from simnet.NodeID, m *castMsg) (uint64, *majorState) {
+	if ms := sg.majors[m.Major]; ms != nil && (m.NewMajor == 0 || ms.holder == from) {
+		return m.Major, ms
+	}
+	if m.NewMajor != 0 {
+		if ms := sg.majors[m.NewMajor]; ms != nil && ms.holder == from {
+			return m.NewMajor, ms
+		}
+	}
+	return m.Major, sg.majors[m.Major]
+}
+
 func (sg *segment) applyUpdate(from simnet.NodeID, m *castMsg) *castReply {
-	ms := sg.majors[m.Major]
+	major, ms := sg.resolveUpdateMajor(from, m)
 	if ms == nil {
 		return &castReply{Err: "no such version"}
 	}
@@ -246,15 +272,15 @@ func (sg *segment) applyUpdate(from simnet.NodeID, m *castMsg) *castReply {
 	} else if end > ms.size {
 		ms.size = end
 	}
-	rep := sg.local[m.Major]
+	rep := sg.local[major]
 	if rep != nil {
 		rep.data = applyData(rep.data, m.Off, m.Data, m.Truncate)
 		rep.pair = ms.pair
-		sg.srv.persistReplica(sg.id, m.Major, rep)
+		sg.srv.persistReplica(sg.id, major, rep)
 	}
 	sg.lastWrite = time.Now()
 	sg.srv.persistMeta(sg)
-	return &castReply{OK: true, IsReplica: rep != nil, Pair: ms.pair, Size: ms.size}
+	return &castReply{OK: true, IsReplica: rep != nil, Pair: ms.pair, Size: ms.size, Major: major}
 }
 
 // applyData performs the §5.1 write semantics on a byte array.
@@ -443,6 +469,7 @@ func (sg *segment) applyTokenUpdate(from simnet.NodeID, m *castMsg) *castReply {
 	}
 	um := *m
 	um.Major = major
+	um.NewMajor = 0 // already resolved; the update must not re-resolve
 	ur := sg.applyUpdate(from, &um)
 	ur.Outcome = tr.Outcome
 	ur.Major = major

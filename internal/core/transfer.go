@@ -419,9 +419,7 @@ func (s *Server) directLoop() {
 
 func (s *Server) serveFetch(from simnet.NodeID, req *directMsg) {
 	resp := &directMsg{Kind: dmFetchResp, ReqID: req.ReqID, Seg: req.Seg, Major: req.Major}
-	s.mu.Lock()
-	sg := s.segs[req.Seg]
-	s.mu.Unlock()
+	sg := s.tab.get(req.Seg)
 	if sg == nil {
 		resp.Err = "no such segment"
 		s.sendDirect(from, resp)
@@ -446,9 +444,7 @@ func (s *Server) serveFetch(from simnet.NodeID, req *directMsg) {
 
 func (s *Server) serveRead(from simnet.NodeID, req *directMsg) {
 	resp := &directMsg{Kind: dmReadResp, ReqID: req.ReqID, Seg: req.Seg, Major: req.Major}
-	s.mu.Lock()
-	sg := s.segs[req.Seg]
-	s.mu.Unlock()
+	sg := s.tab.get(req.Seg)
 	if sg == nil {
 		resp.Err = "no such segment"
 		s.sendDirect(from, resp)

@@ -126,8 +126,10 @@ func (ev *Envelope) Lookup(ctx context.Context, dirH nfsproto.Handle, name strin
 	return PackHandle(seg, major), a, nfsproto.OK
 }
 
-// newNode allocates a segment and writes its header.
-func (ev *Envelope) newNode(ctx context.Context, kind uint8, sa nfsproto.SAttr, parent core.SegID) (core.SegID, *fileHeader, error) {
+// newNode allocates a segment and writes its header, batching any initial
+// payload writes (a directory's empty entry table, a symlink's target) into
+// the same total-order cast as the header.
+func (ev *Envelope) newNode(ctx context.Context, kind uint8, sa nfsproto.SAttr, parent core.SegID, payload ...core.WriteReq) (core.SegID, *fileHeader, error) {
 	seg, err := ev.seg.Create(ctx, ev.opts.DefaultParams)
 	if err != nil {
 		return 0, nil, err
@@ -149,7 +151,11 @@ func (ev *Envelope) newNode(ctx context.Context, kind uint8, sa nfsproto.SAttr, 
 	if sa.GID != nfsproto.NoValue {
 		hdr.GID = sa.GID
 	}
-	if err := ev.writeHeader(ctx, seg, hdr, version.Pair{}); err != nil {
+	hreq, err := headerReq(hdr, version.Pair{})
+	if err != nil {
+		return 0, nil, err
+	}
+	if _, err := ev.seg.WriteBatch(ctx, seg, append([]core.WriteReq{hreq}, payload...)); err != nil {
 		return 0, nil, err
 	}
 	return seg, hdr, nil
@@ -226,14 +232,11 @@ func (ev *Envelope) Mkdir(ctx context.Context, dirH nfsproto.Handle, name string
 			if sa.Mode == nfsproto.NoValue {
 				sa.Mode = 0o755
 			}
-			s, _, err := ev.newNode(ctx, kindDir, sa, dir)
+			s, _, err := ev.newNode(ctx, kindDir, sa, dir, dirReq(&dirTable{}, version.Pair{}))
 			if err != nil {
 				return err
 			}
 			seg = s
-			if err := ev.writeDir(ctx, seg, &dirTable{}, version.Pair{}); err != nil {
-				return err
-			}
 		}
 		t.Entries = append(t.Entries, dirEntry{Name: name, Seg: seg})
 		return nil
@@ -263,16 +266,13 @@ func (ev *Envelope) Symlink(ctx context.Context, dirH nfsproto.Handle, name, tar
 			return errExist
 		}
 		if seg == 0 {
-			s, _, err := ev.newNode(ctx, kindLnk, sa, dir)
+			s, _, err := ev.newNode(ctx, kindLnk, sa, dir, core.WriteReq{
+				Off: headerSize, Data: []byte(target), Truncate: true,
+			})
 			if err != nil {
 				return err
 			}
 			seg = s
-			if _, err := ev.seg.Write(ctx, seg, core.WriteReq{
-				Off: headerSize, Data: []byte(target), Truncate: true,
-			}); err != nil {
-				return err
-			}
 		}
 		t.Entries = append(t.Entries, dirEntry{Name: name, Seg: seg})
 		return nil
@@ -721,7 +721,7 @@ func (ev *Envelope) countRealLinks(ctx context.Context, seg core.SegID) (int, er
 		dir := core.SegID(u)
 		info, err := ev.seg.Stat(ctx, dir)
 		if err != nil {
-			if errors.Is(err, core.ErrNotFound) || errors.Is(err, core.ErrDeleted) {
+			if core.IsGone(err) {
 				continue // the directory itself is gone
 			}
 			return 0, err

@@ -63,6 +63,10 @@ type SegmentService interface {
 	DeleteVersion(ctx context.Context, id core.SegID, major uint64) error
 	Read(ctx context.Context, id core.SegID, major uint64, off, n int64) ([]byte, version.Pair, error)
 	Write(ctx context.Context, id core.SegID, req core.WriteReq) (version.Pair, error)
+	// WriteBatch applies a run of independent updates to one segment,
+	// allowing the segment layer to pack them into a single total-order
+	// cast. Ops apply in order; a failed op does not prevent later ops.
+	WriteBatch(ctx context.Context, id core.SegID, reqs []core.WriteReq) ([]version.Pair, error)
 	SetParams(ctx context.Context, id core.SegID, params core.Params) error
 	GetParams(ctx context.Context, id core.SegID) (core.Params, error)
 	Stat(ctx context.Context, id core.SegID) (core.SegInfo, error)
@@ -237,10 +241,14 @@ func (ev *Envelope) InitRoot(ctx context.Context) error {
 		CTimeSec:  uint32(ev.opts.Now().Unix()),
 		LinkCount: 1,
 	}
-	if err := ev.writeHeader(ctx, RootSegID, hdr, version.Pair{}); err != nil {
+	// Header and empty entry table ride one batched cast.
+	hreq, err := headerReq(hdr, version.Pair{})
+	if err != nil {
 		return err
 	}
-	if err := ev.writeDir(ctx, RootSegID, &dirTable{}, version.Pair{}); err != nil {
+	if _, err := ev.seg.WriteBatch(ctx, RootSegID, []core.WriteReq{
+		hreq, dirReq(&dirTable{}, version.Pair{}),
+	}); err != nil {
 		return err
 	}
 	if cs, ok := ev.seg.(*core.Server); ok {
@@ -264,14 +272,24 @@ func (ev *Envelope) readHeader(ctx context.Context, id core.SegID, major uint64)
 	return hdr, pair, nil
 }
 
+// headerReq builds the write request that rewrites the header region. A
+// zero expect pair writes unconditionally.
+func headerReq(hdr *fileHeader, expect version.Pair) (core.WriteReq, error) {
+	buf := wire.Marshal(hdr)
+	if len(buf) > headerSize {
+		return core.WriteReq{}, errors.New("envelope: header overflow (too many uplinks)")
+	}
+	return core.WriteReq{Off: 0, Data: buf, Expect: expect}, nil
+}
+
 // writeHeader rewrites the header region. A zero expect pair writes
 // unconditionally.
 func (ev *Envelope) writeHeader(ctx context.Context, id core.SegID, hdr *fileHeader, expect version.Pair) error {
-	buf := wire.Marshal(hdr)
-	if len(buf) > headerSize {
-		return errors.New("envelope: header overflow (too many uplinks)")
+	req, err := headerReq(hdr, expect)
+	if err != nil {
+		return err
 	}
-	_, err := ev.seg.Write(ctx, id, core.WriteReq{Off: 0, Data: buf, Expect: expect})
+	_, err = ev.seg.Write(ctx, id, req)
 	return err
 }
 
@@ -291,10 +309,15 @@ func (ev *Envelope) readDir(ctx context.Context, id core.SegID, major uint64) (*
 	return t, pair, nil
 }
 
-func (ev *Envelope) writeDir(ctx context.Context, id core.SegID, t *dirTable, expect version.Pair) error {
-	_, err := ev.seg.Write(ctx, id, core.WriteReq{
+// dirReq builds the write request that replaces a directory's entry table.
+func dirReq(t *dirTable, expect version.Pair) core.WriteReq {
+	return core.WriteReq{
 		Off: headerSize, Data: wire.Marshal(t), Truncate: true, Expect: expect,
-	})
+	}
+}
+
+func (ev *Envelope) writeDir(ctx context.Context, id core.SegID, t *dirTable, expect version.Pair) error {
+	_, err := ev.seg.Write(ctx, id, dirReq(t, expect))
 	return err
 }
 
@@ -404,19 +427,26 @@ func (ev *Envelope) Setattr(ctx context.Context, h nfsproto.Handle, sa nfsproto.
 			hdr.MTimeSec = sa.MTime.Sec
 			changed = true
 		}
+		// Header rewrite and size truncation ride one batched cast; the
+		// truncate is idempotent, so a header conflict simply reruns both.
+		var reqs []core.WriteReq
 		if changed {
-			if err := ev.writeHeader(ctx, seg, hdr, pair); err != nil {
+			hreq, err := headerReq(hdr, pair)
+			if err != nil {
+				return nfsproto.FAttr{}, mapErr(err)
+			}
+			reqs = append(reqs, hreq)
+		}
+		if sa.Size != nfsproto.NoValue && hdr.Kind == kindReg {
+			reqs = append(reqs, core.WriteReq{
+				Major: major, Off: headerSize + int64(sa.Size), Truncate: true,
+			})
+		}
+		if len(reqs) > 0 {
+			if _, err := ev.seg.WriteBatch(ctx, seg, reqs); err != nil {
 				if errors.Is(err, core.ErrVersionConflict) {
 					continue // the §5.1 optimistic retry
 				}
-				return nfsproto.FAttr{}, mapErr(err)
-			}
-		}
-		if sa.Size != nfsproto.NoValue && hdr.Kind == kindReg {
-			_, err := ev.seg.Write(ctx, seg, core.WriteReq{
-				Major: major, Off: headerSize + int64(sa.Size), Truncate: true,
-			})
-			if err != nil {
 				return nfsproto.FAttr{}, mapErr(err)
 			}
 		}
@@ -499,18 +529,21 @@ func (ev *Envelope) Statfs(ctx context.Context, h nfsproto.Handle) (nfsproto.Sta
 	}, nfsproto.OK
 }
 
-// mapErr converts segment-server errors into NFS status codes.
+// mapErr converts segment-server errors into NFS status codes, using the
+// segment layer's own predicates for the gone/retryable classes.
 func mapErr(err error) nfsproto.Status {
 	switch {
 	case err == nil:
 		return nfsproto.OK
-	case errors.Is(err, core.ErrNotFound), errors.Is(err, core.ErrDeleted):
+	case core.IsGone(err):
 		return nfsproto.ErrStale
 	case errors.Is(err, core.ErrWriteUnavailable):
 		return nfsproto.ErrROFS
 	case errors.Is(err, core.ErrVersionConflict):
 		return nfsproto.ErrIO
-	case errors.Is(err, context.DeadlineExceeded):
+	case core.IsRetryable(err):
+		// The segment layer exhausted its own retries; surface a transient
+		// failure the NFS client will retry.
 		return nfsproto.ErrIO
 	default:
 		return nfsproto.ErrIO

@@ -113,6 +113,18 @@ func (l *localSegments) Write(ctx context.Context, id core.SegID, req core.Write
 	return sg.pair, nil
 }
 
+func (l *localSegments) WriteBatch(ctx context.Context, id core.SegID, reqs []core.WriteReq) ([]version.Pair, error) {
+	pairs := make([]version.Pair, len(reqs))
+	for i, r := range reqs {
+		p, err := l.Write(ctx, id, r)
+		if err != nil {
+			return pairs, err
+		}
+		pairs[i] = p
+	}
+	return pairs, nil
+}
+
 func (l *localSegments) SetParams(ctx context.Context, id core.SegID, params core.Params) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()

@@ -50,29 +50,13 @@ func (gr *Group) Cast(ctx context.Context, payload []byte, k int) ([]Reply, erro
 // tracks replies, letting the caller collect the first s replies
 // synchronously and keep counting the rest in the background — exactly what
 // the token holder does to combine write-safety waits with replica counting
-// (§3.1 method 1, §3.3).
+// (§3.1 method 1, §3.3). It is the single-op form of CastBatch.
 func (gr *Group) CastCall(payload []byte) (*Call, error) {
-	var call *Call
-	var err error
-	ok := gr.p.doWait(func() {
-		g := gr.p.groups[gr.name]
-		if g == nil || g.state == stLeft {
-			err = ErrNotMember
-			return
-		}
-		if g.state != stMember {
-			err = ErrDissolved
-			return
-		}
-		call = g.newCast(payload)
-	})
-	if !ok {
-		return nil, ErrClosed
-	}
+	bc, err := gr.CastBatch([][]byte{payload})
 	if err != nil {
 		return nil, err
 	}
-	return call, nil
+	return bc.Op(0), nil
 }
 
 // CastAsync broadcasts payload without waiting for any reply (write safety
@@ -179,7 +163,7 @@ type gstate struct {
 
 	// Origin-side cast tracking.
 	msgIDc uint64
-	calls  map[uint64]*Call
+	calls  map[uint64]replySink
 	outbox map[uint64]*outboxEntry
 
 	// Failure handling.
@@ -211,7 +195,7 @@ func newGState(p *Process, name string, app App) *gstate {
 		// during crash recovery before its first view installs, so the map
 		// must always exist.
 		acks:     make(map[simnet.NodeID]uint64),
-		calls:    make(map[uint64]*Call),
+		calls:    make(map[uint64]replySink),
 		outbox:   make(map[uint64]*outboxEntry),
 		suspects: make(map[simnet.NodeID]bool),
 		lost:     make(map[simnet.NodeID]bool),
@@ -283,7 +267,7 @@ func (g *gstate) sequence(req *env) {
 	}
 	seq := g.nextSeq
 	g.nextSeq++
-	rec := &seqRecord{Seq: seq, Origin: req.Origin, MsgID: req.MsgID, Inc: req.Inc, Payload: req.Payload}
+	rec := &seqRecord{Seq: seq, Origin: req.Origin, MsgID: req.MsgID, Inc: req.Inc, Flags: req.Flags & flagBatchCast, Payload: req.Payload}
 	byOrigin := g.dedupSeq[req.Origin]
 	if byOrigin == nil {
 		byOrigin = make(map[uint64]uint64)
@@ -304,6 +288,7 @@ func seqEnv(name string, viewID uint64, rec *seqRecord) *env {
 		Origin:  rec.Origin,
 		MsgID:   rec.MsgID,
 		Inc:     rec.Inc,
+		Flags:   rec.Flags,
 		Payload: rec.Payload,
 	}
 }
@@ -320,7 +305,7 @@ func (g *gstate) onSeq(from simnet.NodeID, e *env) {
 	if _, held := g.holdback[e.Seq]; held {
 		return
 	}
-	g.holdback[e.Seq] = &seqRecord{Seq: e.Seq, Origin: e.Origin, MsgID: e.MsgID, Inc: e.Inc, Payload: e.Payload}
+	g.holdback[e.Seq] = &seqRecord{Seq: e.Seq, Origin: e.Origin, MsgID: e.MsgID, Inc: e.Inc, Flags: e.Flags, Payload: e.Payload}
 	g.advance()
 }
 
@@ -365,7 +350,7 @@ func (g *gstate) deliverRec(rec *seqRecord) {
 	}
 
 	mine := rec.Origin == g.me()
-	var call *Call
+	var call replySink
 	if mine {
 		call = g.calls[rec.MsgID]
 		delete(g.outbox, rec.MsgID)
@@ -375,8 +360,24 @@ func (g *gstate) deliverRec(rec *seqRecord) {
 	}
 	app, p, name := g.app, g.p, g.name
 	origin, msgID, payload := rec.Origin, rec.MsgID, rec.Payload
+	batch := rec.Flags&flagBatchCast != 0
 	g.dq.push(func() {
-		reply := app.Deliver(origin, payload)
+		var reply []byte
+		if batch {
+			// A batched cast: deliver every sub-op back to back in this one
+			// total-order slot and reply with a matching frame of sub-replies.
+			subs, err := decodeBatchFrame(payload)
+			if err != nil {
+				subs = nil
+			}
+			outs := make([][]byte, len(subs))
+			for i, sp := range subs {
+				outs[i] = app.Deliver(origin, sp)
+			}
+			reply = encodeBatchFrame(outs)
+		} else {
+			reply = app.Deliver(origin, payload)
+		}
 		if mine {
 			if call != nil {
 				call.addReply(p.ID(), reply)

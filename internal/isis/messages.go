@@ -35,6 +35,7 @@ const (
 // Envelope flags.
 const (
 	flagReconcile uint8 = 1 << iota // join should Merge, not Restore
+	flagBatchCast                   // cast payload is a batch frame (see batch.go)
 )
 
 // env is the single wire format for all ISIS messages.
@@ -61,6 +62,7 @@ type seqRecord struct {
 	Origin  simnet.NodeID
 	MsgID   uint64
 	Inc     uint64 // origin's incarnation when the cast was issued
+	Flags   uint8  // cast flags (flagBatchCast), preserved across resends
 	Payload []byte
 }
 
@@ -88,6 +90,7 @@ func (m *env) MarshalWire(e *wire.Encoder) {
 		e.String(string(r.Origin))
 		e.Uint64(r.MsgID)
 		e.Uint64(r.Inc)
+		e.Uint8(r.Flags)
 		e.Bytes32(r.Payload)
 	}
 }
@@ -127,6 +130,7 @@ func (m *env) UnmarshalWire(d *wire.Decoder) error {
 			r.Origin = simnet.NodeID(d.String())
 			r.MsgID = d.Uint64()
 			r.Inc = d.Uint64()
+			r.Flags = d.Uint8()
 			r.Payload = d.Bytes32()
 			m.Batch = append(m.Batch, r)
 		}
