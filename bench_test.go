@@ -276,15 +276,17 @@ func BenchmarkC4Migration(b *testing.B) {
 }
 
 // BenchmarkF8AgentCache measures the agent configurations of Figure 8: the
-// same NFS read with and without client caching, over real TCP.
+// same NFS read with and without the lease-backed client cache, over real
+// TCP. A cache hit still pays one revalidation round trip (the coherence
+// contract), but no data moves.
 func BenchmarkF8AgentCache(b *testing.B) {
-	run := func(b *testing.B, ttl time.Duration) {
+	run := func(b *testing.B, cache bool) {
 		cell, err := testnfs.NewNFSCell(1)
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.Cleanup(cell.Close)
-		ag, err := agent.Mount(cell.Addrs(), agent.Options{CacheTTL: ttl})
+		ag, err := agent.Mount(cell.Addrs(), agent.Options{Cache: cache})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -306,8 +308,8 @@ func BenchmarkF8AgentCache(b *testing.B) {
 			}
 		}
 	}
-	b.Run("cache=off", func(b *testing.B) { run(b, 0) })
-	b.Run("cache=on", func(b *testing.B) { run(b, time.Minute) })
+	b.Run("cache=off", func(b *testing.B) { run(b, false) })
+	b.Run("cache=on", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkS2Blast measures the §6.2 blast transfer: forcing a 1 MiB
@@ -609,4 +611,56 @@ func BenchmarkEnvelopeOps(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkHotReadLocal measures the read-side twin of the batching work:
+// hot reads of an unstable file by a replica holder that is not the token
+// holder, with and without shared read tokens (§4's concurrency-control
+// spectrum; core.Options.NoReadTokens is the ablation switch). Without
+// tokens every read forwards to the token holder; with them one grant cast
+// at warm-up certifies the local replica and every read after it is served
+// locally with zero communication.
+func BenchmarkHotReadLocal(b *testing.B) {
+	run := func(b *testing.B, tokens bool) {
+		copts := testutil.FastCoreOpts()
+		// Keep the §3.4 unstable window open for the whole measurement.
+		copts.StabilityDelay = time.Minute
+		copts.NoReadTokens = !tokens
+		c := testutil.NewCellOpts(2, testutil.FastISISOpts(), copts)
+		b.Cleanup(c.Close)
+		ctx := benchCtx(b)
+		params := core.DefaultParams()
+		params.MinReplicas = 2
+		id, err := c.Nodes[0].Core.Create(ctx, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The seed write makes srv0 the token holder and leaves the file
+		// unstable for the rest of the run.
+		if _, err := c.Nodes[0].Core.Write(ctx, id, core.WriteReq{Data: []byte("hot-read payload"), Truncate: true}); err != nil {
+			b.Fatal(err)
+		}
+		addReplicaRetry(b, ctx, c.Nodes[0].Core, id, c.IDs[1])
+
+		reader := c.Nodes[1].Core
+		// Warm-up: with tokens on, this read pays the one grant cast.
+		if _, _, err := reader.Read(ctx, id, 0, 0, -1); err != nil {
+			b.Fatal(err)
+		}
+		pre := reader.ReadStats()
+		c.Net.ResetStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := reader.Read(ctx, id, 0, 0, -1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		post := reader.ReadStats()
+		b.ReportMetric(float64(c.Net.Stats().Sent)/float64(b.N), "msgs/read")
+		b.ReportMetric(float64(post.Local-pre.Local)/float64(b.N), "local/read")
+		b.ReportMetric(float64(post.TokenCasts-pre.TokenCasts)/float64(b.N), "casts/read")
+	}
+	b.Run("tokens=off", func(b *testing.B) { run(b, false) })
+	b.Run("tokens=on", func(b *testing.B) { run(b, true) })
 }

@@ -3,8 +3,12 @@
 // This is the paper's planned auxiliary user-process agent with full
 // functionality:
 //
-//   - caching: file and directory data as well as NFS handles and
-//     attributes are cached with a configurable TTL;
+//   - caching: attributes and file data ranges are cached with a lease
+//     epoch stamped by the server, reused only while a cheap revalidation
+//     (CtlLease) confirms the epoch, and dropped on mismatch. There is no
+//     time-based expiry: coherence comes from the epoch contract, so a
+//     write through any agent is visible to every other agent's next read
+//     — not after some staleness window;
 //   - failover: "when one server fails, the agent must select another to
 //     continue operation" — Deceit servers are interchangeable and Deceit
 //     file handles are location-independent, so the agent simply re-issues
@@ -20,7 +24,6 @@ import (
 	"path"
 	"strings"
 	"sync"
-	"time"
 
 	"repro/internal/nfsproto"
 	"repro/internal/server"
@@ -60,10 +63,12 @@ func statusErr(st nfsproto.Status) error {
 
 // Options tunes the agent.
 type Options struct {
-	// CacheTTL bounds the attribute and data caches; 0 disables caching
-	// (Figure 8's thinnest configuration).
-	CacheTTL time.Duration
-	// MaxCachedFile bounds the size of files kept in the data cache.
+	// Cache enables the lease-backed attribute and data caches; off is
+	// Figure 8's thinnest configuration. Cached entries carry the server's
+	// lease epoch and are reused only after a revalidation call confirms the
+	// epoch still matches — never on the strength of elapsed time.
+	Cache bool
+	// MaxCachedFile bounds the size of data ranges kept in the cache.
 	MaxCachedFile int
 	// Shortcut enables direct connections to replica holders.
 	Shortcut bool
@@ -92,25 +97,31 @@ type Agent struct {
 	cli     *sunrpc.Client
 	root    nfsproto.Handle
 	attrs   map[nfsproto.Handle]attrEntry
-	data    map[nfsproto.Handle]dataEntry
-	servers map[string]*sunrpc.Client // shortcut connections by server id
+	data    map[nfsproto.Handle]map[uint32]rangeEntry // per-(handle, offset) ranges
+	servers map[string]*sunrpc.Client                 // shortcut connections by server id
 	closed  bool
 
 	// Stats for experiments.
-	Calls     uint64
-	CacheHits uint64
-	Failovers uint64
+	Calls         uint64
+	CacheHits     uint64
+	Revalidations uint64 // CtlLease round trips issued for cache hits
+	Failovers     uint64
 }
 
+// attrEntry is one cached fattr, valid while the file's lease epoch matches.
 type attrEntry struct {
-	attr    nfsproto.FAttr
-	expires time.Time
+	attr  nfsproto.FAttr
+	epoch uint64
 }
 
-type dataEntry struct {
-	data    []byte
-	mtime   nfsproto.Time
-	expires time.Time
+// rangeEntry is one cached read result: the bytes the server returned for a
+// (offset, count) read, stamped with the lease epoch they were served under.
+// Sequential readers hit range by range; a write to the handle drops every
+// range at once.
+type rangeEntry struct {
+	data  []byte
+	count uint32 // the read size the entry answers up to
+	epoch uint64
 }
 
 // Mount connects to the first reachable server in addrs and returns an
@@ -122,7 +133,7 @@ func Mount(addrs []string, opts Options) (*Agent, error) {
 		opts:    opts,
 		addrs:   append([]string(nil), addrs...),
 		attrs:   make(map[nfsproto.Handle]attrEntry),
-		data:    make(map[nfsproto.Handle]dataEntry),
+		data:    make(map[nfsproto.Handle]map[uint32]rangeEntry),
 		servers: make(map[string]*sunrpc.Client),
 	}
 	if err := a.connectLocked(0); err != nil {
@@ -227,29 +238,69 @@ func (a *Agent) call(prog, vers, proc uint32, args []byte) ([]byte, error) {
 	return nil, errors.New("agent: all servers unreachable")
 }
 
-func (a *Agent) cacheGetAttr(h nfsproto.Handle) (nfsproto.FAttr, bool) {
-	if a.opts.CacheTTL <= 0 {
-		return nfsproto.FAttr{}, false
+// lease issues the cheap revalidation RPC, sending the epoch the cache
+// entry is stamped with. While the epochs match the server answers from
+// group metadata alone; on a mismatch (or an invalid lease) the reply also
+// carries the file's current attributes, so an attribute-cache miss costs
+// one round trip, not two.
+func (a *Agent) lease(h nfsproto.Handle, epoch uint64) (nfsproto.Lease, *nfsproto.FAttr, error) {
+	a.mu.Lock()
+	a.Revalidations++
+	a.mu.Unlock()
+	la := server.CtlLeaseArgs{File: h, Epoch: epoch}
+	raw, err := a.call(server.CtlProgram, server.CtlVersion, server.CtlLease, xdr.Marshal(&la))
+	if err != nil {
+		return nfsproto.Lease{}, nil, err
 	}
+	d := xdr.NewDecoder(raw)
+	st := nfsproto.Status(d.Uint32())
+	l := nfsproto.Lease{Epoch: d.Uint64(), Valid: d.Bool()}
+	var attr *nfsproto.FAttr
+	if d.Bool() {
+		attr = new(nfsproto.FAttr)
+		if err := attr.UnmarshalXDR(d); err != nil {
+			return nfsproto.Lease{}, nil, err
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nfsproto.Lease{}, nil, err
+	}
+	if st != nfsproto.OK {
+		return nfsproto.Lease{}, nil, statusErr(st)
+	}
+	return l, attr, nil
+}
+
+// revalidate reports whether a cache entry stamped with epoch may still be
+// served: the server's lease epoch matches and the lease is valid. Any
+// failure counts as a mismatch — the caller falls back to a full fetch. On
+// a mismatch, fresh attributes from the reply (if any) are handed back so
+// the caller can repair the attribute cache without another round trip.
+func (a *Agent) revalidate(h nfsproto.Handle, epoch uint64) (bool, nfsproto.Lease, *nfsproto.FAttr) {
+	l, attr, err := a.lease(h, epoch)
+	if err != nil {
+		return false, nfsproto.Lease{}, nil
+	}
+	return l.Valid && l.Epoch == epoch, l, attr
+}
+
+func (a *Agent) cachedAttr(h nfsproto.Handle) (attrEntry, bool) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	ent, ok := a.attrs[h]
-	if !ok || time.Now().After(ent.expires) {
-		return nfsproto.FAttr{}, false
-	}
-	a.CacheHits++
-	return ent.attr, true
+	return ent, ok
 }
 
-func (a *Agent) cachePutAttr(h nfsproto.Handle, attr nfsproto.FAttr) {
-	if a.opts.CacheTTL <= 0 {
+func (a *Agent) cachePutAttr(h nfsproto.Handle, attr nfsproto.FAttr, l nfsproto.Lease, ok bool) {
+	if !a.opts.Cache || !ok || !l.Valid {
 		return
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.attrs[h] = attrEntry{attr: attr, expires: time.Now().Add(a.opts.CacheTTL)}
+	a.attrs[h] = attrEntry{attr: attr, epoch: l.Epoch}
 }
 
+// invalidate drops the attribute entry and every cached data range for h.
 func (a *Agent) invalidate(h nfsproto.Handle) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -257,23 +308,40 @@ func (a *Agent) invalidate(h nfsproto.Handle) {
 	delete(a.data, h)
 }
 
-// Getattr fetches attributes, honoring the attribute cache.
+// Getattr fetches attributes, honoring the lease-backed attribute cache.
 func (a *Agent) Getattr(h nfsproto.Handle) (nfsproto.FAttr, error) {
-	if attr, ok := a.cacheGetAttr(h); ok {
-		return attr, nil
+	if a.opts.Cache {
+		if ent, ok := a.cachedAttr(h); ok {
+			fresh, l, attr := a.revalidate(h, ent.epoch)
+			if fresh {
+				a.mu.Lock()
+				a.CacheHits++
+				a.mu.Unlock()
+				return ent.attr, nil
+			}
+			a.invalidate(h)
+			if attr != nil {
+				// The mismatch reply carried current attributes: repair the
+				// cache and answer in this single round trip.
+				a.cachePutAttr(h, *attr, l, true)
+				return *attr, nil
+			}
+		}
 	}
 	raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcGetattr, xdr.Marshal(&h))
 	if err != nil {
 		return nfsproto.FAttr{}, err
 	}
+	d := xdr.NewDecoder(raw)
 	var res nfsproto.AttrStat
-	if err := xdr.Unmarshal(raw, &res); err != nil {
+	if err := res.UnmarshalXDR(d); err != nil {
 		return nfsproto.FAttr{}, err
 	}
 	if res.Status != nfsproto.OK {
 		return nfsproto.FAttr{}, statusErr(res.Status)
 	}
-	a.cachePutAttr(h, res.Attr)
+	l, lok := nfsproto.TrailingLease(d)
+	a.cachePutAttr(h, res.Attr, l, lok)
 	return res.Attr, nil
 }
 
@@ -292,7 +360,7 @@ func (a *Agent) Setattr(h nfsproto.Handle, sa nfsproto.SAttr) (nfsproto.FAttr, e
 	if res.Status != nfsproto.OK {
 		return nfsproto.FAttr{}, statusErr(res.Status)
 	}
-	a.cachePutAttr(h, res.Attr)
+	a.invalidate(h)
 	return res.Attr, nil
 }
 
@@ -310,63 +378,82 @@ func (a *Agent) Lookup(dir nfsproto.Handle, name string) (nfsproto.Handle, nfspr
 	if res.Status != nfsproto.OK {
 		return nfsproto.Handle{}, nfsproto.FAttr{}, statusErr(res.Status)
 	}
-	a.cachePutAttr(res.File, res.Attr)
+	// Lookup replies carry no lease (the server cannot stamp the child
+	// before reading its attributes); the cache fills from Getattr/Read.
 	return res.File, res.Attr, nil
 }
 
-// Read reads count bytes at off, honoring the data cache for whole files.
+// cachedRange serves a read from the per-range data cache: an entry keyed by
+// the exact offset answers any request up to the read size it was fetched
+// with (or any size at all if it already reached end-of-file).
+func (a *Agent) cachedRange(h nfsproto.Handle, off, count uint32) (rangeEntry, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ent, ok := a.data[h][off]
+	if !ok {
+		return rangeEntry{}, false
+	}
+	eof := uint32(len(ent.data)) < ent.count
+	if count > ent.count && !eof {
+		return rangeEntry{}, false
+	}
+	return ent, true
+}
+
+// Read reads count bytes at off, honoring the lease-backed per-range data
+// cache: sequential readers re-walking a file hit range by range, and a
+// write through any agent invalidates every range at the next revalidation.
 func (a *Agent) Read(h nfsproto.Handle, off, count uint32) ([]byte, error) {
-	if a.opts.CacheTTL > 0 {
-		a.mu.Lock()
-		ent, ok := a.data[h]
-		if ok && time.Now().Before(ent.expires) {
-			a.CacheHits++
-			data := sliceBytes(ent.data, off, count)
-			a.mu.Unlock()
-			return data, nil
+	if a.opts.Cache {
+		if ent, ok := a.cachedRange(h, off, count); ok {
+			fresh, l, attr := a.revalidate(h, ent.epoch)
+			if fresh {
+				a.mu.Lock()
+				a.CacheHits++
+				a.mu.Unlock()
+				data := ent.data
+				if uint32(len(data)) > count {
+					data = data[:count]
+				}
+				return append([]byte(nil), data...), nil
+			}
+			a.invalidate(h)
+			if attr != nil {
+				// Repair the attribute entry from the mismatch reply; the
+				// data itself still needs the full read below.
+				a.cachePutAttr(h, *attr, l, true)
+			}
 		}
-		a.mu.Unlock()
 	}
 	args := nfsproto.ReadArgs{File: h, Offset: off, Count: count}
 	raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcRead, xdr.Marshal(&args))
 	if err != nil {
 		return nil, err
 	}
+	d := xdr.NewDecoder(raw)
 	var res nfsproto.ReadRes
-	if err := xdr.Unmarshal(raw, &res); err != nil {
+	if err := res.UnmarshalXDR(d); err != nil {
 		return nil, err
 	}
 	if res.Status != nfsproto.OK {
 		return nil, statusErr(res.Status)
 	}
-	a.cachePutAttr(h, res.Attr)
-	// Cache whole-file reads of small files.
-	if a.opts.CacheTTL > 0 && off == 0 && int(res.Attr.Size) == len(res.Data) && len(res.Data) <= a.opts.MaxCachedFile {
+	l, lok := nfsproto.TrailingLease(d)
+	a.cachePutAttr(h, res.Attr, l, lok)
+	if a.opts.Cache && lok && l.Valid && len(res.Data) <= a.opts.MaxCachedFile {
 		a.mu.Lock()
-		a.data[h] = dataEntry{
-			data:    res.Data,
-			mtime:   res.Attr.MTime,
-			expires: time.Now().Add(a.opts.CacheTTL),
+		if a.data[h] == nil {
+			a.data[h] = make(map[uint32]rangeEntry)
 		}
+		a.data[h][off] = rangeEntry{data: res.Data, count: count, epoch: l.Epoch}
 		a.mu.Unlock()
 	}
 	return res.Data, nil
 }
 
-func sliceBytes(data []byte, off, count uint32) []byte {
-	if int(off) >= len(data) {
-		return nil
-	}
-	end := int(off) + int(count)
-	if end > len(data) {
-		end = len(data)
-	}
-	out := make([]byte, end-int(off))
-	copy(out, data[off:end])
-	return out
-}
-
-// Write writes data at off.
+// Write writes data at off. The handle's attribute entry and every cached
+// data range are dropped; the next read restamps them under the post-write
+// lease epoch.
 func (a *Agent) Write(h nfsproto.Handle, off uint32, data []byte) (nfsproto.FAttr, error) {
 	a.invalidate(h)
 	args := nfsproto.WriteArgs{File: h, Offset: off, Data: data}
@@ -381,7 +468,7 @@ func (a *Agent) Write(h nfsproto.Handle, off uint32, data []byte) (nfsproto.FAtt
 	if res.Status != nfsproto.OK {
 		return nfsproto.FAttr{}, statusErr(res.Status)
 	}
-	a.cachePutAttr(h, res.Attr)
+	a.invalidate(h)
 	return res.Attr, nil
 }
 
@@ -411,7 +498,6 @@ func (a *Agent) dirOpCall(proc uint32, args []byte) (nfsproto.Handle, nfsproto.F
 	if res.Status != nfsproto.OK {
 		return nfsproto.Handle{}, nfsproto.FAttr{}, statusErr(res.Status)
 	}
-	a.cachePutAttr(res.File, res.Attr)
 	return res.File, res.Attr, nil
 }
 

@@ -187,9 +187,33 @@ func TestSymlinkThroughAgent(t *testing.T) {
 	}
 }
 
+// waitCacheable reads h until the lease-backed cache holds an entry for
+// offset 0: right after a write the file is still unstable (its lease is
+// invalid, nothing is cached), and it becomes cacheable once the stability
+// timer fires.
+func waitCacheable(t *testing.T, ag *Agent, h nfsproto.Handle, count uint32) []byte {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		data, err := ag.Read(h, 0, count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ag.mu.Lock()
+		cached := len(ag.data[h]) > 0
+		ag.mu.Unlock()
+		if cached {
+			return data
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("read never became cacheable (lease stayed invalid)")
+	return nil
+}
+
 func TestCacheHitsAndInvalidation(t *testing.T) {
 	c := newCell(t, 1)
-	ag := mount(t, c, Options{CacheTTL: time.Minute})
+	ag := mount(t, c, Options{Cache: true})
 
 	if err := ag.WriteFile("/cached.txt", []byte("version one")); err != nil {
 		t.Fatal(err)
@@ -198,23 +222,25 @@ func TestCacheHitsAndInvalidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ag.Read(h, 0, 4096); err != nil {
-		t.Fatal(err)
-	}
-	calls := ag.Calls
+	waitCacheable(t, ag, h, 4096)
+	hits := ag.CacheHits
 	for i := 0; i < 10; i++ {
-		if _, err := ag.Read(h, 0, 4096); err != nil {
+		data, err := ag.Read(h, 0, 4096)
+		if err != nil {
 			t.Fatal(err)
 		}
+		if string(data) != "version one" {
+			t.Fatalf("cached read %d = %q", i, data)
+		}
 	}
-	if ag.Calls != calls {
-		t.Errorf("cached reads issued %d RPCs", ag.Calls-calls)
+	if got := ag.CacheHits - hits; got != 10 {
+		t.Errorf("cache hits = %d, want 10", got)
 	}
-	if ag.CacheHits == 0 {
-		t.Error("no cache hits recorded")
+	if ag.Revalidations == 0 {
+		t.Error("cache hits served without revalidation")
 	}
 
-	// A write through this agent invalidates its own cache entry.
+	// A write through this agent invalidates its own cache entries.
 	if _, err := ag.Write(h, 0, []byte("VERSION TWO")); err != nil {
 		t.Fatal(err)
 	}
@@ -227,40 +253,92 @@ func TestCacheHitsAndInvalidation(t *testing.T) {
 	}
 }
 
-func TestCacheTTLExpires(t *testing.T) {
+// TestCacheCoherenceAcrossAgents: a write through one agent is visible to
+// another agent's very next read — the lease epoch no longer matches, so the
+// cached entry is dropped at revalidation. The TTL caches this replaces
+// would have served the stale bytes for the rest of their staleness window.
+func TestCacheCoherenceAcrossAgents(t *testing.T) {
 	c := newCell(t, 1)
-	ag := mount(t, c, Options{CacheTTL: 30 * time.Millisecond})
+	ag := mount(t, c, Options{Cache: true})
 
-	if err := ag.WriteFile("/ttl.txt", []byte("old")); err != nil {
+	if err := ag.WriteFile("/shared.txt", []byte("old")); err != nil {
 		t.Fatal(err)
 	}
-	h, _, err := ag.Walk("/ttl.txt")
+	h, _, err := ag.Walk("/shared.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ag.Read(h, 0, 64); err != nil {
+	if got := waitCacheable(t, ag, h, 64); string(got) != "old" {
+		t.Fatalf("seed read = %q", got)
+	}
+
+	// A second agent writes behind the first one's back.
+	ag2 := mount(t, c, Options{})
+	if err := ag2.WriteFile("/shared.txt", []byte("new")); err != nil {
 		t.Fatal(err)
 	}
 
-	// A second agent writes behind our back; after the TTL the update is
-	// visible (the paper's bounded update-propagation delay).
-	ag2 := mount(t, c, Options{})
-	if err := ag2.WriteFile("/ttl.txt", []byte("new")); err != nil {
+	// The first read after the foreign write must observe it: no retry loop,
+	// no staleness window.
+	data, err := ag.Read(h, 0, 64)
+	if err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		data, err := ag.Read(h, 0, 64)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if string(data) == "new" {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("cache never expired; still reading %q", data)
-		}
-		time.Sleep(10 * time.Millisecond)
+	if string(data) != "new" {
+		t.Fatalf("read after foreign write = %q, want %q", data, "new")
+	}
+}
+
+// TestCachePerRangeSequentialReads: the data cache keys entries by
+// (handle, offset), so a sequential re-read of a large file hits every
+// chunk, not just a whole-file read at offset 0.
+func TestCachePerRangeSequentialReads(t *testing.T) {
+	c := newCell(t, 1)
+	ag := mount(t, c, Options{Cache: true})
+
+	content := []byte(strings.Repeat("0123456789abcdef", 1024)) // 16 KiB
+	if err := ag.WriteFile("/big.dat", content); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ag.ReadFile("/big.dat") // chunked sequential read
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("first pass read %d bytes", len(got))
+	}
+	h, _, err := ag.Walk("/big.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCacheable(t, ag, h, 8192)
+
+	// Second sequential pass: every chunk must come from the range cache.
+	if _, err := ag.ReadFile("/big.dat"); err != nil {
+		t.Fatal(err)
+	}
+	hits := ag.CacheHits
+	got, err = ag.ReadFile("/big.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("cached pass read %d bytes", len(got))
+	}
+	if ag.CacheHits == hits {
+		t.Error("sequential re-read recorded no range-cache hits")
+	}
+
+	// A write invalidates all ranges of the handle at once.
+	if _, err := ag.Write(h, 0, []byte("XXXX")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ag.ReadFile("/big.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, []byte("XXXX")) || !bytes.Equal(got[4:], content[4:]) {
+		t.Errorf("read after partial write: %.16q (len %d)", got, len(got))
 	}
 }
 
@@ -360,7 +438,7 @@ func TestControlOpsThroughAgent(t *testing.T) {
 
 func TestConcurrentAgentUse(t *testing.T) {
 	c := newCell(t, 1)
-	ag := mount(t, c, Options{CacheTTL: time.Minute})
+	ag := mount(t, c, Options{Cache: true})
 
 	if err := ag.MkdirAll("/conc"); err != nil {
 		t.Fatal(err)
@@ -435,5 +513,58 @@ func TestStatfsThroughAgent(t *testing.T) {
 	}
 	if res.BSize == 0 || res.Blocks == 0 {
 		t.Errorf("statfs = %+v", res)
+	}
+}
+
+// TestLeaseMismatchRepairsAttrsInOneRoundTrip: when a cached attribute
+// entry fails revalidation, the lease reply itself carries the file's
+// current attributes — the miss costs a single RPC, not a revalidation
+// plus a second Getattr.
+func TestLeaseMismatchRepairsAttrsInOneRoundTrip(t *testing.T) {
+	c := newCell(t, 1)
+	ag := mount(t, c, Options{Cache: true})
+
+	if err := ag.WriteFile("/attr.txt", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := ag.Walk("/attr.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate the attribute cache (entries only stick once the post-write
+	// instability has passed and the lease turned valid).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := ag.Getattr(h); err != nil {
+			t.Fatal(err)
+		}
+		ag.mu.Lock()
+		_, cached := ag.attrs[h]
+		ag.mu.Unlock()
+		if cached {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("attribute entry never became cacheable")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A second agent grows the file behind this one's back.
+	ag2 := mount(t, c, Options{})
+	if err := ag2.WriteFile("/attr.txt", []byte("longer-content")); err != nil {
+		t.Fatal(err)
+	}
+
+	calls := ag.Calls
+	attr, err := ag.Getattr(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Size != uint32(len("longer-content")) {
+		t.Errorf("repaired attr size = %d, want %d", attr.Size, len("longer-content"))
+	}
+	if got := ag.Calls - calls; got != 1 {
+		t.Errorf("attribute repair took %d RPCs, want 1 (lease reply carries the attrs)", got)
 	}
 }

@@ -19,7 +19,8 @@ func init() {
 	Experiments["A2"] = RunA2
 	Experiments["A3"] = RunA3
 	Experiments["A4"] = RunA4
-	Order = append(Order, "A1", "A2", "A3", "A4")
+	Experiments["A5"] = RunA5
+	Order = append(Order, "A1", "A2", "A3", "A4", "A5")
 }
 
 // ablationCell builds a cell with n servers and one segment replicated on
@@ -38,12 +39,14 @@ func ablationCell(n int, copts core.Options, params core.Params, replicas int) (
 		return nil, 0, err
 	}
 	for r := 1; r < replicas; r++ {
-		if err := c.Nodes[0].Core.AddReplica(cx, id, 0, c.IDs[r]); err != nil {
-			// One retry: blast transfers can time out transiently under load.
-			if err := c.Nodes[0].Core.AddReplica(cx, id, 0, c.IDs[r]); err != nil {
-				c.Close()
-				return nil, 0, err
-			}
+		// Retried: blast transfers can time out transiently under load while
+		// the target is still joining the file group.
+		target := c.IDs[r]
+		if err := retryRetryable(func() error {
+			return c.Nodes[0].Core.AddReplica(cx, id, 0, target)
+		}); err != nil {
+			c.Close()
+			return nil, 0, err
 		}
 	}
 	if err := waitStable(cx, c.Nodes[0].Core, id); err != nil {
@@ -309,4 +312,103 @@ func RunA3() (*Table, error) {
 		"with hot-read on, every server grows a replica during warm-up and all",
 		"reads are local; off, 4 of 5 servers pay a forwarding round trip per read")
 	return t, nil
+}
+
+// RunA5 measures the read-side twin of the A1/A4 write batching: shared
+// read tokens from §4's concurrency-control spectrum. A writer dirties the
+// segment and the §3.4 unstable window is held open; a second replica
+// holder then reads hot. Without read tokens every one of its reads must be
+// forwarded to the token holder (one communication round, two direct
+// messages); with them a single grant cast — paid once, at warm-up —
+// certifies the local replica current and every subsequent read is served
+// locally with zero communication.
+func RunA5() (*Table, error) {
+	t := &Table{
+		ID:     "A5",
+		Title:  "ablation: shared read tokens — hot reads of an unstable file from a replica holder",
+		Header: []string{"read tokens", "latency/read", "rounds/read", "msgs/read", "local/forwarded"},
+	}
+	const iters = 400
+	for _, on := range []bool{false, true} {
+		copts := testutil.FastCoreOpts()
+		// Hold the §3.4 unstable window open across the whole measurement:
+		// stability would let any replica serve reads and hide the effect.
+		copts.StabilityDelay = time.Minute
+		copts.NoReadTokens = !on
+		params := core.DefaultParams()
+		params.MinReplicas = 2
+		c := testutil.NewCellOpts(2, testutil.FastISISOpts(), copts)
+		cx, cancel := ctx()
+		fail := func(err error) (*Table, error) {
+			cancel()
+			c.Close()
+			return nil, err
+		}
+		id, err := c.Nodes[0].Core.Create(cx, params)
+		if err != nil {
+			return fail(fmt.Errorf("create: %w", err))
+		}
+		// The seed write makes srv0 the token holder and leaves the file
+		// unstable for the rest of the run (no waiting for stability here —
+		// the instability is the scenario).
+		if _, err := c.Nodes[0].Core.Write(cx, id, core.WriteReq{Data: []byte("hot-read seed"), Truncate: true}); err != nil {
+			return fail(fmt.Errorf("seed write: %w", err))
+		}
+		// Retried: the first attempt may time out while the target is still
+		// joining the file group (the join itself persists, so a later
+		// attempt finds it done).
+		if err := retryRetryable(func() error {
+			return c.Nodes[0].Core.AddReplica(cx, id, 0, c.IDs[1])
+		}); err != nil {
+			return fail(fmt.Errorf("add replica: %w", err))
+		}
+		reader := c.Nodes[1].Core
+		// Warm-up read: with tokens on, this is the one that casts the grant.
+		// Retried, because the blast transfer that grew the reader's replica
+		// can still be settling (core.ErrBusy is transient here).
+		if err := retryRetryable(func() error {
+			_, _, err := reader.Read(cx, id, 0, 0, -1)
+			return err
+		}); err != nil {
+			return fail(fmt.Errorf("warm-up read: %w", err))
+		}
+		pre := reader.ReadStats()
+		c.Net.ResetStats()
+		avg := timeAvg(iters, func() error {
+			_, _, err := reader.Read(cx, id, 0, 0, -1)
+			return err
+		})
+		post := reader.ReadStats()
+		msgs := float64(c.Net.Stats().Sent) / float64(iters)
+		local := post.Local - pre.Local
+		forwarded := post.Forwarded - pre.Forwarded
+		rounds := float64(forwarded+post.TokenCasts-pre.TokenCasts) / float64(iters)
+		cancel()
+		c.Close()
+		label := "off"
+		if on {
+			label = "on"
+		}
+		t.Rows = append(t.Rows, []string{label, ms(avg), fmt.Sprintf("%.2f", rounds),
+			fmt.Sprintf("%.1f", msgs), fmt.Sprintf("%d/%d", local, forwarded)})
+	}
+	t.Notes = append(t.Notes,
+		"the reader holds a current replica but not the write token, and the file",
+		"is mid-write-stream: without read tokens every read pays >= 1 forwarded",
+		"round (casts/read counted as rounds); with them reads cost 0 rounds and",
+		"0 casts — the single grant cast is paid at warm-up (heartbeats in msgs)")
+	return t, nil
+}
+
+// retryRetryable runs fn until it succeeds, returning the last error once
+// transient retryable failures (core.IsRetryable) stop being transient.
+func retryRetryable(fn func() error) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := fn()
+		if err == nil || !core.IsRetryable(err) || time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }

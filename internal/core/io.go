@@ -10,6 +10,14 @@ import (
 	"repro/internal/version"
 )
 
+// ReadStats counts how reads were served; the A5 ablation and the read-token
+// tests read them. All counters are cumulative since server start.
+type ReadStats struct {
+	Local      uint64 // served from this server's replica, zero communication
+	Forwarded  uint64 // forwarded to another server (Figure 2 / §3.4)
+	TokenCasts uint64 // opReadToken grant casts issued
+}
+
 // readPlan is an immutable snapshot of everything the read path needs to
 // decide how to serve one read. It is taken in a single critical section on
 // the segment lock (readPlanLocked); every forwarding decision afterwards
@@ -21,14 +29,15 @@ type readPlan struct {
 	data   []byte
 	pair   version.Pair
 
-	major    uint64
-	holder   simnet.NodeID
-	holderIn bool
-	unstable bool
-	stale    bool // local replica lags the group-agreed pair (§3.6)
-	phantom  bool // group lists us as a replica but the data is gone
-	migrate  bool
-	targets  []simnet.NodeID // forwarding candidates, holder first
+	major     uint64
+	holder    simnet.NodeID
+	holderIn  bool
+	unstable  bool
+	stale     bool // local replica lags the group-agreed pair (§3.6)
+	phantom   bool // group lists us as a replica but the data is gone
+	migrate   bool
+	wantToken bool            // a read-token grant would make this read local
+	targets   []simnet.NodeID // forwarding candidates, holder first
 }
 
 // readPlanLocked builds the plan for one read under sg.mu.
@@ -68,17 +77,25 @@ func (s *Server) readPlanLocked(sg *segment, major uint64, off, n int64) readPla
 	}
 
 	// Fast path: serve from the local replica. While the file is unstable,
-	// only the token holder's replica may serve reads (§3.4: "after
+	// a replica may serve only if it is the token holder's (§3.4: "after
 	// stability notification, all file reads and inquiries are forwarded to
-	// the token holder"). A recovering segment (group not yet rejoined or
-	// inside the recreation grace window) must not serve its possibly-
-	// obsolete pre-crash state (§3.6 "Non-token Replica Crash": the
-	// recovering server first checks with the token holder).
-	if rep != nil && !p.stale && sg.readyLocked() && (!p.unstable || ms.holder == s.id) {
+	// the token holder") — or if it holds a shared read token, whose grant
+	// slot certified the replica current and whose revocation any later
+	// update must collect before returning (applyReadToken/applyUpdate). A
+	// recovering segment (group not yet rejoined or inside the recreation
+	// grace window) must not serve its possibly-obsolete pre-crash state
+	// (§3.6 "Non-token Replica Crash").
+	covered := ms.holder == s.id || ms.readers[s.id]
+	if rep != nil && !p.stale && sg.readyLocked() && (!p.unstable || covered) {
 		p.served = true
 		p.data, p.pair = sliceReplica(rep, off, n)
 		return p
 	}
+
+	// An unstable read blocked only by the missing token is worth one grant
+	// cast: every read after it is local until the next write revokes.
+	p.wantToken = !s.opts.NoReadTokens && p.unstable && !covered && !sg.readDenied &&
+		rep != nil && !p.stale && sg.readyLocked()
 
 	// Stable forwarding candidates: any available replica, preferring the
 	// holder (Figure 2's server-to-server forwarding).
@@ -93,6 +110,26 @@ func (s *Server) readPlanLocked(sg *segment, major uint64, off, n int64) readPla
 	return p
 }
 
+// acquireReadToken casts an opReadToken grant request and waits until every
+// available member has applied it — including this server, whose state
+// machine records the grant the fast path checks. Returns true on grant.
+func (s *Server) acquireReadToken(ctx context.Context, sg *segment, major uint64) bool {
+	s.stats.tokenCasts.Add(1)
+	r, err := s.castAll(ctx, sg, &castMsg{Op: opReadToken, Major: major})
+	if err != nil || r == nil {
+		return false
+	}
+	if r.Outcome != tokGranted {
+		// Minority side or not a replica: stop paying a doomed cast per read
+		// until the view changes or an update lands (segment.readDenied).
+		sg.mu.Lock()
+		sg.readDenied = true
+		sg.mu.Unlock()
+		return false
+	}
+	return true
+}
+
 // readOnce attempts one read. It may return ErrBusy for transient
 // conditions, in which case Read retries.
 func (s *Server) readOnce(ctx context.Context, id SegID, major uint64, off, n int64) ([]byte, version.Pair, error) {
@@ -103,10 +140,19 @@ func (s *Server) readOnce(ctx context.Context, id SegID, major uint64, off, n in
 	sg.mu.Lock()
 	p := s.readPlanLocked(sg, major, off, n)
 	sg.mu.Unlock()
+
+	// A read-token grant converts this read — and every one after it until
+	// the next write — from a forwarded round trip into a local replica hit.
+	if p.wantToken && s.acquireReadToken(ctx, sg, p.major) {
+		sg.mu.Lock()
+		p = s.readPlanLocked(sg, major, off, n)
+		sg.mu.Unlock()
+	}
 	if p.err != nil {
 		return nil, version.Pair{}, p.err
 	}
 	if p.served {
+		s.stats.readsLocal.Add(1)
 		return p.data, p.pair, nil
 	}
 
@@ -124,6 +170,7 @@ func (s *Server) readOnce(ctx context.Context, id SegID, major uint64, off, n in
 		if p.holderIn && p.holder != s.id {
 			data, pair, err := s.directRead(ctx, p.holder, id, p.major, off, n)
 			if err == nil {
+				s.stats.readsForwarded.Add(1)
 				return data, pair, nil
 			}
 			// Fall through to the §3.6 failure path.
@@ -134,6 +181,7 @@ func (s *Server) readOnce(ctx context.Context, id SegID, major uint64, off, n in
 	for _, t := range p.targets {
 		data, pair, err := s.directRead(ctx, t, id, p.major, off, n)
 		if err == nil {
+			s.stats.readsForwarded.Add(1)
 			return data, pair, nil
 		}
 	}
@@ -362,7 +410,35 @@ func (s *Server) writeOnce(ctx context.Context, id SegID, req WriteReq) (version
 		// Asynchronous unsafe write: return before any replica replies (§4).
 		return version.Pair{}, nil
 	}
-	return s.waitWrite(ctx, call, safety, s.stabilityAckNode(params))
+	pair, werr := s.waitWrite(ctx, call, safety, s.stabilityAckNode(params))
+	if werr == nil {
+		s.waitRevocations(ctx, call)
+	}
+	return pair, werr
+}
+
+// waitRevocations blocks until every available member has applied an update
+// that revoked outstanding read tokens. A reader that has not applied the
+// update still believes it holds its token and would keep serving the
+// pre-update data from its replica; collecting all available replies closes
+// that window before the write returns to its caller.
+//
+// The wait is bounded by the caller's context, not one protocol round: the
+// call completes as soon as every member either replied or was expelled by
+// the failure detector, and an expelled reader loses its token the moment
+// it installs the shrunken view — so the barrier resolves on its own and
+// only the caller's own deadline can cut it short. No-op when the update
+// found no readers (the common case). All members compute HadReaders from
+// the same group-agreed reader table, so any one reply decides.
+func (s *Server) waitRevocations(ctx context.Context, call *isis.Call) {
+	for _, r := range call.Replies() {
+		cr, err := decodeReply(r.Data)
+		if err != nil || !cr.HadReaders {
+			continue
+		}
+		_, _ = call.Wait(ctx, isis.All)
+		return
+	}
 }
 
 // stabilityAckNode returns the node whose update reply a write must include
@@ -573,7 +649,11 @@ func (s *Server) writePiggyback(ctx context.Context, sg *segment, major uint64, 
 	if safety <= 0 {
 		return version.Pair{}, nil
 	}
-	return s.waitWrite(ctx, call, safety, s.stabilityAckNode(params))
+	pair, werr := s.waitWrite(ctx, call, safety, s.stabilityAckNode(params))
+	if werr == nil {
+		s.waitRevocations(ctx, call)
+	}
+	return pair, werr
 }
 
 // acquireToken runs the §3.3/§3.5 token protocol: request the token; if the

@@ -27,6 +27,7 @@ const (
 	opForceStable                     // failure path: force most-up-to-date replica stable (§3.6)
 	opInquiry                         // read-only replica state poll (§3.6 read recovery)
 	opTokenUpdate                     // §3.3 optimization 1: token request + piggybacked update
+	opReadToken                       // grant a shared read token (§4 read-side concurrency)
 )
 
 // Token request outcomes.
@@ -110,6 +111,11 @@ type castReply struct {
 	Outcome   uint8 // token request outcome
 	Stable    bool
 	Size      int64
+	// HadReaders reports that the op revoked outstanding read tokens. The
+	// writer must then collect every available member's reply before
+	// returning, so no reader can still serve pre-update data under a token
+	// it believes it holds after the write completed (Server.waitRevocations).
+	HadReaders bool
 }
 
 // MarshalWire implements wire.Marshaler.
@@ -122,6 +128,7 @@ func (r *castReply) MarshalWire(e *wire.Encoder) {
 	e.Uint8(r.Outcome)
 	e.Bool(r.Stable)
 	e.Int64(r.Size)
+	e.Bool(r.HadReaders)
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
@@ -136,6 +143,7 @@ func (r *castReply) UnmarshalWire(d *wire.Decoder) error {
 	r.Outcome = d.Uint8()
 	r.Stable = d.Bool()
 	r.Size = d.Int64()
+	r.HadReaders = d.Bool()
 	return d.Err()
 }
 
@@ -228,6 +236,7 @@ type segSnapshot struct {
 	Branches []byte
 	Majors   []majorSnap
 	Deleted  bool
+	Epoch    uint64 // lease epoch (see segment.epoch)
 }
 
 // MarshalWire implements wire.Marshaler.
@@ -235,6 +244,7 @@ func (s *segSnapshot) MarshalWire(e *wire.Encoder) {
 	s.Params.MarshalWire(e)
 	e.Bytes32(s.Branches)
 	e.Bool(s.Deleted)
+	e.Uint64(s.Epoch)
 	e.Uint32(uint32(len(s.Majors)))
 	for i := range s.Majors {
 		m := &s.Majors[i]
@@ -258,6 +268,7 @@ func (s *segSnapshot) UnmarshalWire(d *wire.Decoder) error {
 	}
 	s.Branches = d.Bytes32()
 	s.Deleted = d.Bool()
+	s.Epoch = d.Uint64()
 	n := int(d.Uint32())
 	if err := d.Err(); err != nil {
 		return err

@@ -62,6 +62,15 @@ type Options struct {
 	// ForwardMax bounds the size of writes the ForwardSingles heuristic
 	// forwards. Default 8 KiB.
 	ForwardMax int
+	// NoReadTokens disables shared read tokens (§4's read-side concurrency
+	// control). By default a replica whose reads of an unstable file would
+	// forward to the token holder instead acquires a shared read token with
+	// one cast and then serves every subsequent read from its own replica
+	// until a write revokes the token; writers collect revocation
+	// acknowledgements before returning, preserving one-copy semantics. Set
+	// this to restore the paper's forward-every-read behavior (the A5
+	// ablation baseline).
+	NoReadTokens bool
 	// CoalesceWrites routes concurrent writes to the same segment through a
 	// per-segment op queue that packs a whole run of queued updates into one
 	// batched total-order cast (isis.Group.CastBatch): N queued writes cost
@@ -117,6 +126,12 @@ type Server struct {
 	conflicts []Conflict
 	confSeen  map[string]bool
 	closed    atomic.Bool
+
+	stats struct {
+		readsLocal     atomic.Uint64
+		readsForwarded atomic.Uint64
+		tokenCasts     atomic.Uint64
+	}
 
 	reqID   atomic.Uint64
 	pending sync.Map // reqID -> chan *directMsg
@@ -395,14 +410,55 @@ func (s *Server) RemoveReplica(ctx context.Context, id SegID, major uint64, targ
 // — the §5.1 read that seeds an optimistic transaction. n < 0 reads to the
 // end of the segment.
 func (s *Server) Read(ctx context.Context, id SegID, major uint64, off, n int64) ([]byte, version.Pair, error) {
-	var data []byte
-	var pair version.Pair
+	var (
+		data []byte
+		pair version.Pair
+	)
 	err := s.retry(ctx, func() error {
 		var err error
 		data, pair, err = s.readOnce(ctx, id, major, off, n)
 		return err
 	})
 	return data, pair, err
+}
+
+// Lease reports the segment's current lease epoch and whether a cache entry
+// stamped with it may be reused. valid is false while the current version is
+// unstable (a write stream is running; §3.4 forwards such reads to the
+// holder, so nothing cacheable is being promised) or while this member is
+// recovering. The call touches only group metadata — no replica data moves —
+// which is what makes client-cache revalidation cheap.
+func (s *Server) Lease(ctx context.Context, id SegID) (epoch uint64, valid bool, err error) {
+	sg, err := s.openSegment(ctx, id)
+	if err != nil {
+		return 0, false, err
+	}
+	sg.mu.Lock()
+	defer sg.mu.Unlock()
+	if sg.deleted {
+		return 0, false, ErrNotFound
+	}
+	epoch = sg.epoch
+	valid = sg.readyLocked() && !sg.dissolved
+	if ms := sg.majors[sg.currentMajorLocked()]; ms != nil {
+		if ms.unstable && sg.params.Stability {
+			valid = false
+		}
+	} else {
+		valid = false
+	}
+	return epoch, valid, nil
+}
+
+// ReadStats returns cumulative counters describing how this server served
+// reads (local replica vs forwarded) and how many read-token grant casts it
+// issued.
+func (s *Server) ReadStats() ReadStats {
+	return ReadStats{
+		Local:      s.stats.readsLocal.Load(),
+		Forwarded:  s.stats.readsForwarded.Load(),
+		TokenCasts: s.stats.tokenCasts.Load(),
+	}
 }
 
 // Write applies one update (§5.1). It returns the version pair of the
@@ -739,6 +795,17 @@ func (a *segApp) ViewChange(v isis.View, reason isis.ViewReason) {
 	sg := a.sg
 	sg.mu.Lock()
 	sg.view = v
+	// Membership changed: every shared read token is invalidated, at every
+	// member, in the same virtually synchronous event. A reader partitioned
+	// into a minority loses its token the moment it installs its own shrunken
+	// view, and the writer side stops counting it toward revocation
+	// acknowledgements the moment it installs its — so a partitioned reader
+	// can neither serve under a stale certificate nor block writers
+	// (tokenDisabledLocked's majority rule then gates any re-grant).
+	for _, ms := range sg.majors {
+		ms.revokeReadersLocked()
+	}
+	sg.readDenied = false
 	switch reason {
 	case isis.ReasonDissolve:
 		sg.dissolved = true

@@ -14,6 +14,14 @@ import (
 // majorState is the group-agreed metadata of one major version. Every field
 // is driven exclusively by delivered casts (plus merge reconciliation), so
 // all members agree on it.
+//
+// The token state is a table with two mutually exclusive sides (§4's
+// concurrency-control spectrum): the exclusive write token (holder) and N
+// shared read tokens (readers). A read token certifies that its holder's
+// replica applied every update sequenced before the grant, so the holder may
+// answer reads from local state even while the file is unstable; any update
+// revokes all read tokens in its own total-order slot (see applyUpdate), and
+// the writer does not return until the revocations are acknowledged.
 type majorState struct {
 	major        uint64
 	holder       simnet.NodeID // write-token holder; may have crashed
@@ -22,11 +30,29 @@ type majorState struct {
 	unstable     bool
 	transferring bool
 	replicas     map[simnet.NodeID]bool
-	order        []simnet.NodeID // replica addition order, for LRU deletion
+	order        []simnet.NodeID        // replica addition order, for LRU deletion
+	readers      map[simnet.NodeID]bool // shared read-token holders
 }
 
 func newMajorState(major uint64) *majorState {
-	return &majorState{major: major, replicas: make(map[simnet.NodeID]bool)}
+	return &majorState{
+		major:    major,
+		replicas: make(map[simnet.NodeID]bool),
+		readers:  make(map[simnet.NodeID]bool),
+	}
+}
+
+// revokeReadersLocked clears every outstanding read token, reporting whether
+// any existed. The caller's cast slot is the revocation point: a reader that
+// has not yet applied this slot still believes it holds the token, which is
+// why writers wait for all available members' replies when this returns true
+// (see Server.waitRevocations).
+func (ms *majorState) revokeReadersLocked() bool {
+	if len(ms.readers) == 0 {
+		return false
+	}
+	ms.readers = make(map[simnet.NodeID]bool)
+	return true
 }
 
 func (ms *majorState) addReplica(n simnet.NodeID) {
@@ -93,6 +119,21 @@ type segment struct {
 	migrating  map[uint64]bool // majors with an in-flight migration loop
 	refreshing map[uint64]bool // majors with an in-flight stale-replica refresh
 	graceUntil time.Time       // until then, a recovery-recreated group must not serve
+
+	// epoch is the segment's lease epoch: a counter bumped by every cast that
+	// can change what a reader of the segment observes (updates, unstable
+	// marks, forced stability, version deletion, merges). It is driven only by
+	// delivered casts, so every member agrees on it, and it is persisted with
+	// the metadata so restarts never reissue an old value. Client caches stamp
+	// entries with the epoch and drop them on mismatch — an explicit coherence
+	// contract replacing time-based expiry.
+	epoch uint64
+
+	// readDenied is a member-local damper: after a read-token grant was
+	// refused (minority partition), further grant attempts are suppressed
+	// until the view changes or an update lands, so a partitioned reader does
+	// not pay one doomed cast per read.
+	readDenied bool
 
 	group *isis.Group
 
@@ -192,6 +233,8 @@ func (sg *segment) apply(from simnet.NodeID, m *castMsg) *castReply {
 		return sg.applyInquiry(from, m)
 	case opTokenUpdate:
 		return sg.applyTokenUpdate(from, m)
+	case opReadToken:
+		return sg.applyReadToken(from, m)
 	default:
 		return &castReply{Err: fmt.Sprintf("unknown op %d", m.Op)}
 	}
@@ -264,6 +307,9 @@ func (sg *segment) applyUpdate(from simnet.NodeID, m *castMsg) *castReply {
 	if !m.Expect.IsZero() && ms.pair != m.Expect {
 		return &castReply{Err: "conflict", Pair: ms.pair}
 	}
+	hadReaders := ms.revokeReadersLocked()
+	sg.epoch++
+	sg.readDenied = false
 	ms.pair = ms.pair.Next()
 	// Size evolves deterministically even at members without a replica.
 	end := m.Off + int64(len(m.Data))
@@ -280,7 +326,10 @@ func (sg *segment) applyUpdate(from simnet.NodeID, m *castMsg) *castReply {
 	}
 	sg.lastWrite = time.Now()
 	sg.srv.persistMeta(sg)
-	return &castReply{OK: true, IsReplica: rep != nil, Pair: ms.pair, Size: ms.size, Major: major}
+	return &castReply{
+		OK: true, IsReplica: rep != nil, Pair: ms.pair, Size: ms.size,
+		Major: major, HadReaders: hadReaders,
+	}
 }
 
 // applyData performs the §5.1 write semantics on a byte array.
@@ -310,14 +359,19 @@ func (sg *segment) applyMarkUnstable(from simnet.NodeID, m *castMsg) *castReply 
 		return &castReply{Err: "not holder"}
 	}
 	ms.unstable = true
+	// The start of a write stream revokes all read tokens; this cast is
+	// collected from every available member (isis.All) before the first
+	// update, so the revocation is acknowledged by every reader it reached.
+	hadReaders := ms.revokeReadersLocked()
+	sg.epoch++
 	if rep := sg.local[m.Major]; rep != nil {
 		rep.stable = false
 		sg.srv.persistReplica(sg.id, m.Major, rep)
 		sg.srv.persistMeta(sg)
-		return &castReply{OK: true, IsReplica: true, Pair: ms.pair}
+		return &castReply{OK: true, IsReplica: true, Pair: ms.pair, HadReaders: hadReaders}
 	}
 	sg.srv.persistMeta(sg)
-	return &castReply{OK: true, Pair: ms.pair}
+	return &castReply{OK: true, Pair: ms.pair, HadReaders: hadReaders}
 }
 
 func (sg *segment) applyMarkStable(from simnet.NodeID, m *castMsg) *castReply {
@@ -347,6 +401,8 @@ func (sg *segment) applyForceStable(from simnet.NodeID, m *castMsg) *castReply {
 	}
 	ms.unstable = false
 	ms.pair = m.Pair
+	ms.revokeReadersLocked()
+	sg.epoch++
 	if rep := sg.local[m.Major]; rep != nil {
 		if rep.pair != m.Pair {
 			// Obsolete or inconsistent replica: destroy it.
@@ -476,6 +532,33 @@ func (sg *segment) applyTokenUpdate(from simnet.NodeID, m *castMsg) *castReply {
 	return ur
 }
 
+// applyReadToken grants a shared read token (§4's read-token side of the
+// concurrency spectrum). The grant's total-order slot is the certification
+// point: the requester's replica has applied every update sequenced before
+// it, so the replica is current and may serve reads locally — including
+// while the file is unstable — until an update revokes the token.
+//
+// Two refusals keep the certificate honest. The requester must be a group-
+// agreed replica holder (a dataless member has nothing current to serve).
+// And, mirroring tokenDisabledLocked's majority rule, no token is granted
+// while at most half of the version's replicas are reachable: a minority
+// partition that certified its own replica would keep serving reads the
+// majority side's writer can no longer invalidate.
+func (sg *segment) applyReadToken(from simnet.NodeID, m *castMsg) *castReply {
+	ms := sg.majors[m.Major]
+	if ms == nil {
+		return &castReply{Err: "no such version"}
+	}
+	if !ms.replicas[from] {
+		return &castReply{Outcome: tokUnavailable, Major: m.Major, Pair: ms.pair}
+	}
+	if total := len(ms.replicas); total > 1 && 2*ms.availableReplicas(sg.view) <= total {
+		return &castReply{Outcome: tokUnavailable, Major: m.Major, Pair: ms.pair}
+	}
+	ms.readers[from] = true
+	return &castReply{OK: true, Outcome: tokGranted, Major: m.Major, Pair: ms.pair}
+}
+
 func (sg *segment) applyRequestReplica(from simnet.NodeID, m *castMsg) *castReply {
 	ms := sg.majors[m.Major]
 	if ms == nil {
@@ -540,6 +623,7 @@ func (sg *segment) applyDeleteReplica(from simnet.NodeID, m *castMsg) *castReply
 		return &castReply{Err: "no such version"}
 	}
 	ms.dropReplica(m.Target)
+	delete(ms.readers, m.Target) // a read token rides the replica it covers
 	if m.Target == sg.srv.id {
 		delete(sg.local, m.Major)
 		sg.srv.deleteReplicaData(sg.id, m.Major)
@@ -553,6 +637,7 @@ func (sg *segment) applyDeleteMajor(from simnet.NodeID, m *castMsg) *castReply {
 		return &castReply{Err: "no such version"}
 	}
 	delete(sg.majors, m.Major)
+	sg.epoch++ // the current version may change; cached reads must revalidate
 	if _, ok := sg.local[m.Major]; ok {
 		delete(sg.local, m.Major)
 		sg.srv.deleteReplicaData(sg.id, m.Major)
@@ -636,6 +721,7 @@ func (sg *segment) snapshotLocked() *segSnapshot {
 		Params:   sg.params,
 		Branches: sg.branches.Snapshot(),
 		Deleted:  sg.deleted,
+		Epoch:    sg.epoch,
 	}
 	for _, ms := range sg.majors {
 		ss.Majors = append(ss.Majors, majorSnap{
@@ -657,6 +743,9 @@ func (sg *segment) installSnapshotLocked(ss *segSnapshot) {
 	sg.branches = version.NewLog()
 	_ = sg.branches.Merge(ss.Branches)
 	sg.deleted = ss.Deleted
+	if ss.Epoch > sg.epoch {
+		sg.epoch = ss.Epoch
+	}
 	sg.majors = make(map[uint64]*majorState, len(ss.Majors))
 	for i := range ss.Majors {
 		im := &ss.Majors[i]
@@ -684,6 +773,13 @@ func (sg *segment) mergeSnapshotLocked(ss *segSnapshot, adoptParams bool) {
 	if ss.Deleted {
 		sg.deleted = true
 	}
+	// Merged state may differ from either side's pre-merge state, so the
+	// lease epoch jumps past both sides' maxima: every client cache entry
+	// stamped on either side of the partition is invalidated.
+	if ss.Epoch > sg.epoch {
+		sg.epoch = ss.Epoch
+	}
+	sg.epoch++
 	for i := range ss.Majors {
 		im := &ss.Majors[i]
 		ms := sg.majors[im.Major]

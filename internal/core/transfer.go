@@ -474,8 +474,10 @@ func (s *Server) serveRead(from simnet.NodeID, req *directMsg) {
 		s.sendDirect(from, resp)
 		return
 	}
-	// While unstable, only the holder's replica may serve (§3.4).
-	if ms.unstable && sg.params.Stability && ms.holder != s.id {
+	// While unstable, only a token-covered replica may serve: the holder's
+	// (§3.4) or one under a shared read token (its grant slot certified it
+	// current, and revocation is collected before any later write returns).
+	if ms.unstable && sg.params.Stability && ms.holder != s.id && !ms.readers[s.id] {
 		sg.mu.Unlock()
 		resp.Err = "unstable"
 		s.sendDirect(from, resp)

@@ -242,6 +242,11 @@ func (s *Server) writeBatchOnce(ctx context.Context, sg *segment, major uint64, 
 		// Surface deterministic per-op rejections without waiting on replica
 		// acks: the origin's own reply arrives with the local delivery.
 		s.collectAsyncErrs(ctx, bc, errs)
+	} else if errs[0] == nil {
+		// Op 0 is the batch's first update in the slot, so it is the one
+		// whose reply reports revoked read tokens; collect the revocation
+		// acks before the batch returns (same barrier as Write).
+		s.waitRevocations(ctx, bc.Op(0))
 	}
 	return pairs, errs, nil
 }

@@ -3,11 +3,13 @@ package envelope
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/nfsproto"
 	"repro/internal/version"
+	"repro/internal/wire"
 )
 
 // This file implements the directory operations of the NFS envelope,
@@ -503,16 +505,21 @@ func (ev *Envelope) Readdir(ctx context.Context, dirH nfsproto.Handle, cookie ui
 	if !ok {
 		return nfsproto.ReaddirRes{Status: nfsproto.ErrStale}, nfsproto.ErrStale
 	}
-	hdr, _, err := ev.readHeader(ctx, dir, dirMajor)
+	// One combined header+table read: a directory scan touches its segment
+	// once, and under a read token that read never leaves this server.
+	hdr, payload, _, err := ev.readNode(ctx, dir, dirMajor)
 	if err != nil {
 		return nfsproto.ReaddirRes{Status: mapErr(err)}, mapErr(err)
 	}
 	if hdr.Kind != kindDir {
 		return nfsproto.ReaddirRes{Status: nfsproto.ErrNotDir}, nfsproto.ErrNotDir
 	}
-	t, _, err := ev.readDir(ctx, dir, dirMajor)
-	if err != nil {
-		return nfsproto.ReaddirRes{Status: mapErr(err)}, mapErr(err)
+	t := new(dirTable)
+	if len(payload) > 0 {
+		if err := t.UnmarshalWire(wire.NewDecoder(payload)); err != nil {
+			st := mapErr(fmt.Errorf("envelope: corrupt directory %v: %w", dir, err))
+			return nfsproto.ReaddirRes{Status: st}, st
+		}
 	}
 	sort.Slice(t.Entries, func(i, j int) bool { return t.Entries[i].Name < t.Entries[j].Name })
 

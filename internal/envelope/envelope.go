@@ -62,6 +62,10 @@ type SegmentService interface {
 	Delete(ctx context.Context, id core.SegID) error
 	DeleteVersion(ctx context.Context, id core.SegID, major uint64) error
 	Read(ctx context.Context, id core.SegID, major uint64, off, n int64) ([]byte, version.Pair, error)
+	// Lease reports the segment's lease epoch and whether cache entries
+	// stamped with it may be reused (the cheap revalidation the client agent
+	// calls instead of re-reading data).
+	Lease(ctx context.Context, id core.SegID) (uint64, bool, error)
 	Write(ctx context.Context, id core.SegID, req core.WriteReq) (version.Pair, error)
 	// WriteBatch applies a run of independent updates to one segment,
 	// allowing the segment layer to pack them into a single total-order
@@ -307,6 +311,42 @@ func (ev *Envelope) readDir(ctx context.Context, id core.SegID, major uint64) (*
 		return nil, pair, fmt.Errorf("envelope: corrupt directory %v: %w", id, err)
 	}
 	return t, pair, nil
+}
+
+// readNode fetches a whole segment — header region and payload — in one
+// segment read, so a directory scan costs a single (token-covered, usually
+// local) read instead of separate header and entry-table round trips.
+func (ev *Envelope) readNode(ctx context.Context, id core.SegID, major uint64) (*fileHeader, []byte, version.Pair, error) {
+	data, pair, err := ev.seg.Read(ctx, id, major, 0, -1)
+	if err != nil {
+		return nil, nil, version.Pair{}, err
+	}
+	hdr := new(fileHeader)
+	if err := hdr.UnmarshalWire(wire.NewDecoder(data)); err != nil {
+		return nil, nil, pair, fmt.Errorf("envelope: corrupt header of %v: %w", id, err)
+	}
+	var payload []byte
+	if int64(len(data)) > headerSize {
+		payload = data[headerSize:]
+	}
+	return hdr, payload, pair, nil
+}
+
+// Lease reports the lease epoch of the segment behind h and whether cache
+// entries stamped with it may be reused. The RPC layer appends it to NFS
+// replies and serves it to the agent's revalidation calls; a false second
+// return (unknown handle, unstable file, recovering server) tells clients
+// not to cache.
+func (ev *Envelope) Lease(ctx context.Context, h nfsproto.Handle) (uint64, bool) {
+	seg, _, ok := UnpackHandle(h)
+	if !ok {
+		return 0, false
+	}
+	epoch, valid, err := ev.seg.Lease(ctx, seg)
+	if err != nil {
+		return 0, false
+	}
+	return epoch, valid
 }
 
 // dirReq builds the write request that replaces a directory's entry table.

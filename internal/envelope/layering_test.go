@@ -26,6 +26,7 @@ type localSeg struct {
 	data   []byte
 	pair   version.Pair
 	params core.Params
+	epoch  uint64
 }
 
 func newLocalSegments() *localSegments {
@@ -85,6 +86,16 @@ func (l *localSegments) Read(ctx context.Context, id core.SegID, major uint64, o
 	return out, sg.pair, nil
 }
 
+func (l *localSegments) Lease(ctx context.Context, id core.SegID) (uint64, bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	sg, ok := l.segs[id]
+	if !ok {
+		return 0, false, core.ErrNotFound
+	}
+	return sg.epoch, true, nil
+}
+
 func (l *localSegments) Write(ctx context.Context, id core.SegID, req core.WriteReq) (version.Pair, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -110,6 +121,7 @@ func (l *localSegments) Write(ctx context.Context, id core.SegID, req core.Write
 		copy(sg.data[req.Off:end], req.Data)
 	}
 	sg.pair = sg.pair.Next()
+	sg.epoch++
 	return sg.pair, nil
 }
 

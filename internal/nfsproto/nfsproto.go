@@ -643,6 +643,50 @@ func (r *StatfsRes) UnmarshalXDR(d *xdr.Decoder) error {
 	return d.Err()
 }
 
+// Lease is the Deceit lease extension carried as an optional trailer after
+// a standard NFS reply body. The segment's lease epoch version-stamps the
+// reply: a client cache entry stamped with an epoch stays valid exactly as
+// long as a revalidation (CtlLease) returns the same epoch, replacing
+// time-based cache expiry with an explicit coherence contract. Valid is
+// false when the reply must not be cached (the file is mid-write-stream or
+// the server is recovering).
+//
+// Stock NFS clients never see the trailer: XDR decoding stops at the end of
+// the RFC 1094 reply body and ignores trailing bytes (xdr.Unmarshal).
+type Lease struct {
+	Epoch uint64
+	Valid bool
+}
+
+// leaseMagic guards the trailer so absent or foreign trailing bytes are
+// never misread as a lease.
+const leaseMagic = 0x444C5345 // "DLSE"
+
+// AppendLease appends the lease trailer to an encoded reply body.
+func AppendLease(e *xdr.Encoder, l Lease) {
+	e.Uint32(leaseMagic)
+	e.Uint64(l.Epoch)
+	e.Bool(l.Valid)
+}
+
+// TrailingLease reads a lease trailer from whatever follows the decoded
+// reply body, reporting ok=false when no well-formed trailer is present (an
+// unextended server, or a reply status that suppressed it). Call it after
+// everything else: it may consume trailing bytes either way.
+func TrailingLease(d *xdr.Decoder) (Lease, bool) {
+	if d.Err() != nil || d.Remaining() < 16 {
+		return Lease{}, false
+	}
+	if d.Uint32() != leaseMagic {
+		return Lease{}, false
+	}
+	l := Lease{Epoch: d.Uint64(), Valid: d.Bool()}
+	if d.Err() != nil {
+		return Lease{}, false
+	}
+	return l, true
+}
+
 // FHStatus is the MOUNT protocol's mount reply.
 type FHStatus struct {
 	Status uint32

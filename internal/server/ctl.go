@@ -33,6 +33,7 @@ const (
 	CtlConflicts     = 6 // -> conflict log entries
 	CtlServerInfo    = 7 // -> server id, peer list
 	CtlReconcileDir  = 8 // handle -> merged entry count ("reconcile directory versions")
+	CtlLease         = 9 // handle -> lease epoch + validity (cache revalidation)
 )
 
 // CtlParams is the XDR shape of core.Params.
@@ -90,6 +91,28 @@ func (p *CtlParams) UnmarshalXDR(d *xdr.Decoder) error {
 	p.Avail = d.Uint32()
 	p.MaxReplicas = d.Uint32()
 	p.HotRead = d.Bool()
+	return d.Err()
+}
+
+// CtlLeaseArgs is the CtlLease request: the handle to revalidate and the
+// lease epoch the client's cache entry is stamped with.
+type CtlLeaseArgs struct {
+	File  nfsproto.Handle
+	Epoch uint64
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (a *CtlLeaseArgs) MarshalXDR(e *xdr.Encoder) {
+	a.File.MarshalXDR(e)
+	e.Uint64(a.Epoch)
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (a *CtlLeaseArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	if err := a.File.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	a.Epoch = d.Uint64()
 	return d.Err()
 }
 
@@ -309,6 +332,35 @@ func (s *Server) handleCtl(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		e := xdr.NewEncoder(nil)
 		e.Uint32(uint32(st))
 		e.Uint32(uint32(merged))
+		return e.Bytes(), sunrpc.Success
+
+	case CtlLease:
+		// The agent's cache revalidation: the client sends the handle and
+		// the epoch its cache entry is stamped with; while they match, the
+		// server answers from group metadata alone — no replica data moves
+		// and no cast is issued. On a mismatch (or an invalid lease) the
+		// reply also carries the file's current attributes, so an
+		// attribute-cache miss is repaired in the same round trip instead
+		// of costing a second Getattr. The lease is captured before the
+		// attributes are read, so the stamp can only be too old (a spurious
+		// future miss), never too new (a masked update).
+		var a CtlLeaseArgs
+		if err := xdr.Unmarshal(args, &a); err != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		lease := s.lease(ctx, a.File)
+		e := xdr.NewEncoder(nil)
+		e.Uint32(uint32(nfsproto.OK))
+		e.Uint64(lease.Epoch)
+		e.Bool(lease.Valid)
+		if lease.Valid && lease.Epoch == a.Epoch {
+			e.Bool(false) // entry still good: no attributes needed
+		} else if attr, st := s.env.Getattr(ctx, a.File); st == nfsproto.OK {
+			e.Bool(true)
+			attr.MarshalXDR(e)
+		} else {
+			e.Bool(false)
+		}
 		return e.Bytes(), sunrpc.Success
 
 	case CtlServerInfo:

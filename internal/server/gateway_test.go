@@ -2,8 +2,10 @@ package server_test
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/agent"
+	"repro/internal/core"
 	"repro/internal/nfsproto"
 	"repro/internal/server"
 )
@@ -156,6 +158,71 @@ func TestGatewayStaleAfterRemoteDeath(t *testing.T) {
 	}
 	if err := agA.WriteFile("/local.txt", []byte("still fine")); err != nil {
 		t.Fatalf("local write after remote death: %v", err)
+	}
+}
+
+// TestGatewayReconnectAfterRemoteRestart exercises gateway.dropClient: the
+// backing server of a mounted remote cell is killed mid-stream (the gateway
+// holds a live connection to it) and restarted at the same address. The
+// first call over the dead connection fails and drops it; the calls after
+// that must re-dial and re-mount the remote cell — returning live data, not
+// a stale handle forever.
+func TestGatewayReconnectAfterRemoteRestart(t *testing.T) {
+	cellA := newNFSCell(t, 1)
+	cellB := newNFSCell(t, 1)
+
+	agA, err := agent.Mount(cellA.Addrs(), agent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agA.Close()
+
+	addr := cellB.Nodes[0].Addr
+	remoteRoot, _, err := agA.Lookup(agA.Root(), server.GatewayPrefix+addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileH, _, err := agA.Create(remoteRoot, "persist.txt", noSA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agA.Write(fileH, 0, []byte("survives restart")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the backing server mid-stream and bring it back on the same
+	// address with the same store.
+	st := cellB.CrashNFS(0)
+	if _, err := agA.Getattr(remoteRoot); err == nil {
+		t.Error("getattr over dead remote connection succeeded")
+	}
+	if _, err := cellB.RestartNFSNode(0, st, addr, core.DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The gateway dropped the dead connection on the failed call above; the
+	// next lookups must re-dial and re-mount instead of replaying staleness.
+	// Retried while the restarted server recovers its segments and rejoins.
+	var data []byte
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		root2, _, lerr := agA.Lookup(agA.Root(), server.GatewayPrefix+addr)
+		if lerr != nil {
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		h, _, lerr := agA.Lookup(root2, "persist.txt")
+		if lerr != nil {
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		if data, lerr = agA.Read(h, 0, 64); lerr == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if string(data) != "survives restart" {
+		t.Fatalf("read through re-mounted gateway = %q, want %q", data, "survives restart")
 	}
 }
 

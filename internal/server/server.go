@@ -173,8 +173,17 @@ func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		if s.gw.isGatewayHandle(h) {
 			return s.gw.forward(proc, args, h)
 		}
+		// The lease is captured before the attributes are read, so a
+		// concurrent write can only make the stamp too old (a spurious
+		// revalidation miss), never too new (a masked update).
+		lease := s.lease(ctx, h)
 		attr, st := s.env.Getattr(ctx, h)
-		return xdr.Marshal(&nfsproto.AttrStat{Status: st, Attr: attr}), sunrpc.Success
+		e := xdr.NewEncoder(nil)
+		(&nfsproto.AttrStat{Status: st, Attr: attr}).MarshalXDR(e)
+		if st == nfsproto.OK {
+			nfsproto.AppendLease(e, lease)
+		}
+		return e.Bytes(), sunrpc.Success
 
 	case nfsproto.ProcSetattr:
 		var a nfsproto.SAttrArgs
@@ -201,6 +210,11 @@ func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		if s.gw.isGatewayHandle(a.Dir) {
 			return s.gw.forward(proc, args, a.Dir)
 		}
+		// Lookup replies carry no lease trailer: the child handle is only
+		// known after its attributes were read, so a stamp taken here could
+		// be newer than the attributes and mask a concurrent write forever.
+		// The agent populates its attribute cache from Getattr and Read
+		// replies, whose stamps are captured before the data.
 		fh, attr, st := s.env.Lookup(ctx, a.Dir, a.Name)
 		return xdr.Marshal(&nfsproto.DirOpRes{Status: st, File: fh, Attr: attr}), sunrpc.Success
 
@@ -223,8 +237,15 @@ func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		if s.gw.isGatewayHandle(a.File) {
 			return s.gw.forward(proc, args, a.File)
 		}
+		// Lease before data: see ProcGetattr.
+		lease := s.lease(ctx, a.File)
 		data, attr, st := s.env.Read(ctx, a.File, a.Offset, a.Count)
-		return xdr.Marshal(&nfsproto.ReadRes{Status: st, Attr: attr, Data: data}), sunrpc.Success
+		e := xdr.NewEncoder(nil)
+		(&nfsproto.ReadRes{Status: st, Attr: attr, Data: data}).MarshalXDR(e)
+		if st == nfsproto.OK {
+			nfsproto.AppendLease(e, lease)
+		}
+		return e.Bytes(), sunrpc.Success
 
 	case nfsproto.ProcWrite:
 		var a nfsproto.WriteArgs
@@ -331,6 +352,13 @@ func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 	default:
 		return nil, sunrpc.ProcUnavail
 	}
+}
+
+// lease fetches the lease stamp for h, degrading to an uncacheable stamp on
+// any failure.
+func (s *Server) lease(ctx context.Context, h nfsproto.Handle) nfsproto.Lease {
+	epoch, ok := s.env.Lease(ctx, h)
+	return nfsproto.Lease{Epoch: epoch, Valid: ok}
 }
 
 func statusReply(st nfsproto.Status) []byte {

@@ -131,9 +131,14 @@ func TestF8AgentFailover(t *testing.T) {
 	}
 }
 
-func TestF8AgentCachingReducesCalls(t *testing.T) {
+// TestF8AgentCachingCoherent: the Figure 8 caching configuration, now
+// lease-backed. Cached reads and getattrs are served after a cheap epoch
+// revalidation (no data or attributes retransmitted), and a write makes the
+// very next read observe fresh data — there is no staleness window to wait
+// out.
+func TestF8AgentCachingCoherent(t *testing.T) {
 	c := newNFSCell(t, 1)
-	ag, err := agent.Mount(c.Addrs(), agent.Options{CacheTTL: time.Minute})
+	ag, err := agent.Mount(c.Addrs(), agent.Options{Cache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,10 +150,20 @@ func TestF8AgentCachingReducesCalls(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ag.Read(h, 0, 4096); err != nil {
-		t.Fatal(err)
+	// Reads become cacheable once the write stream quiesces (the lease is
+	// invalid while the file is unstable).
+	deadline := time.Now().Add(10 * time.Second)
+	for ag.CacheHits == 0 {
+		data, err := ag.Read(h, 0, 4096)
+		if err != nil || string(data) != "cache me" {
+			t.Fatalf("read: %q %v", data, err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reads never hit the cache")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
-	callsBefore := ag.Calls
+	hits, revs := ag.CacheHits, ag.Revalidations
 	for i := 0; i < 10; i++ {
 		data, err := ag.Read(h, 0, 4096)
 		if err != nil || string(data) != "cache me" {
@@ -158,11 +173,11 @@ func TestF8AgentCachingReducesCalls(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if ag.Calls != callsBefore {
-		t.Errorf("cached reads issued %d RPCs", ag.Calls-callsBefore)
+	if got := ag.CacheHits - hits; got < 20 {
+		t.Errorf("cache hits = %d, want >= 20", got)
 	}
-	if ag.CacheHits < 20 {
-		t.Errorf("cache hits = %d, want >= 20", ag.CacheHits)
+	if ag.Revalidations == revs {
+		t.Error("cache served without lease revalidation")
 	}
 
 	// Writes invalidate: the next read observes new data.

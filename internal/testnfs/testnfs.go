@@ -50,6 +50,22 @@ func NewNFSCellParams(n int, params core.Params) (*NFSCell, error) {
 
 // StartNFSNode boots server i with the given store.
 func (c *NFSCell) StartNFSNode(i int, st *store.MemStore, initRoot bool, params core.Params) (*NFSNode, error) {
+	return c.startNFSNodeAddr(i, st, initRoot, params, "127.0.0.1:0")
+}
+
+// RestartNFSNode reboots a crashed node i with st, binding the NFS endpoint
+// to addr — pass the node's previous address to simulate the restart of a
+// server that clients and gateways will reconnect to.
+func (c *NFSCell) RestartNFSNode(i int, st *store.MemStore, addr string, params core.Params) (*NFSNode, error) {
+	nd, err := c.startNFSNodeAddr(i, st, false, params, addr)
+	if err != nil {
+		return nil, err
+	}
+	c.Nodes[i] = nd
+	return nd, nil
+}
+
+func (c *NFSCell) startNFSNodeAddr(i int, st *store.MemStore, initRoot bool, params core.Params, addr string) (*NFSNode, error) {
 	ep := c.Net.Attach(c.IDs[i])
 	srv, err := server.New(server.Config{
 		Transport:     ep,
@@ -63,12 +79,12 @@ func (c *NFSCell) StartNFSNode(i int, st *store.MemStore, initRoot bool, params 
 	if err != nil {
 		return nil, err
 	}
-	addr, err := srv.ServeNFS("127.0.0.1:0")
+	bound, err := srv.ServeNFS(addr)
 	if err != nil {
 		srv.Close()
 		return nil, err
 	}
-	return &NFSNode{Server: srv, Store: st, Addr: addr}, nil
+	return &NFSNode{Server: srv, Store: st, Addr: bound}, nil
 }
 
 // Addrs returns the NFS endpoints of all live nodes.
