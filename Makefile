@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke
+.PHONY: check fmt vet build test race bench-smoke load load-smoke load-diff
 
 check: fmt vet build test bench-smoke
 
@@ -22,3 +22,27 @@ race:
 
 bench-smoke:
 	$(GO) test -run XXX -bench BenchmarkT1 -benchtime=1x .
+
+# Full open-loop load run (all four mixes + chaos); writes BENCH_<date>.json
+# in the repo root. Commit the file to extend the perf trajectory.
+load:
+	$(GO) run ./cmd/deceit-load
+
+# ~2s-per-mix smoke of the load harness and chaos plumbing under the race
+# detector; this is what the CI load-smoke job runs.
+load-smoke:
+	$(GO) test -short -race ./internal/load ./internal/simnet
+
+# Regression gate: run the standard mixes fresh (no chaos) and diff against
+# the newest committed BENCH_*.json. Skips with a message when no baseline
+# has been committed yet.
+load-diff:
+	@prev=$$(ls BENCH_*.json 2>/dev/null | sort | tail -1); \
+	if [ -z "$$prev" ]; then \
+		echo "load-diff: no committed BENCH_*.json baseline; skipping perf diff"; \
+		echo "load-diff: run 'make load' and commit the result to arm the gate"; \
+	else \
+		echo "load-diff: baseline $$prev"; \
+		$(GO) run ./cmd/deceit-load -chaos=false -out /tmp/BENCH_diff.json && \
+		$(GO) run ./cmd/deceit-load -compare $$prev /tmp/BENCH_diff.json; \
+	fi

@@ -91,14 +91,16 @@ func BenchmarkF2(b *testing.B) {
 	b.Run("forwarded", func(b *testing.B) { run(b, true) })
 }
 
-// addReplicaRetry forces a replica, retrying once: blast transfers can time
-// out transiently when the machine is loaded.
+// addReplicaRetry forces a replica through the shared testutil retry loop:
+// blast transfers can time out transiently when the machine is loaded, and
+// the join itself persists, so a later attempt finds it done.
 func addReplicaRetry(b *testing.B, ctx context.Context, s *core.Server, id core.SegID, target simnet.NodeID) {
 	b.Helper()
-	if err := s.AddReplica(ctx, id, 0, target); err != nil {
-		if err := s.AddReplica(ctx, id, 0, target); err != nil {
-			b.Fatal(err)
-		}
+	err := testutil.Retry(10*time.Second, func(error) bool { return true }, func() error {
+		return s.AddReplica(ctx, id, 0, target)
+	})
+	if err != nil {
+		b.Fatal(err)
 	}
 }
 

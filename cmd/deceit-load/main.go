@@ -1,0 +1,181 @@
+// Command deceit-load is the open-loop heavy-traffic harness: it boots an
+// in-process Deceit cell, drives it with concurrent NFS agents at a fixed
+// arrival rate across the four canonical workload mixes, layers chaos
+// (WAN latency, loss, a partition, a crash/rejoin) on top of the running
+// load, and persists a machine-readable result for the perf trajectory.
+//
+//	deceit-load                         # full run -> BENCH_<date>.json
+//	deceit-load -short                  # ~2s smoke: every mix once, no chaos
+//	deceit-load -mix hot-key -rate 500  # one mix at an explicit rate
+//	deceit-load -compare OLD NEW        # diff two results; exit 1 on >20%
+//	                                    # throughput or p99 regression
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/load"
+)
+
+func main() {
+	var (
+		servers  = flag.Int("servers", 0, "cell size (default 3)")
+		agents   = flag.Int("agents", 0, "concurrent client agents (default 256)")
+		rate     = flag.Float64("rate", 0, "arrivals per second per mix (default 200)")
+		duration = flag.Duration("duration", 0, "generation window per mix (default 8s)")
+		files    = flag.Int("files", 0, "prepopulated files (default 128)")
+		fileSize = flag.Int("filesize", 0, "bytes per file (default 4096)")
+		opBytes  = flag.Int("opbytes", 0, "bytes per read/write op (default 512)")
+		replicas = flag.Int("replicas", 0, "MinReplicas for every file (default 2)")
+		seed     = flag.Int64("seed", 0, "workload and simnet rng seed (default 1)")
+		mix      = flag.String("mix", "all", "mix to run: all, or one of read-heavy, write-heavy, metadata-scan, hot-key")
+		chaos    = flag.Bool("chaos", true, "run the chaos-under-load pass after the mixes")
+		noCache  = flag.Bool("nocache", false, "disable the agents' lease-backed caches")
+		short    = flag.Bool("short", false, "~2s smoke shape: small cell, every mix once, chaos off unless -chaos is set explicitly")
+		out      = flag.String("out", "", "result path (default BENCH_<date>.json)")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+
+		compare   = flag.Bool("compare", false, "compare two results: deceit-load -compare OLD NEW")
+		tolerance = flag.Float64("tolerance", 0.20, "compare: max allowed fractional regression")
+		p99Slack  = flag.Float64("p99-slack-ms", load.DefaultCompareOpts().P99SlackMs, "compare: absolute p99 growth ignored below this many ms")
+	)
+	flag.Parse()
+
+	if *compare {
+		os.Exit(runCompare(flag.Args(), *tolerance, *p99Slack))
+	}
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "deceit-load: unexpected arguments %v (did you mean -compare OLD NEW?)\n", flag.Args())
+		os.Exit(2)
+	}
+
+	cfg := load.DefaultConfig()
+	if *short {
+		cfg = load.ShortConfig()
+	}
+	set := func(name string, apply func()) {
+		if isFlagSet(name) {
+			apply()
+		}
+	}
+	set("servers", func() { cfg.Servers = *servers })
+	set("agents", func() { cfg.Agents = *agents })
+	set("rate", func() { cfg.Rate = *rate })
+	set("duration", func() { cfg.Duration = *duration })
+	set("files", func() { cfg.Files = *files })
+	set("filesize", func() { cfg.FileSize = *fileSize })
+	set("opbytes", func() { cfg.OpBytes = *opBytes })
+	set("replicas", func() { cfg.Replicas = *replicas })
+	set("seed", func() { cfg.Seed = *seed })
+	set("nocache", func() { cfg.NoAgentCache = *noCache })
+	if *mix != "all" {
+		m, err := load.MixByName(*mix)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "deceit-load:", err)
+			os.Exit(2)
+		}
+		cfg.Mixes = []load.Mix{m}
+	}
+	// -short turns chaos off; an explicit -chaos flag wins either way.
+	if isFlagSet("chaos") {
+		if *chaos {
+			cfg.Chaos = load.DefaultChaos()
+		} else {
+			cfg.Chaos = nil
+		}
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	res, err := load.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deceit-load:", err)
+		os.Exit(1)
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
+	}
+	if err := res.WriteFile(path); err != nil {
+		fmt.Fprintln(os.Stderr, "deceit-load:", err)
+		os.Exit(1)
+	}
+
+	for _, m := range res.Mixes {
+		fmt.Printf("%-14s %8.1f ops/s   p50 %7.2fms  p99 %7.2fms  p999 %7.2fms   errors %d\n",
+			m.Name, m.Throughput, m.Overall.P50Ms, m.Overall.P99Ms, m.Overall.P999Ms, m.Errored)
+	}
+	if res.Chaos != nil {
+		c := res.Chaos
+		fmt.Printf("%-14s %8.1f ops/s   p50 %7.2fms  p99 %7.2fms  p999 %7.2fms   errors %d (%.0f%%)\n",
+			c.Name, c.Throughput, c.Overall.P50Ms, c.Overall.P99Ms, c.Overall.P999Ms,
+			c.Errored, 100*c.ErrorFraction)
+		fmt.Printf("chaos recovery: %.1f ops/s, %.0f%% errors in the final %.1fs window\n",
+			c.Recovery.Throughput, 100*c.Recovery.ErrorFraction, c.Recovery.WindowSec)
+		if !c.Graceful {
+			fmt.Println("chaos: graceful-degradation assertions FAILED:")
+			for _, v := range c.Violations {
+				fmt.Println("  -", v)
+			}
+			fmt.Println("result written to", path)
+			os.Exit(1)
+		}
+		fmt.Println("chaos: degraded gracefully and recovered")
+	}
+	fmt.Println("result written to", path)
+}
+
+func isFlagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func runCompare(args []string, tolerance, p99SlackMs float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: deceit-load -compare OLD.json NEW.json")
+		return 2
+	}
+	prev, err := load.ReadResult(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deceit-load:", err)
+		return 2
+	}
+	cur, err := load.ReadResult(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deceit-load:", err)
+		return 2
+	}
+	opts := load.CompareOpts{
+		MaxThroughputDrop: tolerance,
+		MaxP99Growth:      tolerance,
+		P99SlackMs:        p99SlackMs,
+	}
+	cmp := load.Compare(prev, cur, opts)
+	for _, line := range cmp.Checked {
+		fmt.Println("checked:", line)
+	}
+	for _, line := range cmp.Skipped {
+		fmt.Println("skipped:", line)
+	}
+	if !cmp.OK() {
+		fmt.Printf("REGRESSION: %s is worse than %s:\n", args[1], args[0])
+		for _, r := range cmp.Regressions {
+			fmt.Println("  -", r)
+		}
+		return 1
+	}
+	fmt.Printf("ok: %s within %.0f%% of %s\n", args[1], 100*tolerance, args[0])
+	return 0
+}

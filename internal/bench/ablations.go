@@ -42,7 +42,7 @@ func ablationCell(n int, copts core.Options, params core.Params, replicas int) (
 		// Retried: blast transfers can time out transiently under load while
 		// the target is still joining the file group.
 		target := c.IDs[r]
-		if err := retryRetryable(func() error {
+		if err := testutil.RetryRetryable(func() error {
 			return c.Nodes[0].Core.AddReplica(cx, id, 0, target)
 		}); err != nil {
 			c.Close()
@@ -357,7 +357,7 @@ func RunA5() (*Table, error) {
 		// Retried: the first attempt may time out while the target is still
 		// joining the file group (the join itself persists, so a later
 		// attempt finds it done).
-		if err := retryRetryable(func() error {
+		if err := testutil.RetryRetryable(func() error {
 			return c.Nodes[0].Core.AddReplica(cx, id, 0, c.IDs[1])
 		}); err != nil {
 			return fail(fmt.Errorf("add replica: %w", err))
@@ -366,7 +366,7 @@ func RunA5() (*Table, error) {
 		// Warm-up read: with tokens on, this is the one that casts the grant.
 		// Retried, because the blast transfer that grew the reader's replica
 		// can still be settling (core.ErrBusy is transient here).
-		if err := retryRetryable(func() error {
+		if err := testutil.RetryRetryable(func() error {
 			_, _, err := reader.Read(cx, id, 0, 0, -1)
 			return err
 		}); err != nil {
@@ -398,17 +398,4 @@ func RunA5() (*Table, error) {
 		"round (casts/read counted as rounds); with them reads cost 0 rounds and",
 		"0 casts — the single grant cast is paid at warm-up (heartbeats in msgs)")
 	return t, nil
-}
-
-// retryRetryable runs fn until it succeeds, returning the last error once
-// transient retryable failures (core.IsRetryable) stop being transient.
-func retryRetryable(fn func() error) error {
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		err := fn()
-		if err == nil || !core.IsRetryable(err) || time.Now().After(deadline) {
-			return err
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
 }

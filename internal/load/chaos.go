@@ -1,0 +1,249 @@
+package load
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+	"repro/internal/testnfs"
+)
+
+// ChaosConfig layers fault injection on top of a running load and states
+// what "degrades gracefully" means for the run. The schedule is fixed in
+// shape and scaled to the run's duration D:
+//
+//	0.10 D  wan-latency   SetLatency(Latency, Jitter) on the server network
+//	0.20 D  loss          SetLoss(Loss)
+//	0.30 D  partition     srv1 isolated from the majority
+//	0.45 D  heal          partition healed
+//	0.55 D  crash         last server killed (endpoint detached, state kept)
+//	0.70 D  restart       crashed server rebooted on its old address with its
+//	                      old store; latency and loss cleared
+//	0.85 D  recovery window begins — the assertions below read it; if the
+//	        restart fired late the window re-anchors to restart + 0.15 D
+type ChaosConfig struct {
+	// Mix is the workload run under chaos; zero value means a blended
+	// read/write/getattr mix ("chaos-mixed").
+	Mix Mix
+	// Rate and Duration override the config's per-mix values; zero keeps
+	// them (Duration is doubled for chaos so the schedule has room).
+	Rate     float64
+	Duration time.Duration
+
+	Latency time.Duration // injected one-way WAN latency (default 2ms)
+	Jitter  time.Duration // latency jitter bound (default 1ms)
+	Loss    float64       // message loss probability (default 0.02)
+
+	// Graceful-degradation gates: the run must keep its overall error
+	// fraction under MaxErrorFraction, and inside the recovery window —
+	// after every fault is healed — the error fraction must fall below
+	// RecoveryMaxErrorFraction while throughput recovers to at least
+	// RecoveryMinThroughputFraction of the offered rate.
+	MaxErrorFraction              float64
+	RecoveryMaxErrorFraction      float64
+	RecoveryMinThroughputFraction float64
+}
+
+// DefaultChaos is the standard chaos shape used by `make load`.
+func DefaultChaos() *ChaosConfig {
+	return &ChaosConfig{
+		Latency:                       2 * time.Millisecond,
+		Jitter:                        time.Millisecond,
+		Loss:                          0.02,
+		MaxErrorFraction:              0.50,
+		RecoveryMaxErrorFraction:      0.10,
+		RecoveryMinThroughputFraction: 0.50,
+	}
+}
+
+func (cc ChaosConfig) withDefaults(cfg Config) ChaosConfig {
+	if cc.Mix.Name == "" {
+		cc.Mix = Mix{Name: "chaos-mixed", Weights: map[OpClass]int{OpRead: 60, OpWrite: 30, OpGetattr: 10}}
+	}
+	if cc.Rate == 0 {
+		cc.Rate = cfg.Rate
+	}
+	if cc.Duration == 0 {
+		cc.Duration = 2 * cfg.Duration
+	}
+	if cc.Latency == 0 {
+		cc.Latency = 2 * time.Millisecond
+	}
+	if cc.Jitter == 0 {
+		cc.Jitter = time.Millisecond
+	}
+	if cc.Loss == 0 {
+		cc.Loss = 0.02
+	}
+	if cc.MaxErrorFraction == 0 {
+		cc.MaxErrorFraction = 0.50
+	}
+	if cc.RecoveryMaxErrorFraction == 0 {
+		cc.RecoveryMaxErrorFraction = 0.10
+	}
+	if cc.RecoveryMinThroughputFraction == 0 {
+		cc.RecoveryMinThroughputFraction = 0.50
+	}
+	return cc
+}
+
+// ChaosEvent records one injected fault (or its repair) on the run's clock.
+type ChaosEvent struct {
+	AtSec float64 `json:"at_sec"`
+	Name  string  `json:"name"`
+}
+
+// TraceBucket is one second of the chaos run: completions and failures
+// landing in that second. The trace makes recovery shape visible in the
+// serialized result — where throughput dipped and how fast it came back.
+type TraceBucket struct {
+	Sec int    `json:"sec"`
+	Ok  uint64 `json:"ok"`
+	Bad uint64 `json:"bad"`
+}
+
+// RecoveryStats is the measured behavior inside the recovery window.
+type RecoveryStats struct {
+	WindowStartSec float64 `json:"window_start_sec"`
+	WindowSec      float64 `json:"window_sec"`
+	Completed      uint64  `json:"completed"`
+	Errored        uint64  `json:"errored"`
+	ErrorFraction  float64 `json:"error_fraction"`
+	Throughput     float64 `json:"throughput_ops_sec"`
+}
+
+// ChaosResult is the chaos run's MixResult plus the injected schedule and
+// the graceful-degradation verdict.
+type ChaosResult struct {
+	MixResult
+	Events        []ChaosEvent  `json:"events"`
+	ErrorFraction float64       `json:"error_fraction"`
+	Trace         []TraceBucket `json:"trace"`
+	Recovery      RecoveryStats `json:"recovery"`
+	Graceful      bool          `json:"graceful"`
+	Violations    []string      `json:"violations,omitempty"`
+}
+
+// runChaos runs the chaos mix with the fault schedule riding alongside and
+// evaluates the graceful-degradation assertions.
+func runChaos(cell *testnfs.NFSCell, fx *fixture, cfg Config) (*ChaosResult, error) {
+	cc := (*cfg.Chaos).withDefaults(cfg)
+	D := cc.Duration
+	tl := newTimeline(D+cfg.DrainTimeout, 100*time.Millisecond)
+
+	var mu sync.Mutex
+	var events []ChaosEvent
+	sched := func(start time.Time) {
+		record := func(name string) {
+			mu.Lock()
+			events = append(events, ChaosEvent{AtSec: time.Since(start).Seconds(), Name: name})
+			mu.Unlock()
+			cfg.Logf("load: chaos %+6.2fs %s", time.Since(start).Seconds(), name)
+		}
+		at := func(frac float64) {
+			if d := time.Until(start.Add(time.Duration(frac * float64(D)))); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		victim := cfg.Servers - 1
+		victimAddr := cell.Nodes[victim].Addr
+
+		at(0.10)
+		cell.Net.SetLatency(cc.Latency, cc.Jitter)
+		record(fmt.Sprintf("wan-latency %v jitter %v", cc.Latency, cc.Jitter))
+		at(0.20)
+		cell.Net.SetLoss(cc.Loss)
+		record(fmt.Sprintf("loss %.0f%%", 100*cc.Loss))
+		at(0.30)
+		minority := []simnet.NodeID{cell.IDs[1]}
+		majority := append(append([]simnet.NodeID{}, cell.IDs[:1]...), cell.IDs[2:]...)
+		cell.Net.Partition(majority, minority)
+		record(fmt.Sprintf("partition: %v isolated", cell.IDs[1]))
+		at(0.45)
+		cell.Net.Heal()
+		record("heal")
+		at(0.55)
+		st := cell.CrashNFS(victim)
+		record(fmt.Sprintf("crash %v", cell.IDs[victim]))
+		at(0.70)
+		params := core.DefaultParams()
+		params.MinReplicas = cfg.Replicas
+		if _, err := cell.RestartNFSNode(victim, st, victimAddr, params); err != nil {
+			record(fmt.Sprintf("restart %v FAILED: %v", cell.IDs[victim], err))
+		} else {
+			record(fmt.Sprintf("restart %v on %s", cell.IDs[victim], victimAddr))
+		}
+		cell.Net.SetLatency(0, 0)
+		cell.Net.SetLoss(0)
+		record("clear wan-latency and loss")
+	}
+
+	cfg.Logf("load: chaos run %s (%.0f ops/s for %v)", cc.Mix.Name, cc.Rate, D)
+	mr, _, err := runMix(cell, fx, cfg, cc.Mix, cc.Rate, D, cfg.Seed+1000,
+		&mixHooks{timeline: tl, background: sched})
+	if err != nil {
+		return nil, err
+	}
+
+	cr := &ChaosResult{MixResult: *mr, Events: events}
+	for sec := 0; float64(sec) < D.Seconds()+2; sec++ {
+		ok, bad := tl.window(time.Duration(sec)*time.Second, time.Duration(sec+1)*time.Second)
+		if ok+bad > 0 || float64(sec) < D.Seconds() {
+			cr.Trace = append(cr.Trace, TraceBucket{Sec: sec, Ok: ok, Bad: bad})
+		}
+	}
+	attempted := mr.Completed + mr.Errored + mr.Shed
+	if attempted > 0 {
+		cr.ErrorFraction = float64(mr.Errored+mr.Shed) / float64(attempted)
+	}
+	// Recovery window: nominally the tail of the schedule at 0.85 D, but
+	// anchored to when the last repair actually landed — on a loaded box
+	// the scheduler can fire events late, and judging recovery before the
+	// system got its settle time (0.15 D after the restart) would measure
+	// the harness's lateness, not the system's resilience. The floor keeps
+	// at least a second of window even after a very late restart.
+	from, to := time.Duration(0.85*float64(D)), D
+	var lastFault time.Duration
+	if n := len(events); n > 0 {
+		lastFault = time.Duration(events[n-1].AtSec * float64(time.Second))
+		if anchored := lastFault + time.Duration(0.15*float64(D)); anchored > from {
+			from = anchored
+		}
+	}
+	if floor := D - time.Second; from > floor && floor > 0 {
+		from = floor
+	}
+	ok, bad := tl.window(from, to)
+	win := (to - from).Seconds()
+	cr.Recovery = RecoveryStats{
+		WindowStartSec: from.Seconds(),
+		WindowSec:      win,
+		Completed:      ok,
+		Errored:        bad,
+		Throughput:     float64(ok) / win,
+	}
+	if ok+bad > 0 {
+		cr.Recovery.ErrorFraction = float64(bad) / float64(ok+bad)
+	}
+
+	if cr.ErrorFraction > cc.MaxErrorFraction {
+		cr.Violations = append(cr.Violations, fmt.Sprintf(
+			"error fraction %.2f exceeds %.2f across the whole run",
+			cr.ErrorFraction, cc.MaxErrorFraction))
+	}
+	if cr.Recovery.ErrorFraction > cc.RecoveryMaxErrorFraction {
+		cr.Violations = append(cr.Violations, fmt.Sprintf(
+			"recovery-window error fraction %.2f exceeds %.2f: did not recover within %.1fs of the last fault",
+			cr.Recovery.ErrorFraction, cc.RecoveryMaxErrorFraction, (from-lastFault).Seconds()))
+	}
+	minTput := cc.RecoveryMinThroughputFraction * cc.Rate
+	if cr.Recovery.Throughput < minTput {
+		cr.Violations = append(cr.Violations, fmt.Sprintf(
+			"recovery-window throughput %.1f ops/s below %.1f (%.0f%% of the %.0f ops/s offered)",
+			cr.Recovery.Throughput, minTput, 100*cc.RecoveryMinThroughputFraction, cc.Rate))
+	}
+	cr.Graceful = len(cr.Violations) == 0
+	return cr, nil
+}

@@ -1,0 +1,104 @@
+package load
+
+import (
+	"math"
+	"time"
+)
+
+// Histogram is a log-spaced latency histogram: buckets grow geometrically
+// by histGrowth starting at histMin, giving ~4% relative precision over a
+// 1µs..1h range in a few KiB of fixed memory. Workers record into private
+// histograms (no locks on the hot path) that are merged after the run.
+type Histogram struct {
+	counts [histBuckets]uint64
+	count  uint64
+	sum    time.Duration
+	max    time.Duration
+}
+
+const (
+	histMin     = time.Microsecond
+	histGrowth  = 1.04
+	histBuckets = 600 // 1µs * 1.04^600 ≈ 4.6h, beyond any op latency here
+)
+
+var histLogGrowth = math.Log(histGrowth)
+
+func bucketOf(d time.Duration) int {
+	if d <= histMin {
+		return 0
+	}
+	i := int(math.Log(float64(d)/float64(histMin)) / histLogGrowth)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// bucketValue is the upper bound of bucket i, the value quantiles report.
+func bucketValue(i int) time.Duration {
+	return time.Duration(float64(histMin) * math.Pow(histGrowth, float64(i+1)))
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the exact mean of recorded observations.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Max returns the exact maximum recorded observation.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns an upper bound on the q-th quantile (0 < q <= 1),
+// accurate to one bucket (~4%); the result never exceeds Max.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= target {
+			v := bucketValue(i)
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}

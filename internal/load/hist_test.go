@@ -1,0 +1,163 @@
+package load
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 1..1000 ms, one sample each: quantiles are exactly predictable.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count())
+	}
+	if h.Max() != 1000*time.Millisecond {
+		t.Errorf("max = %v, want 1s", h.Max())
+	}
+	wantMean := 500500 * time.Microsecond
+	if got := h.Mean(); got != wantMean {
+		t.Errorf("mean = %v, want %v", got, wantMean)
+	}
+	// Bucketed quantiles carry ~4% relative error plus one bucket.
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.90, 900 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+		{0.999, 999 * time.Millisecond},
+	} {
+		got := h.Quantile(tc.q)
+		lo := time.Duration(float64(tc.want) * 0.95)
+		hi := time.Duration(float64(tc.want) * 1.10)
+		if got < lo || got > hi {
+			t.Errorf("q%.3f = %v, want within [%v, %v]", tc.q, got, lo, hi)
+		}
+	}
+}
+
+func TestHistogramQuantileNeverExceedsMax(t *testing.T) {
+	h := &Histogram{}
+	h.Record(3 * time.Millisecond)
+	for _, q := range []float64{0.5, 0.99, 0.999, 1.0} {
+		if got := h.Quantile(q); got > h.Max() {
+			t.Errorf("q%.3f = %v exceeds max %v", q, got, h.Max())
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b, both := &Histogram{}, &Histogram{}, &Histogram{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(rng.Intn(1e6)) * time.Microsecond
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+		both.Record(d)
+	}
+	a.Merge(b)
+	if a.Count() != both.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), both.Count())
+	}
+	if a.Mean() != both.Mean() {
+		t.Errorf("merged mean = %v, want %v", a.Mean(), both.Mean())
+	}
+	if a.Max() != both.Max() {
+		t.Errorf("merged max = %v, want %v", a.Max(), both.Max())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Errorf("merged q%.3f = %v, want %v", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Record(-time.Second) // clock skew safety: clamped to zero
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Errorf("negative sample: count=%d max=%v", h.Count(), h.Max())
+	}
+}
+
+func TestPickerDeterministicAndZipfSkewed(t *testing.T) {
+	mix, err := MixByName("hot-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	draw := func(seed int64) ([]OpClass, []int) {
+		p := newPicker(mix, 64, 4096, 512, seed)
+		var classes []OpClass
+		var files []int
+		for i := 0; i < 2000; i++ {
+			c, f, off := p.next()
+			if f < 0 || f >= 64 {
+				t.Fatalf("file %d out of range", f)
+			}
+			if off < 0 || off > 4096-512 {
+				t.Fatalf("offset %d out of range", off)
+			}
+			classes = append(classes, c)
+			files = append(files, f)
+		}
+		return classes, files
+	}
+	c1, f1 := draw(42)
+	c2, f2 := draw(42)
+	for i := range c1 {
+		if c1[i] != c2[i] || f1[i] != f2[i] {
+			t.Fatalf("same seed diverged at %d: (%s,%d) vs (%s,%d)", i, c1[i], f1[i], c2[i], f2[i])
+		}
+	}
+	// Zipfian skew: the single hottest file absorbs a large share.
+	counts := make(map[int]int)
+	for _, f := range f1 {
+		counts[f]++
+	}
+	if counts[0] < len(f1)/4 {
+		t.Errorf("hot key got %d/%d draws; zipf should concentrate load", counts[0], len(f1))
+	}
+	// Weights respected roughly: hot-key is 80/20 read/write.
+	reads := 0
+	for _, c := range c1 {
+		if c == OpRead {
+			reads++
+		}
+	}
+	if frac := float64(reads) / float64(len(c1)); frac < 0.7 || frac > 0.9 {
+		t.Errorf("read fraction = %.2f, want ~0.8", frac)
+	}
+}
+
+func TestStandardMixesComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, m := range StandardMixes() {
+		names[m.Name] = true
+		total := 0
+		for _, w := range m.Weights {
+			total += w
+		}
+		if total != 100 {
+			t.Errorf("%s: weights sum to %d, want 100", m.Name, total)
+		}
+	}
+	for _, want := range []string{"read-heavy", "write-heavy", "metadata-scan", "hot-key"} {
+		if !names[want] {
+			t.Errorf("missing standard mix %q", want)
+		}
+	}
+	if _, err := MixByName("nope"); err == nil {
+		t.Error("MixByName(nope) should fail")
+	}
+}

@@ -1,0 +1,498 @@
+// Package load is the open-loop heavy-traffic harness: it drives a cell of
+// full Deceit servers with hundreds of concurrent NFS agents at a fixed
+// arrival rate (open loop — arrivals keep coming whether or not earlier
+// ops finished, so saturation shows up as queueing delay in the latency
+// histograms instead of silently throttling the generator), across the
+// four canonical workload mixes, optionally with chaos injected into the
+// inter-server network while the load runs (see chaos.go).
+//
+// Each run serializes a machine-readable Result (BENCH_<date>.json);
+// committed results form the repo's perf trajectory and CI diffs each new
+// run against the last one (see result.go and cmd/deceit-load).
+package load
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/nfsproto"
+	"repro/internal/testnfs"
+	"repro/internal/testutil"
+)
+
+// Config parameterizes one harness run. Zero values take defaults (see
+// withDefaults); DefaultConfig and ShortConfig are the two standard shapes.
+type Config struct {
+	Servers  int           // cell size
+	Agents   int           // concurrent client agents (each owns a TCP conn)
+	Rate     float64       // arrivals per second, per mix
+	Duration time.Duration // generation window, per mix
+	Files    int           // prepopulated files under /load
+	FileSize int           // bytes per file
+	OpBytes  int           // bytes moved per read/write op
+	Replicas int           // MinReplicas for every file's params
+	Seed     int64         // seeds the workload rng and simnet loss rng
+
+	// NoAgentCache disables the agents' lease-backed caches; default is the
+	// production shape, caches on.
+	NoAgentCache bool
+
+	// DrainTimeout bounds how long the run waits for queued arrivals after
+	// generation ends; arrivals still queued at the deadline are shed and
+	// counted in the error taxonomy.
+	DrainTimeout time.Duration
+
+	Mixes []Mix        // default: StandardMixes
+	Chaos *ChaosConfig // nil = no chaos run
+
+	Logf func(format string, args ...any) // optional progress output
+}
+
+func (c Config) withDefaults() Config {
+	if c.Servers == 0 {
+		c.Servers = 3
+	}
+	if c.Agents == 0 {
+		c.Agents = 256
+	}
+	if c.Rate == 0 {
+		// Sized with ~50% headroom below what a single-core runner sustains,
+		// so the committed trajectory measures the system, not the machine.
+		c.Rate = 200
+	}
+	if c.Duration == 0 {
+		c.Duration = 8 * time.Second
+	}
+	if c.Files == 0 {
+		c.Files = 128
+	}
+	if c.FileSize == 0 {
+		c.FileSize = 4096
+	}
+	if c.OpBytes == 0 {
+		c.OpBytes = 512
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if len(c.Mixes) == 0 {
+		c.Mixes = StandardMixes()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// DefaultConfig is the full trajectory run: `make load` persists it.
+func DefaultConfig() Config {
+	c := Config{}.withDefaults()
+	c.Chaos = DefaultChaos()
+	return c
+}
+
+// ShortConfig is the ~2s smoke shape: every mix once, small cell, no chaos.
+func ShortConfig() Config {
+	return Config{
+		Agents:       8,
+		Rate:         120,
+		Duration:     400 * time.Millisecond,
+		Files:        16,
+		DrainTimeout: 5 * time.Second,
+	}.withDefaults()
+}
+
+func (c Config) summary() ConfigSummary {
+	return ConfigSummary{
+		Servers:     c.Servers,
+		Agents:      c.Agents,
+		Rate:        c.Rate,
+		DurationSec: c.Duration.Seconds(),
+		Files:       c.Files,
+		FileSize:    c.FileSize,
+		OpBytes:     c.OpBytes,
+	}
+}
+
+// arrival is one scheduled op. at is the scheduled arrival time: latency is
+// measured from it, so queueing delay under overload is charged to the
+// system (coordinated-omission-free).
+type arrival struct {
+	class OpClass
+	file  int
+	off   int
+	at    time.Time
+}
+
+// Run boots a cell, prepopulates the working set, runs every configured
+// mix and (if configured) the chaos run, and returns the assembled Result.
+// A chaos run that fails its graceful-degradation assertions is reported
+// in Result.Chaos.Violations, not as an error.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Chaos != nil && cfg.Servers < 3 {
+		return nil, errors.New("load: chaos needs at least 3 servers (partition + crash targets)")
+	}
+
+	params := core.DefaultParams()
+	params.MinReplicas = cfg.Replicas
+	cfg.Logf("load: booting %d-server cell", cfg.Servers)
+	cell, err := testnfs.NewNFSCellParams(cfg.Servers, params)
+	if err != nil {
+		return nil, fmt.Errorf("load: boot cell: %w", err)
+	}
+	defer cell.Close()
+
+	fx, err := newFixture(cell, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer fx.close()
+
+	res := &Result{
+		Schema: ResultSchema,
+		Date:   time.Now().Format(time.RFC3339),
+		Seed:   cfg.Seed,
+		Config: cfg.summary(),
+	}
+	for i, mix := range cfg.Mixes {
+		cfg.Logf("load: mix %s (%.0f ops/s for %v)", mix.Name, cfg.Rate, cfg.Duration)
+		mr, _, err := runMix(cell, fx, cfg, mix, cfg.Rate, cfg.Duration, cfg.Seed+int64(i)+1, nil)
+		if err != nil {
+			return nil, fmt.Errorf("load: mix %s: %w", mix.Name, err)
+		}
+		cfg.Logf("load: mix %s: %.1f ops/s, p99 %.2fms, %d errors",
+			mix.Name, mr.Throughput, mr.Overall.P99Ms, mr.Errored)
+		res.Mixes = append(res.Mixes, *mr)
+	}
+	if cfg.Chaos != nil {
+		cr, err := runChaos(cell, fx, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("load: chaos: %w", err)
+		}
+		res.Chaos = cr
+	}
+	return res, nil
+}
+
+// fixture is the prepopulated working set plus the agent pool.
+type fixture struct {
+	cfg     Config
+	dir     nfsproto.Handle
+	handles []nfsproto.Handle
+	agents  []*agent.Agent
+	payload []byte
+}
+
+// rotate returns addrs with element i first, so agent i's primary server is
+// addrs[i % n] and load spreads across the whole cell instead of piling
+// onto the first server.
+func rotate(addrs []string, i int) []string {
+	n := len(addrs)
+	out := make([]string, 0, n)
+	for j := 0; j < n; j++ {
+		out = append(out, addrs[(i+j)%n])
+	}
+	return out
+}
+
+func newFixture(cell *testnfs.NFSCell, cfg Config) (*fixture, error) {
+	fx := &fixture{cfg: cfg, payload: make([]byte, cfg.OpBytes)}
+	for i := range fx.payload {
+		fx.payload[i] = byte('a' + i%26)
+	}
+	addrs := cell.Addrs()
+	for i := 0; i < cfg.Agents; i++ {
+		ag, err := agent.Mount(rotate(addrs, i), agent.Options{Cache: !cfg.NoAgentCache})
+		if err != nil {
+			fx.close()
+			return nil, fmt.Errorf("load: mount agent %d: %w", i, err)
+		}
+		fx.agents = append(fx.agents, ag)
+	}
+
+	// Prepopulate: files are created round-robin through the pool, so their
+	// initial replicas spread across the cell's servers.
+	cfg.Logf("load: prepopulating %d files of %d bytes", cfg.Files, cfg.FileSize)
+	content := make([]byte, cfg.FileSize)
+	for i := range content {
+		content[i] = byte('0' + i%10)
+	}
+	if err := testutil.Retry(10*time.Second, agent.IsTransient, func() error {
+		return fx.agents[0].MkdirAll("/load")
+	}); err != nil {
+		fx.close()
+		return nil, fmt.Errorf("load: mkdir /load: %w", err)
+	}
+	for f := 0; f < cfg.Files; f++ {
+		path := filePath(f)
+		ag := fx.agents[f%len(fx.agents)]
+		if err := testutil.Retry(10*time.Second, agent.IsTransient, func() error {
+			return ag.WriteFile(path, content)
+		}); err != nil {
+			fx.close()
+			return nil, fmt.Errorf("load: prepopulate %s: %w", path, err)
+		}
+	}
+	dirH, _, err := fx.agents[0].Walk("/load")
+	if err != nil {
+		fx.close()
+		return nil, fmt.Errorf("load: walk /load: %w", err)
+	}
+	fx.dir = dirH
+	for f := 0; f < cfg.Files; f++ {
+		h, _, err := fx.agents[0].Walk(filePath(f))
+		if err != nil {
+			fx.close()
+			return nil, fmt.Errorf("load: walk %s: %w", filePath(f), err)
+		}
+		fx.handles = append(fx.handles, h)
+	}
+	return fx, nil
+}
+
+func filePath(f int) string { return fmt.Sprintf("/load/f%04d.dat", f) }
+
+func (fx *fixture) close() {
+	for _, ag := range fx.agents {
+		ag.Close()
+	}
+}
+
+// do executes one op against one agent.
+func (fx *fixture) do(ag *agent.Agent, a arrival) error {
+	switch a.class {
+	case OpRead:
+		_, err := ag.Read(fx.handles[a.file], uint32(a.off), uint32(fx.cfg.OpBytes))
+		return err
+	case OpWrite:
+		_, err := ag.Write(fx.handles[a.file], uint32(a.off), fx.payload)
+		return err
+	case OpGetattr:
+		_, err := ag.Getattr(fx.handles[a.file])
+		return err
+	case OpReaddir:
+		_, err := ag.Readdir(fx.dir)
+		return err
+	}
+	return fmt.Errorf("load: unknown op class %q", a.class)
+}
+
+// classify maps an op error into the result's error taxonomy.
+func classify(err error) string {
+	var ne *agent.NFSError
+	switch {
+	case agent.IsTransient(err):
+		return "transient"
+	case agent.IsNotExist(err):
+		return "noent"
+	case errors.As(err, &ne):
+		return "nfs-" + ne.Status.String()
+	}
+	return "net"
+}
+
+// workerState is one worker's private tallies, merged after the run so the
+// hot path takes no locks.
+type workerState struct {
+	hists     map[string]*Histogram
+	errs      map[string]uint64
+	completed uint64
+	errored   uint64
+	shed      uint64
+}
+
+func (ws *workerState) hist(class string) *Histogram {
+	h := ws.hists[class]
+	if h == nil {
+		h = &Histogram{}
+		ws.hists[class] = h
+	}
+	return h
+}
+
+// timeline buckets completions by wall-clock time since run start; the
+// chaos assertions read recovery-window behavior off it.
+type timeline struct {
+	width time.Duration
+	ok    []atomic.Uint64
+	bad   []atomic.Uint64
+}
+
+func newTimeline(span, width time.Duration) *timeline {
+	n := int(span/width) + 2
+	return &timeline{width: width, ok: make([]atomic.Uint64, n), bad: make([]atomic.Uint64, n)}
+}
+
+func (t *timeline) record(since time.Duration, failed bool) {
+	i := int(since / t.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(t.ok) {
+		i = len(t.ok) - 1
+	}
+	if failed {
+		t.bad[i].Add(1)
+	} else {
+		t.ok[i].Add(1)
+	}
+}
+
+// window sums completions in [from, to) since run start.
+func (t *timeline) window(from, to time.Duration) (ok, bad uint64) {
+	lo, hi := int(from/t.width), int(to/t.width)
+	for i := lo; i < hi && i < len(t.ok); i++ {
+		if i < 0 {
+			continue
+		}
+		ok += t.ok[i].Load()
+		bad += t.bad[i].Load()
+	}
+	return ok, bad
+}
+
+// runMix drives one mix at the given rate for the given duration.
+// background, if non-nil, runs concurrently with the load from the
+// generator's start time until the run is fully drained — the chaos
+// scheduler rides here. tl, if non-nil, receives per-completion ticks.
+func runMix(cell *testnfs.NFSCell, fx *fixture, cfg Config, mix Mix,
+	rate float64, duration time.Duration, seed int64,
+	hooks *mixHooks) (*MixResult, time.Duration, error) {
+
+	cell.Net.Seed(seed)
+	cell.Net.ResetStats()
+	pick := newPicker(mix, cfg.Files, cfg.FileSize, cfg.OpBytes, seed)
+
+	total := int(rate * duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	// The buffer holds every arrival, so the generator never blocks on slow
+	// workers: that is what makes the loop open rather than closed.
+	arrivals := make(chan arrival, total)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	workers := make([]*workerState, len(fx.agents))
+	start := time.Now()
+	var tl *timeline
+	if hooks != nil {
+		tl = hooks.timeline
+	}
+	for w := range fx.agents {
+		ws := &workerState{hists: make(map[string]*Histogram), errs: make(map[string]uint64)}
+		workers[w] = ws
+		wg.Add(1)
+		go func(ag *agent.Agent, ws *workerState) {
+			defer wg.Done()
+			for a := range arrivals {
+				if stop.Load() {
+					ws.errs["shed"]++
+					ws.shed++
+					continue
+				}
+				err := fx.do(ag, a)
+				if err != nil {
+					ws.errs[classify(err)]++
+					ws.errored++
+				} else {
+					ws.hist(string(a.class)).Record(time.Since(a.at))
+					ws.completed++
+				}
+				if tl != nil {
+					tl.record(time.Since(start), err != nil)
+				}
+			}
+		}(fx.agents[w], ws)
+	}
+
+	bgDone := make(chan struct{})
+	if hooks != nil && hooks.background != nil {
+		go func() {
+			defer close(bgDone)
+			hooks.background(start)
+		}()
+	} else {
+		close(bgDone)
+	}
+
+	// Open-loop generator: fixed spacing from the scheduled timeline, never
+	// from op completions.
+	interval := time.Duration(float64(time.Second) / rate)
+	next := start
+	for i := 0; i < total; i++ {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		class, file, off := pick.next()
+		arrivals <- arrival{class: class, file: file, off: off, at: next}
+		next = next.Add(interval)
+	}
+	close(arrivals)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(cfg.DrainTimeout):
+		stop.Store(true)
+		<-done
+	}
+	<-bgDone
+	elapsed := time.Since(start)
+
+	// Merge worker tallies.
+	overall := &Histogram{}
+	perClass := make(map[string]*Histogram)
+	mr := &MixResult{
+		Name:        mix.Name,
+		TargetRate:  rate,
+		DurationSec: duration.Seconds(),
+		Offered:     uint64(total),
+		Errors:      make(map[string]uint64),
+		PerClass:    make(map[string]ClassStats),
+	}
+	for _, ws := range workers {
+		mr.Completed += ws.completed
+		mr.Errored += ws.errored
+		mr.Shed += ws.shed
+		for k, v := range ws.errs {
+			mr.Errors[k] += v
+		}
+		for class, h := range ws.hists {
+			ch := perClass[class]
+			if ch == nil {
+				ch = &Histogram{}
+				perClass[class] = ch
+			}
+			ch.Merge(h)
+			overall.Merge(h)
+		}
+	}
+	for class, h := range perClass {
+		mr.PerClass[class] = statsOf(h)
+	}
+	mr.Overall = statsOf(overall)
+	mr.Throughput = float64(mr.Completed) / elapsed.Seconds()
+	s := cell.Net.Stats()
+	mr.Net = NetStats{Sent: s.Sent, Delivered: s.Delivered, Dropped: s.Dropped, Bytes: s.Bytes}
+	return mr, elapsed, nil
+}
+
+// mixHooks attaches chaos machinery to a mix run.
+type mixHooks struct {
+	timeline   *timeline
+	background func(start time.Time)
+}

@@ -1,0 +1,122 @@
+package load
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLoadSmokeAllMixes runs every standard workload mix once in the short
+// shape (~2s total): the harness must sustain the offered rate on a healthy
+// cell with a clean error ledger and sane histograms.
+func TestLoadSmokeAllMixes(t *testing.T) {
+	cfg := ShortConfig()
+	cfg.Logf = t.Logf
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mixes) != 4 {
+		t.Fatalf("got %d mixes, want 4", len(res.Mixes))
+	}
+	for _, m := range res.Mixes {
+		if m.Completed == 0 {
+			t.Errorf("%s: no ops completed", m.Name)
+			continue
+		}
+		if m.Completed+m.Errored+m.Shed != m.Offered {
+			t.Errorf("%s: ledger does not balance: %d+%d+%d != %d",
+				m.Name, m.Completed, m.Errored, m.Shed, m.Offered)
+		}
+		// A healthy unsaturated cell must absorb nearly everything offered.
+		if frac := float64(m.Errored+m.Shed) / float64(m.Offered); frac > 0.05 {
+			t.Errorf("%s: error fraction %.2f on a healthy cell (errors: %v)", m.Name, frac, m.Errors)
+		}
+		if m.Throughput < 0.5*m.TargetRate {
+			t.Errorf("%s: throughput %.1f below half the offered %.1f ops/s", m.Name, m.Throughput, m.TargetRate)
+		}
+		if m.Overall.P50Ms <= 0 || m.Overall.P99Ms < m.Overall.P50Ms || m.Overall.P999Ms < m.Overall.P99Ms {
+			t.Errorf("%s: malformed quantiles %+v", m.Name, m.Overall)
+		}
+		if m.Net.Sent == 0 {
+			t.Errorf("%s: no simnet traffic recorded", m.Name)
+		}
+	}
+	if res.Chaos != nil {
+		t.Error("short config must not run chaos")
+	}
+}
+
+// TestLoadOpenLoopOfferedIsFixed pins the open-loop property: offered load
+// is a function of rate and duration alone, never of completions — a
+// saturated system sees queueing, not a throttled generator.
+func TestLoadOpenLoopOfferedIsFixed(t *testing.T) {
+	cfg := ShortConfig()
+	cfg.Mixes = []Mix{{Name: "read-heavy", Weights: map[OpClass]int{OpRead: 100}}}
+	cfg.Rate = 400
+	cfg.Duration = 250 * time.Millisecond
+	cfg.Logf = t.Logf
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Mixes[0]
+	want := uint64(cfg.Rate * cfg.Duration.Seconds())
+	if m.Offered != want {
+		t.Errorf("offered = %d, want exactly %d: open loop must not throttle arrivals", m.Offered, want)
+	}
+}
+
+// TestChaosGracefulDegradation is the acceptance run: injected WAN latency,
+// loss, a partition/heal, and a crash/rejoin land on a running mixed load,
+// and the system must keep its error rate bounded and recover to steady
+// throughput before the run ends — not merely avoid crashing.
+func TestChaosGracefulDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run needs ~20s of wall clock")
+	}
+	cfg := Config{
+		Servers:      3,
+		Agents:       24,
+		Rate:         150,
+		Duration:     6 * time.Second,
+		Files:        48,
+		DrainTimeout: 20 * time.Second,
+		Mixes:        []Mix{}, // chaos run only
+		Chaos:        DefaultChaos(),
+	}.withDefaults()
+	cfg.Mixes = cfg.Mixes[:1] // one quick sanity mix before the chaos pass
+	cfg.Mixes[0] = Mix{Name: "warm", Weights: map[OpClass]int{OpRead: 80, OpWrite: 20}}
+	cfg.Duration = time.Second
+	// 16s gives the post-restart recovery ~2.4s of settle before the window
+	// opens; rejoin triggers regeneration whose cost varies run to run.
+	cfg.Chaos.Duration = 16 * time.Second
+	cfg.Chaos.Rate = 150
+	cfg.Logf = t.Logf
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Chaos
+	if c == nil {
+		t.Fatal("no chaos result")
+	}
+	if len(c.Events) < 7 {
+		t.Errorf("only %d chaos events fired: %+v", len(c.Events), c.Events)
+	}
+	for _, v := range c.Violations {
+		t.Errorf("graceful-degradation violation: %s", v)
+	}
+	if !c.Graceful {
+		t.Errorf("chaos run not graceful: error fraction %.2f, recovery %+v",
+			c.ErrorFraction, c.Recovery)
+		for _, b := range c.Trace {
+			t.Logf("  trace %3ds: %3d ok %3d bad", b.Sec, b.Ok, b.Bad)
+		}
+	}
+	// The faults must actually have been felt: a 2% loss + partition +
+	// crash window with zero dropped messages means chaos never landed.
+	if c.Net.Dropped == 0 {
+		t.Error("chaos run dropped no simnet messages; injection did not land")
+	}
+}

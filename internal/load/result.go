@@ -1,0 +1,212 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// ResultSchema versions the BENCH_*.json layout; bump on breaking changes
+// so Compare can refuse cross-schema diffs instead of misreading them.
+const ResultSchema = 1
+
+// Result is one harness run, serialized as BENCH_<date>.json. Committed
+// results form the repo's perf trajectory: CI diffs each new run against
+// the newest committed one and fails on regressions (see Compare).
+type Result struct {
+	Schema int           `json:"schema"`
+	Date   string        `json:"date"` // RFC3339 generation time
+	Seed   int64         `json:"seed"`
+	Config ConfigSummary `json:"config"`
+	Mixes  []MixResult   `json:"mixes"`
+	Chaos  *ChaosResult  `json:"chaos,omitempty"`
+}
+
+// ConfigSummary pins the knobs that make two runs comparable. Compare
+// refuses to diff results whose summaries differ — an open-loop run's
+// throughput is only meaningful against the same offered load.
+type ConfigSummary struct {
+	Servers     int     `json:"servers"`
+	Agents      int     `json:"agents"`
+	Rate        float64 `json:"rate_ops_sec"`
+	DurationSec float64 `json:"duration_sec"`
+	Files       int     `json:"files"`
+	FileSize    int     `json:"file_size_bytes"`
+	OpBytes     int     `json:"op_bytes"`
+}
+
+// ClassStats summarizes one latency histogram.
+type ClassStats struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+func statsOf(h *Histogram) ClassStats {
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	return ClassStats{
+		Count:  h.Count(),
+		MeanMs: ms(h.Mean()),
+		P50Ms:  ms(h.Quantile(0.50)),
+		P90Ms:  ms(h.Quantile(0.90)),
+		P99Ms:  ms(h.Quantile(0.99)),
+		P999Ms: ms(h.Quantile(0.999)),
+		MaxMs:  ms(h.Max()),
+	}
+}
+
+// NetStats snapshots the simulated network's counters over one mix.
+type NetStats struct {
+	Sent      uint64 `json:"sent"`
+	Delivered uint64 `json:"delivered"`
+	Dropped   uint64 `json:"dropped"`
+	Bytes     uint64 `json:"bytes"`
+}
+
+// MixResult is one mix's measured outcome. Latency is measured from each
+// op's *scheduled* arrival time, so queueing delay under overload is
+// charged to the system rather than silently absorbed (no coordinated
+// omission).
+type MixResult struct {
+	Name        string  `json:"name"`
+	TargetRate  float64 `json:"target_rate_ops_sec"`
+	DurationSec float64 `json:"duration_sec"`
+	Offered     uint64  `json:"offered"`
+	Completed   uint64  `json:"completed"`
+	Errored     uint64  `json:"errored"`
+	Shed        uint64  `json:"shed"` // arrivals abandoned at the drain deadline
+	Throughput  float64 `json:"throughput_ops_sec"`
+
+	// Errors is the taxonomy of failed ops: "transient" (segment-layer
+	// retryable surfaced as NFSERR_IO), "noent", "nfs-<status>" for other
+	// definitive NFS errors, "net" for connectivity failures after agent
+	// failover was exhausted, and "shed".
+	Errors map[string]uint64 `json:"errors,omitempty"`
+
+	PerClass map[string]ClassStats `json:"per_class"`
+	Overall  ClassStats            `json:"overall"`
+	Net      NetStats              `json:"net"`
+}
+
+// WriteFile serializes r as indented JSON.
+func (r *Result) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadResult parses a BENCH_*.json file.
+func ReadResult(path string) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("load: parse %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CompareOpts tunes the regression gate.
+type CompareOpts struct {
+	// MaxThroughputDrop fails a mix whose throughput fell by more than this
+	// fraction of the previous run's.
+	MaxThroughputDrop float64
+	// MaxP99Growth fails a mix whose overall p99 grew by more than this
+	// fraction — but only when it also grew by more than P99SlackMs in
+	// absolute terms, so microsecond-scale jitter on fast paths and shared
+	// CI runners cannot trip the gate.
+	MaxP99Growth float64
+	P99SlackMs   float64
+}
+
+// DefaultCompareOpts is the CI gate: >20% regressions fail. The absolute
+// p99 slack reflects observed run-to-run noise on small shared CI
+// runners: identical code measures p99 anywhere from a few ms to ~200ms
+// depending on where occasional scheduler stalls land relative to the
+// 99th percentile. A real regression — queueing collapse — pushes p99
+// into the seconds, far past any slack; throughput (which is stable run
+// to run) gates the rest.
+func DefaultCompareOpts() CompareOpts {
+	return CompareOpts{MaxThroughputDrop: 0.20, MaxP99Growth: 0.20, P99SlackMs: 250}
+}
+
+// Comparison is the outcome of diffing two results.
+type Comparison struct {
+	Regressions []string // gate failures
+	Skipped     []string // mixes that could not be compared, with reasons
+	Checked     []string // informational per-metric lines
+}
+
+// OK reports whether the gate passes.
+func (c *Comparison) OK() bool { return len(c.Regressions) == 0 }
+
+// Compare diffs cur against prev under opts. Results with different
+// schemas or run configurations are skipped wholesale (an open-loop run is
+// only comparable at the same offered load); chaos sections are never
+// diffed — graceful degradation is asserted per run, not tracked as a
+// trend.
+func Compare(prev, cur *Result, opts CompareOpts) *Comparison {
+	c := &Comparison{}
+	if prev.Schema != cur.Schema {
+		c.Skipped = append(c.Skipped, fmt.Sprintf(
+			"all mixes: schema changed (%d -> %d)", prev.Schema, cur.Schema))
+		return c
+	}
+	if prev.Config != cur.Config {
+		c.Skipped = append(c.Skipped, fmt.Sprintf(
+			"all mixes: run config changed (%+v -> %+v); not comparable", prev.Config, cur.Config))
+		return c
+	}
+	prevByName := make(map[string]*MixResult, len(prev.Mixes))
+	for i := range prev.Mixes {
+		prevByName[prev.Mixes[i].Name] = &prev.Mixes[i]
+	}
+	for i := range cur.Mixes {
+		cm := &cur.Mixes[i]
+		pm, ok := prevByName[cm.Name]
+		if !ok {
+			c.Skipped = append(c.Skipped, fmt.Sprintf("%s: no previous result", cm.Name))
+			continue
+		}
+		floor := pm.Throughput * (1 - opts.MaxThroughputDrop)
+		c.Checked = append(c.Checked, fmt.Sprintf(
+			"%s: throughput %.1f -> %.1f ops/s (floor %.1f)", cm.Name, pm.Throughput, cm.Throughput, floor))
+		if cm.Throughput < floor {
+			c.Regressions = append(c.Regressions, fmt.Sprintf(
+				"%s: throughput regressed %.1f -> %.1f ops/s (-%.0f%%, gate is %.0f%%)",
+				cm.Name, pm.Throughput, cm.Throughput,
+				100*(1-cm.Throughput/pm.Throughput), 100*opts.MaxThroughputDrop))
+		}
+		ceil := pm.Overall.P99Ms * (1 + opts.MaxP99Growth)
+		c.Checked = append(c.Checked, fmt.Sprintf(
+			"%s: p99 %.2f -> %.2f ms (ceiling %.2f + %.0fms slack)",
+			cm.Name, pm.Overall.P99Ms, cm.Overall.P99Ms, ceil, opts.P99SlackMs))
+		if cm.Overall.P99Ms > ceil && cm.Overall.P99Ms > pm.Overall.P99Ms+opts.P99SlackMs {
+			c.Regressions = append(c.Regressions, fmt.Sprintf(
+				"%s: p99 regressed %.2f -> %.2f ms (+%.0f%%, gate is %.0f%% and %.0fms slack)",
+				cm.Name, pm.Overall.P99Ms, cm.Overall.P99Ms,
+				100*(cm.Overall.P99Ms/pm.Overall.P99Ms-1), 100*opts.MaxP99Growth, opts.P99SlackMs))
+		}
+	}
+	for name := range prevByName {
+		found := false
+		for i := range cur.Mixes {
+			if cur.Mixes[i].Name == name {
+				found = true
+			}
+		}
+		if !found {
+			c.Regressions = append(c.Regressions, fmt.Sprintf("%s: mix disappeared from the new result", name))
+		}
+	}
+	return c
+}

@@ -1,0 +1,138 @@
+package load
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleResult() *Result {
+	mix := func(name string, tput, p99 float64) MixResult {
+		return MixResult{
+			Name:       name,
+			TargetRate: 300,
+			Offered:    2400,
+			Completed:  2390,
+			Errored:    10,
+			Throughput: tput,
+			Overall:    ClassStats{Count: 2390, P50Ms: 1, P99Ms: p99, P999Ms: p99 * 2},
+		}
+	}
+	return &Result{
+		Schema: ResultSchema,
+		Date:   "2026-08-07T00:00:00Z",
+		Seed:   1,
+		Config: ConfigSummary{Servers: 3, Agents: 64, Rate: 300, DurationSec: 8, Files: 128, FileSize: 4096, OpBytes: 512},
+		Mixes: []MixResult{
+			mix("read-heavy", 298, 2.0),
+			mix("write-heavy", 290, 12.0),
+			mix("metadata-scan", 295, 3.0),
+			mix("hot-key", 297, 8.0),
+		},
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	r := sampleResult()
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResult(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != r.Schema || got.Config != r.Config || len(got.Mixes) != len(r.Mixes) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Mixes[0].Name != "read-heavy" || got.Mixes[0].Overall.P99Ms != 2.0 {
+		t.Errorf("mix 0 = %+v", got.Mixes[0])
+	}
+}
+
+func TestCompareCleanPass(t *testing.T) {
+	prev, cur := sampleResult(), sampleResult()
+	cmp := Compare(prev, cur, DefaultCompareOpts())
+	if !cmp.OK() {
+		t.Fatalf("identical results must pass, got %v", cmp.Regressions)
+	}
+	if len(cmp.Checked) == 0 {
+		t.Error("expected per-metric checked lines")
+	}
+}
+
+// TestCompareInjectedThroughputRegression is the CI gate's contract: a
+// >20% throughput drop on any mix fails the diff.
+func TestCompareInjectedThroughputRegression(t *testing.T) {
+	prev, cur := sampleResult(), sampleResult()
+	cur.Mixes[1].Throughput = prev.Mixes[1].Throughput * 0.75 // -25%
+	cmp := Compare(prev, cur, DefaultCompareOpts())
+	if cmp.OK() {
+		t.Fatal("25% throughput drop must fail the gate")
+	}
+	found := false
+	for _, r := range cmp.Regressions {
+		if strings.Contains(r, "write-heavy") && strings.Contains(r, "throughput") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("regression list %v does not name write-heavy throughput", cmp.Regressions)
+	}
+	// An 18% drop stays inside the gate.
+	cur2 := sampleResult()
+	cur2.Mixes[1].Throughput = prev.Mixes[1].Throughput * 0.82
+	if cmp := Compare(prev, cur2, DefaultCompareOpts()); !cmp.OK() {
+		t.Errorf("18%% drop should pass, got %v", cmp.Regressions)
+	}
+}
+
+func TestCompareInjectedP99Regression(t *testing.T) {
+	prev, cur := sampleResult(), sampleResult()
+	// Far past both the 20% ratio and the absolute slack: 12ms -> 1200ms is
+	// the queueing-collapse shape the gate exists to catch.
+	cur.Mixes[1].Overall.P99Ms = 1200
+	cmp := Compare(prev, cur, DefaultCompareOpts())
+	if cmp.OK() {
+		t.Fatal("100x p99 must fail the gate")
+	}
+	// Large relative growth under the absolute slack (12ms -> 200ms) must
+	// NOT fail: identical code measures p99 anywhere in that band on shared
+	// runners depending on where scheduler stalls land.
+	cur2 := sampleResult()
+	cur2.Mixes[1].Overall.P99Ms = 200
+	if cmp := Compare(prev, cur2, DefaultCompareOpts()); !cmp.OK() {
+		t.Errorf("sub-slack p99 growth should pass, got %v", cmp.Regressions)
+	}
+}
+
+func TestCompareConfigChangeSkips(t *testing.T) {
+	prev, cur := sampleResult(), sampleResult()
+	cur.Config.Rate = 500
+	cur.Mixes[0].Throughput = 1 // would be a huge regression if compared
+	cmp := Compare(prev, cur, DefaultCompareOpts())
+	if !cmp.OK() {
+		t.Fatalf("different configs are not comparable, got %v", cmp.Regressions)
+	}
+	if len(cmp.Skipped) == 0 || !strings.Contains(cmp.Skipped[0], "config changed") {
+		t.Errorf("expected a config-changed skip message, got %v", cmp.Skipped)
+	}
+}
+
+func TestCompareMissingMixIsRegression(t *testing.T) {
+	prev, cur := sampleResult(), sampleResult()
+	cur.Mixes = cur.Mixes[:3] // hot-key vanished
+	cmp := Compare(prev, cur, DefaultCompareOpts())
+	if cmp.OK() {
+		t.Fatal("a mix disappearing must fail the gate")
+	}
+}
+
+func TestCompareSchemaChangeSkips(t *testing.T) {
+	prev, cur := sampleResult(), sampleResult()
+	cur.Schema = ResultSchema + 1
+	cmp := Compare(prev, cur, DefaultCompareOpts())
+	if !cmp.OK() || len(cmp.Skipped) == 0 {
+		t.Errorf("schema change must skip, got regressions=%v skipped=%v", cmp.Regressions, cmp.Skipped)
+	}
+}

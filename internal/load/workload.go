@@ -1,0 +1,108 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpClass names one kind of client operation the generator can issue.
+type OpClass string
+
+const (
+	OpRead    OpClass = "read"    // ranged data read
+	OpWrite   OpClass = "write"   // ranged data overwrite
+	OpGetattr OpClass = "getattr" // attribute fetch
+	OpReaddir OpClass = "readdir" // full directory scan
+)
+
+// Mix is one workload: a weighted blend of op classes plus the key
+// distribution used to pick target files. With Zipfian set, file choice is
+// skewed (rand.Zipf, s=1.2) so a few hot files absorb most of the traffic;
+// otherwise files are chosen uniformly.
+type Mix struct {
+	Name    string          `json:"name"`
+	Weights map[OpClass]int `json:"weights"`
+	Zipfian bool            `json:"zipfian"`
+}
+
+// StandardMixes returns the four canonical workloads the perf trajectory
+// tracks: read-heavy, write-heavy, metadata-scan, and hot-key Zipfian.
+func StandardMixes() []Mix {
+	return []Mix{
+		{Name: "read-heavy", Weights: map[OpClass]int{OpRead: 90, OpWrite: 8, OpGetattr: 2}},
+		{Name: "write-heavy", Weights: map[OpClass]int{OpWrite: 70, OpRead: 25, OpGetattr: 5}},
+		{Name: "metadata-scan", Weights: map[OpClass]int{OpReaddir: 30, OpGetattr: 50, OpRead: 20}},
+		{Name: "hot-key", Weights: map[OpClass]int{OpRead: 80, OpWrite: 20}, Zipfian: true},
+	}
+}
+
+// MixByName returns the standard mix with the given name.
+func MixByName(name string) (Mix, error) {
+	for _, m := range StandardMixes() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("load: unknown mix %q", name)
+}
+
+// picker deterministically draws (op class, file, offset) tuples for one
+// mix. All randomness flows from the one seeded rng, so a (seed, mix,
+// rate, duration) tuple replays the identical arrival sequence.
+type picker struct {
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	classes []OpClass
+	cum     []int
+	total   int
+	files   int
+	span    int // file size minus op size: valid offset range
+}
+
+func newPicker(mix Mix, files, fileSize, opBytes int, seed int64) *picker {
+	p := &picker{rng: rand.New(rand.NewSource(seed)), files: files, span: fileSize - opBytes}
+	if p.span < 0 {
+		p.span = 0
+	}
+	for class, w := range mix.Weights {
+		if w > 0 {
+			p.classes = append(p.classes, class)
+		}
+	}
+	// Map iteration order is random; sort for determinism.
+	for i := 1; i < len(p.classes); i++ {
+		for j := i; j > 0 && p.classes[j] < p.classes[j-1]; j-- {
+			p.classes[j], p.classes[j-1] = p.classes[j-1], p.classes[j]
+		}
+	}
+	for _, class := range p.classes {
+		p.total += mix.Weights[class]
+		p.cum = append(p.cum, p.total)
+	}
+	if mix.Zipfian {
+		p.zipf = rand.NewZipf(p.rng, 1.2, 1, uint64(files-1))
+	}
+	return p
+}
+
+func (p *picker) next() (OpClass, int, int) {
+	n := p.rng.Intn(p.total)
+	class := p.classes[len(p.classes)-1]
+	for i, c := range p.cum {
+		if n < c {
+			class = p.classes[i]
+			break
+		}
+	}
+	var file int
+	if p.zipf != nil {
+		file = int(p.zipf.Uint64())
+	} else {
+		file = p.rng.Intn(p.files)
+	}
+	off := 0
+	if p.span > 0 {
+		off = p.rng.Intn(p.span + 1)
+	}
+	return class, file, off
+}

@@ -1,0 +1,31 @@
+package testutil
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// Retry runs fn until it succeeds, the error stops matching retryable, or
+// timeout elapses, sleeping briefly between attempts. The last error is
+// returned. It is the shared backoff loop for harness setup (replica
+// placement, warm-up writes) that can fail transiently while a cell is
+// still converging — callers name the transience predicate instead of
+// hand-rolling retry loops.
+func Retry(timeout time.Duration, retryable func(error) bool, fn func() error) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		err := fn()
+		if err == nil || !retryable(err) || time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// RetryRetryable runs fn until transient segment-layer conditions
+// (core.IsRetryable: token movement, a group mid-rejoin) stop being
+// transient, bounded by a 10 second deadline.
+func RetryRetryable(fn func() error) error {
+	return Retry(10*time.Second, core.IsRetryable, fn)
+}
