@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke load load-smoke load-diff
+.PHONY: check fmt vet build test race bench-smoke rejoin-bench load load-smoke load-diff
 
 check: fmt vet build test bench-smoke
 
@@ -18,10 +18,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/isis ./internal/server ./internal/agent
+	$(GO) test -race ./internal/core ./internal/isis ./internal/server ./internal/agent ./internal/store
 
 bench-smoke:
 	$(GO) test -run XXX -bench BenchmarkT1 -benchtime=1x .
+
+# A8 rejoin benchmark at full scale: a server in a 10k-segment group
+# crashes, recovers its checkpoint+log store, and rejoins incrementally.
+rejoin-bench:
+	DECEIT_REJOIN_SEGS=10000 $(GO) run ./cmd/deceit-bench -exp A8
 
 # Full open-loop load run (all four mixes + chaos); writes BENCH_<date>.json
 # in the repo root. Commit the file to extend the perf trajectory.

@@ -18,6 +18,15 @@ type ReadStats struct {
 	TokenCasts uint64 // opReadToken grant casts issued
 }
 
+// TransferStats counts replica-data movement on the direct channel; the A8
+// rejoin benchmark reads them to separate state-transfer volume from group
+// metadata reconcile traffic. All counters are cumulative since server start.
+type TransferStats struct {
+	BytesOut  uint64 // replica data bytes served to fetchers
+	BytesIn   uint64 // replica data bytes pulled from peers
+	Unchanged uint64 // fetches answered/received as Unchanged (no data shipped)
+}
+
 // readPlan is an immutable snapshot of everything the read path needs to
 // decide how to serve one read. It is taken in a single critical section on
 // the segment lock (readPlanLocked); every forwarding decision afterwards

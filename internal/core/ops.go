@@ -175,6 +175,16 @@ type directMsg struct {
 	Stable   bool
 	Truncate bool         // dmWriteReq: truncate semantics of the forwarded write
 	Expect   version.Pair // dmWriteReq: optimistic-concurrency expectation
+
+	// Incremental transfer (dmFetchReq/dmFetchResp): a fetcher that still
+	// holds replica bytes from before its crash sends their pair; if the
+	// source's current pair matches, it answers Unchanged with no data and
+	// the fetcher revalidates its local copy instead of re-pulling it. The
+	// pair is the durable equivalent of the lease-epoch test: it moves iff
+	// the replica's observable content moved since the joiner's checkpoint.
+	HaveSet   bool
+	Have      version.Pair
+	Unchanged bool
 }
 
 // MarshalWire implements wire.Marshaler.
@@ -193,6 +203,9 @@ func (m *directMsg) MarshalWire(e *wire.Encoder) {
 	e.Bool(m.Stable)
 	e.Bool(m.Truncate)
 	m.Expect.MarshalWire(e)
+	e.Bool(m.HaveSet)
+	m.Have.MarshalWire(e)
+	e.Bool(m.Unchanged)
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
@@ -215,6 +228,11 @@ func (m *directMsg) UnmarshalWire(d *wire.Decoder) error {
 	if err := m.Expect.UnmarshalWire(d); err != nil {
 		return err
 	}
+	m.HaveSet = d.Bool()
+	if err := m.Have.UnmarshalWire(d); err != nil {
+		return err
+	}
+	m.Unchanged = d.Bool()
 	return d.Err()
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/isis"
 	"repro/internal/simnet"
+	"repro/internal/store"
 	"repro/internal/version"
 	"repro/internal/wire"
 )
@@ -142,6 +143,55 @@ type segment struct {
 	wqMu      sync.Mutex
 	wqPending []*pendingWrite
 	wqActive  bool
+
+	// Group-commit staging (§3.5): while a batched cast is being applied,
+	// persistence writes land here instead of the store and are flushed as
+	// one Store.PutBatch — a single fsync for the whole cast — before the
+	// batch's replies (the acks) go back to the origin. Guarded by its own
+	// mutex because some persist call sites run outside sg.mu.
+	stageMu   sync.Mutex
+	batching  bool
+	staged    []store.Op
+	stagedIdx map[string]int
+}
+
+// stage buffers op if a group commit is open on this segment, keeping ops in
+// first-write order with last-value-wins dedup per key. Reports whether the
+// op was captured.
+func (sg *segment) stage(op store.Op) bool {
+	sg.stageMu.Lock()
+	defer sg.stageMu.Unlock()
+	if !sg.batching {
+		return false
+	}
+	k := op.Bucket + "\x00" + op.Key
+	if i, ok := sg.stagedIdx[k]; ok {
+		sg.staged[i] = op
+		return true
+	}
+	sg.stagedIdx[k] = len(sg.staged)
+	sg.staged = append(sg.staged, op)
+	return true
+}
+
+// beginCommit opens a group-commit window; endCommit closes it and returns
+// the staged ops for a single PutBatch.
+func (sg *segment) beginCommit() {
+	sg.stageMu.Lock()
+	sg.batching = true
+	sg.stagedIdx = make(map[string]int)
+	sg.staged = nil
+	sg.stageMu.Unlock()
+}
+
+func (sg *segment) endCommit() []store.Op {
+	sg.stageMu.Lock()
+	ops := sg.staged
+	sg.batching = false
+	sg.staged = nil
+	sg.stagedIdx = nil
+	sg.stageMu.Unlock()
+	return ops
 }
 
 func newSegment(srv *Server, id SegID) *segment {
@@ -322,7 +372,7 @@ func (sg *segment) applyUpdate(from simnet.NodeID, m *castMsg) *castReply {
 	if rep != nil {
 		rep.data = applyData(rep.data, m.Off, m.Data, m.Truncate)
 		rep.pair = ms.pair
-		sg.srv.persistReplica(sg.id, major, rep)
+		sg.srv.persistReplica(sg, major, rep)
 	}
 	sg.lastWrite = time.Now()
 	sg.srv.persistMeta(sg)
@@ -366,7 +416,7 @@ func (sg *segment) applyMarkUnstable(from simnet.NodeID, m *castMsg) *castReply 
 	sg.epoch++
 	if rep := sg.local[m.Major]; rep != nil {
 		rep.stable = false
-		sg.srv.persistReplica(sg.id, m.Major, rep)
+		sg.srv.persistReplica(sg, m.Major, rep)
 		sg.srv.persistMeta(sg)
 		return &castReply{OK: true, IsReplica: true, Pair: ms.pair, HadReaders: hadReaders}
 	}
@@ -385,7 +435,7 @@ func (sg *segment) applyMarkStable(from simnet.NodeID, m *castMsg) *castReply {
 	ms.unstable = false
 	if rep := sg.local[m.Major]; rep != nil {
 		rep.stable = true
-		sg.srv.persistReplica(sg.id, m.Major, rep)
+		sg.srv.persistReplica(sg, m.Major, rep)
 	}
 	sg.srv.persistMeta(sg)
 	return &castReply{OK: true, Pair: ms.pair}
@@ -408,10 +458,10 @@ func (sg *segment) applyForceStable(from simnet.NodeID, m *castMsg) *castReply {
 			// Obsolete or inconsistent replica: destroy it.
 			delete(sg.local, m.Major)
 			ms.dropReplica(sg.srv.id)
-			sg.srv.deleteReplicaData(sg.id, m.Major)
+			sg.srv.deleteReplicaData(sg, m.Major)
 		} else {
 			rep.stable = true
-			sg.srv.persistReplica(sg.id, m.Major, rep)
+			sg.srv.persistReplica(sg, m.Major, rep)
 		}
 	}
 	// Drop replica records for members that reported obsolete state.
@@ -493,7 +543,7 @@ func (sg *segment) applyTokenRequest(from simnet.NodeID, m *castMsg) *castReply 
 			stable: rep.stable,
 		}
 		sg.local[newMajor] = clone
-		sg.srv.persistReplica(sg.id, newMajor, clone)
+		sg.srv.persistReplica(sg, newMajor, clone)
 	}
 	sg.majors[newMajor] = nms
 	sg.srv.persistMeta(sg)
@@ -520,7 +570,7 @@ func (sg *segment) applyTokenUpdate(from simnet.NodeID, m *castMsg) *castReply {
 		ms.unstable = true
 		if rep := sg.local[major]; rep != nil {
 			rep.stable = false
-			sg.srv.persistReplica(sg.id, major, rep)
+			sg.srv.persistReplica(sg, major, rep)
 		}
 	}
 	um := *m
@@ -626,7 +676,7 @@ func (sg *segment) applyDeleteReplica(from simnet.NodeID, m *castMsg) *castReply
 	delete(ms.readers, m.Target) // a read token rides the replica it covers
 	if m.Target == sg.srv.id {
 		delete(sg.local, m.Major)
-		sg.srv.deleteReplicaData(sg.id, m.Major)
+		sg.srv.deleteReplicaData(sg, m.Major)
 	}
 	sg.srv.persistMeta(sg)
 	return &castReply{OK: true, Pair: ms.pair}
@@ -640,7 +690,7 @@ func (sg *segment) applyDeleteMajor(from simnet.NodeID, m *castMsg) *castReply {
 	sg.epoch++ // the current version may change; cached reads must revalidate
 	if _, ok := sg.local[m.Major]; ok {
 		delete(sg.local, m.Major)
-		sg.srv.deleteReplicaData(sg.id, m.Major)
+		sg.srv.deleteReplicaData(sg, m.Major)
 	}
 	sg.srv.persistMeta(sg)
 	return &castReply{OK: true}
@@ -649,11 +699,11 @@ func (sg *segment) applyDeleteMajor(from simnet.NodeID, m *castMsg) *castReply {
 func (sg *segment) applyDeleteSeg(from simnet.NodeID, m *castMsg) *castReply {
 	sg.deleted = true
 	for major := range sg.local {
-		sg.srv.deleteReplicaData(sg.id, major)
+		sg.srv.deleteReplicaData(sg, major)
 	}
 	sg.local = make(map[uint64]*localReplica)
 	sg.majors = make(map[uint64]*majorState)
-	sg.srv.deleteMeta(sg.id)
+	sg.srv.deleteMeta(sg)
 	go sg.srv.forgetSegment(sg.id)
 	return &castReply{OK: true}
 }
@@ -817,7 +867,7 @@ func (sg *segment) mergeSnapshotLocked(ss *segSnapshot, adoptParams bool) {
 				delete(sg.majors, major)
 				if _, ok := sg.local[major]; ok {
 					delete(sg.local, major)
-					sg.srv.deleteReplicaData(sg.id, major)
+					sg.srv.deleteReplicaData(sg, major)
 				}
 				break
 			}

@@ -111,9 +111,22 @@ func (s *Server) runTransfer(sg *segment, major uint64, target simnet.NodeID) bo
 
 // fetchReplica runs on the transfer target: it pulls the replica data from
 // source chunk by chunk, installs it, and announces readiness to the group.
+// A target that still holds pre-crash bytes for the same major offers their
+// pair with the first chunk request; an Unchanged answer revalidates the
+// local copy in place, so a rejoin after a crash ships data only for the
+// replicas that actually moved while the server was down.
 func (s *Server) fetchReplica(sg *segment, major uint64, source simnet.NodeID) {
 	ctx, cancel := context.WithTimeout(context.Background(), 4*s.opts.OpTimeout)
 	defer cancel()
+
+	sg.mu.Lock()
+	prior := sg.local[major]
+	var have version.Pair
+	haveSet := false
+	if prior != nil {
+		have, haveSet = prior.pair, true
+	}
+	sg.mu.Unlock()
 
 	var buf []byte
 	var pair version.Pair
@@ -124,13 +137,27 @@ func (s *Server) fetchReplica(sg *segment, major uint64, source simnet.NodeID) {
 		off = 0
 		torn := false
 		for {
-			resp, err := s.directCall(ctx, source, &directMsg{
+			req := &directMsg{
 				Kind: dmFetchReq, Seg: sg.id, Major: major,
 				Off: off, N: int64(s.opts.TransferChunk),
-			})
+			}
+			if off == 0 && haveSet {
+				req.Have, req.HaveSet = have, true
+			}
+			resp, err := s.directCall(ctx, source, req)
 			if err != nil || resp.Err != "" {
 				s.abortTransfer(sg, major)
 				return
+			}
+			if off == 0 && resp.Unchanged {
+				// Our recovered bytes are already current: revalidate them
+				// instead of re-pulling (nothing was shipped).
+				s.stats.xferUnchanged.Add(1)
+				sg.mu.Lock()
+				buf = append(buf[:0], prior.data...)
+				sg.mu.Unlock()
+				pair, stable = resp.Pair, resp.Stable
+				break
 			}
 			if off == 0 {
 				pair, stable = resp.Pair, resp.Stable
@@ -141,6 +168,7 @@ func (s *Server) fetchReplica(sg *segment, major uint64, source simnet.NodeID) {
 				break
 			}
 			buf = append(buf, resp.Data...)
+			s.stats.xferBytesIn.Add(uint64(len(resp.Data)))
 			off += int64(len(resp.Data))
 			if off >= resp.Size || len(resp.Data) == 0 {
 				break
@@ -155,7 +183,7 @@ func (s *Server) fetchReplica(sg *segment, major uint64, source simnet.NodeID) {
 	rep := &localReplica{data: buf, pair: pair, stable: stable}
 	sg.local[major] = rep
 	sg.mu.Unlock()
-	s.persistReplica(sg.id, major, rep)
+	s.persistReplica(sg, major, rep)
 
 	grp := sg.groupHandle()
 	if grp == nil {
@@ -281,13 +309,31 @@ func (s *Server) pullReplicaFrom(sg *segment, major uint64, peer simnet.NodeID) 
 	var buf []byte
 	var pair version.Pair
 	var stable bool
+	sg.mu.Lock()
+	var have version.Pair
+	haveSet := false
+	if rep := sg.local[major]; rep != nil {
+		have, haveSet = rep.pair, true
+	}
+	sg.mu.Unlock()
+
 	off := int64(0)
 	for {
-		resp, err := s.directCall(ctx, peer, &directMsg{
+		req := &directMsg{
 			Kind: dmFetchReq, Seg: sg.id, Major: major,
 			Off: off, N: int64(s.opts.TransferChunk),
-		})
+		}
+		if off == 0 && haveSet {
+			req.Have, req.HaveSet = have, true
+		}
+		resp, err := s.directCall(ctx, peer, req)
 		if err != nil || resp.Err != "" {
+			return false
+		}
+		if off == 0 && resp.Unchanged {
+			// The peer is exactly as stale as we are: it cannot advance us,
+			// and it told us so without shipping its copy.
+			s.stats.xferUnchanged.Add(1)
 			return false
 		}
 		if off == 0 {
@@ -296,6 +342,7 @@ func (s *Server) pullReplicaFrom(sg *segment, major uint64, peer simnet.NodeID) 
 			return false // torn read: an update landed mid-pull; retry later
 		}
 		buf = append(buf, resp.Data...)
+		s.stats.xferBytesIn.Add(uint64(len(resp.Data)))
 		off += int64(len(resp.Data))
 		if off >= resp.Size || len(resp.Data) == 0 {
 			break
@@ -322,7 +369,7 @@ func (s *Server) pullReplicaFrom(sg *segment, major uint64, peer simnet.NodeID) 
 	rep.data = buf
 	rep.pair = pair
 	rep.stable = stable
-	s.persistReplica(sg.id, major, rep)
+	s.persistReplica(sg, major, rep)
 	return true
 }
 
@@ -433,12 +480,25 @@ func (s *Server) serveFetch(from simnet.NodeID, req *directMsg) {
 		s.sendDirect(from, resp)
 		return
 	}
+	if req.HaveSet && req.Off == 0 && req.Have == rep.pair {
+		// The fetcher's recovered copy is already at our pair: certify it
+		// current without shipping a byte (incremental rejoin fast path).
+		resp.Unchanged = true
+		resp.Pair = rep.pair
+		resp.Stable = rep.stable
+		resp.Size = int64(len(rep.data))
+		sg.mu.Unlock()
+		s.stats.xferUnchanged.Add(1)
+		s.sendDirect(from, resp)
+		return
+	}
 	data, pair := sliceReplica(rep, req.Off, req.N)
 	resp.Data = data
 	resp.Pair = pair
 	resp.Stable = rep.stable
 	resp.Size = int64(len(rep.data))
 	sg.mu.Unlock()
+	s.stats.xferBytesOut.Add(uint64(len(data)))
 	s.sendDirect(from, resp)
 }
 

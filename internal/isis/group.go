@@ -370,9 +370,19 @@ func (g *gstate) deliverRec(rec *seqRecord) {
 			if err != nil {
 				subs = nil
 			}
-			outs := make([][]byte, len(subs))
-			for i, sp := range subs {
-				outs[i] = app.Deliver(origin, sp)
+			var outs [][]byte
+			if ba, ok := app.(BatchApp); ok {
+				// The app wants the batch whole — one group-commit boundary.
+				outs = ba.DeliverBatch(origin, subs)
+				for len(outs) < len(subs) {
+					outs = append(outs, nil)
+				}
+				outs = outs[:len(subs)]
+			} else {
+				outs = make([][]byte, len(subs))
+				for i, sp := range subs {
+					outs[i] = app.Deliver(origin, sp)
+				}
 			}
 			reply = encodeBatchFrame(outs)
 		} else {

@@ -138,6 +138,16 @@ type App interface {
 	Merge(snap []byte)
 }
 
+// BatchApp is optionally implemented by an App that wants to see a batched
+// cast whole instead of as a run of Deliver calls. DeliverBatch receives the
+// sub-payloads of one CastBatch occupying a single total-order slot and
+// returns one reply per sub-payload (short or nil slices are padded with nil
+// replies). An App that persists its state can use the boundary to group-
+// commit the whole batch with one fsync rather than one per sub-op.
+type BatchApp interface {
+	DeliverBatch(from simnet.NodeID, payloads [][]byte) [][]byte
+}
+
 // Options configures a Process. Zero values select defaults suited to
 // in-process simulation; real deployments should raise the timeouts.
 type Options struct {

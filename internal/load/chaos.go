@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/simnet"
+	"repro/internal/store"
 	"repro/internal/testnfs"
 )
 
@@ -18,9 +19,12 @@ import (
 //	0.20 D  loss          SetLoss(Loss)
 //	0.30 D  partition     srv1 isolated from the majority
 //	0.45 D  heal          partition healed
-//	0.55 D  crash         last server killed (endpoint detached, state kept)
-//	0.70 D  restart       crashed server rebooted on its old address with its
-//	                      old store; latency and loss cleared
+//	0.55 D  crash         last server killed mid-group-commit: its on-disk
+//	                      log store is left with a torn (half-written) wal
+//	                      frame
+//	0.70 D  restart       crashed server recovers its store from checkpoint
+//	                      + log replay (truncating the torn tail) and reboots
+//	                      on its old address; latency and loss cleared
 //	0.85 D  recovery window begins — the assertions below read it; if the
 //	        restart fired late the window re-anchors to restart + 0.15 D
 type ChaosConfig struct {
@@ -127,8 +131,11 @@ type ChaosResult struct {
 }
 
 // runChaos runs the chaos mix with the fault schedule riding alongside and
-// evaluates the graceful-degradation assertions.
-func runChaos(cell *testnfs.NFSCell, fx *fixture, cfg Config) (*ChaosResult, error) {
+// evaluates the graceful-degradation assertions. vlog, if non-nil, is the
+// crash victim's on-disk log store: the crash step arms a torn-commit fault
+// so the node dies mid-group-commit, and the restart recovers the store from
+// its checkpoint+log (truncating the torn frame) before rejoining.
+func runChaos(cell *testnfs.NFSCell, fx *fixture, cfg Config, vlog *victimLog) (*ChaosResult, error) {
 	cc := (*cfg.Chaos).withDefaults(cfg)
 	D := cc.Duration
 	tl := newTimeline(D+cfg.DrainTimeout, 100*time.Millisecond)
@@ -165,11 +172,37 @@ func runChaos(cell *testnfs.NFSCell, fx *fixture, cfg Config) (*ChaosResult, err
 		cell.Net.Heal()
 		record("heal")
 		at(0.55)
+		if vlog != nil {
+			// Arm a torn-commit crash so the node dies with a half-written
+			// wal frame, then give the live load a moment to drive a group
+			// commit into it. If traffic happens to miss the victim's store
+			// in that window the crash still proceeds, just untorn.
+			vlog.inj.Arm(store.CrashTornCommit, 1)
+			fireBy := time.Now().Add(2 * time.Second)
+			for len(vlog.inj.Fired()) == 0 && time.Now().Before(fireBy) {
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
 		st := cell.CrashNFS(victim)
-		record(fmt.Sprintf("crash %v", cell.IDs[victim]))
+		if vlog != nil && len(vlog.inj.Fired()) > 0 {
+			record(fmt.Sprintf("crash %v mid-group-commit (torn wal frame)", cell.IDs[victim]))
+		} else {
+			record(fmt.Sprintf("crash %v", cell.IDs[victim]))
+		}
 		at(0.70)
 		params := core.DefaultParams()
 		params.MinReplicas = cfg.Replicas
+		if vlog != nil {
+			st.Close()
+			ls, err := store.OpenLog(vlog.dir, store.LogOptions{})
+			if err != nil {
+				record(fmt.Sprintf("log recovery FAILED: %v", err))
+			} else {
+				lst := ls.Stats()
+				record(fmt.Sprintf("log recovered: %d commits replayed (ckpt seq %d), torn tail truncated", lst.Seq-lst.CheckpointSeq, lst.CheckpointSeq))
+				st = ls
+			}
+		}
 		if _, err := cell.RestartNFSNode(victim, st, victimAddr, params); err != nil {
 			record(fmt.Sprintf("restart %v FAILED: %v", cell.IDs[victim], err))
 		} else {

@@ -14,6 +14,7 @@ package load
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/nfsproto"
+	"repro/internal/store"
 	"repro/internal/testnfs"
 	"repro/internal/testutil"
 )
@@ -148,7 +150,30 @@ func Run(cfg Config) (*Result, error) {
 	params := core.DefaultParams()
 	params.MinReplicas = cfg.Replicas
 	cfg.Logf("load: booting %d-server cell", cfg.Servers)
-	cell, err := testnfs.NewNFSCellParams(cfg.Servers, params)
+
+	// With chaos configured, the crash victim persists into a real on-disk
+	// LogStore wearing a fault injector: the 0.55 D crash tears a wal frame
+	// mid-group-commit and the 0.70 D restart reopens the directory, so the
+	// run exercises torn-tail truncation and checkpoint+log recovery under
+	// live load, not just an in-memory state swap.
+	var vlog *victimLog
+	var newStore func(i int) (store.Store, error)
+	if cfg.Chaos != nil {
+		dir, err := os.MkdirTemp("", "deceit-chaos-victim-*")
+		if err != nil {
+			return nil, fmt.Errorf("load: victim log dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		vlog = &victimLog{dir: dir, inj: testutil.NewCrashInjector()}
+		victim := cfg.Servers - 1
+		newStore = func(i int) (store.Store, error) {
+			if i != victim {
+				return nil, nil // default MemStore
+			}
+			return store.OpenLog(dir, store.LogOptions{Faults: vlog.inj})
+		}
+	}
+	cell, err := testnfs.NewNFSCellStores(cfg.Servers, params, newStore)
 	if err != nil {
 		return nil, fmt.Errorf("load: boot cell: %w", err)
 	}
@@ -177,13 +202,21 @@ func Run(cfg Config) (*Result, error) {
 		res.Mixes = append(res.Mixes, *mr)
 	}
 	if cfg.Chaos != nil {
-		cr, err := runChaos(cell, fx, cfg)
+		cr, err := runChaos(cell, fx, cfg, vlog)
 		if err != nil {
 			return nil, fmt.Errorf("load: chaos: %w", err)
 		}
 		res.Chaos = cr
 	}
 	return res, nil
+}
+
+// victimLog is the chaos crash victim's on-disk log store state: the
+// directory its LogStore persists into and the injector that tears its
+// in-flight commit at crash time.
+type victimLog struct {
+	dir string
+	inj *testutil.CrashInjector
 }
 
 // fixture is the prepopulated working set plus the agent pool.

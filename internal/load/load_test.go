@@ -1,6 +1,7 @@
 package load
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -103,6 +104,23 @@ func TestChaosGracefulDegradation(t *testing.T) {
 	}
 	if len(c.Events) < 7 {
 		t.Errorf("only %d chaos events fired: %+v", len(c.Events), c.Events)
+	}
+	// The crash must have landed mid-group-commit (torn wal frame) and the
+	// restart must have recovered the victim's log store from disk.
+	var torn, recovered bool
+	for _, e := range c.Events {
+		if strings.Contains(e.Name, "mid-group-commit") {
+			torn = true
+		}
+		if strings.Contains(e.Name, "log recovered") {
+			recovered = true
+		}
+	}
+	if !torn {
+		t.Error("crash was not mid-group-commit: torn-commit injector never fired")
+	}
+	if !recovered {
+		t.Error("restart did not recover the victim's log store from checkpoint+log")
 	}
 	for _, v := range c.Violations {
 		t.Errorf("graceful-degradation violation: %s", v)

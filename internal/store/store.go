@@ -13,6 +13,10 @@
 //     unsynced writes.
 //   - DiskStore, a directory-backed store using atomic rename for
 //     durability, one file per key.
+//   - LogStore (log.go), an append-only segment log with periodic
+//     checkpoints: a whole batch of operations is group-committed as one
+//     framed, CRC-protected record with a single fsync, and recovery is
+//     checkpoint + log suffix with torn tail records truncated.
 package store
 
 import (
@@ -28,11 +32,26 @@ import (
 	"sync"
 )
 
+// Op is one mutation inside a PutBatch group commit: a put of Val under
+// (Bucket, Key), or — when Delete is set — a removal of the key.
+type Op struct {
+	Bucket string
+	Key    string
+	Val    []byte
+	Delete bool
+}
+
 // Store is the non-volatile storage interface.
 type Store interface {
 	// Put writes a value. Whether the write is immediately durable depends
 	// on the implementation's write mode.
 	Put(bucket, key string, val []byte) error
+	// PutBatch applies a run of mutations as one group commit. On a
+	// log-structured implementation the whole batch costs a single fsync;
+	// other implementations apply the ops in order with their usual per-op
+	// durability. An error means a prefix (possibly empty) of the batch may
+	// have been applied.
+	PutBatch(ops []Op) error
 	// Get reads a value, reporting whether it exists.
 	Get(bucket, key string) ([]byte, bool, error)
 	// Delete removes a value; deleting a missing key is not an error.
@@ -43,6 +62,12 @@ type Store interface {
 	Sync() error
 	// Close releases resources. The store must not be used afterwards.
 	Close() error
+}
+
+// Syncer is implemented by stores that count the fsync (or simulated fsync)
+// barriers they have issued; the A7 ablation reads it to report ops/fsync.
+type Syncer interface {
+	Syncs() uint64
 }
 
 // ErrClosed is returned by operations on a closed store.
@@ -70,10 +95,12 @@ type MemStore struct {
 	mode   WriteMode
 	synced map[string]map[string][]byte   // durable state
 	dirty  map[string]map[string]memEntry // unsynced overlay (WriteAsync)
+	syncs  uint64                         // simulated fsync barriers
 	closed bool
 }
 
 var _ Store = (*MemStore)(nil)
+var _ Syncer = (*MemStore)(nil)
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore(mode WriteMode) *MemStore {
@@ -86,27 +113,44 @@ func NewMemStore(mode WriteMode) *MemStore {
 
 // Put implements Store.
 func (s *MemStore) Put(bucket, key string, val []byte) error {
+	return s.PutBatch([]Op{{Bucket: bucket, Key: key, Val: val}})
+}
+
+// PutBatch implements Store. In WriteSync mode the whole batch counts as one
+// simulated fsync barrier, modeling the group commit a log-structured store
+// gets for free; in WriteAsync mode the ops land in the overlay and cost no
+// barrier until Sync.
+func (s *MemStore) PutBatch(ops []Op) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	cp := append([]byte(nil), val...)
-	if s.mode == WriteSync {
-		b := s.synced[bucket]
-		if b == nil {
-			b = make(map[string][]byte)
-			s.synced[bucket] = b
+	for _, op := range ops {
+		if op.Delete {
+			s.deleteLocked(op.Bucket, op.Key)
+			continue
 		}
-		b[key] = cp
-		return nil
+		cp := append([]byte(nil), op.Val...)
+		if s.mode == WriteSync {
+			b := s.synced[op.Bucket]
+			if b == nil {
+				b = make(map[string][]byte)
+				s.synced[op.Bucket] = b
+			}
+			b[op.Key] = cp
+			continue
+		}
+		b := s.dirty[op.Bucket]
+		if b == nil {
+			b = make(map[string]memEntry)
+			s.dirty[op.Bucket] = b
+		}
+		b[op.Key] = memEntry{val: cp}
 	}
-	b := s.dirty[bucket]
-	if b == nil {
-		b = make(map[string]memEntry)
-		s.dirty[bucket] = b
+	if s.mode == WriteSync && len(ops) > 0 {
+		s.syncs++
 	}
-	b[key] = memEntry{val: cp}
 	return nil
 }
 
@@ -136,9 +180,17 @@ func (s *MemStore) Delete(bucket, key string) error {
 	if s.closed {
 		return ErrClosed
 	}
+	s.deleteLocked(bucket, key)
+	if s.mode == WriteSync {
+		s.syncs++
+	}
+	return nil
+}
+
+func (s *MemStore) deleteLocked(bucket, key string) {
 	if s.mode == WriteSync {
 		delete(s.synced[bucket], key)
-		return nil
+		return
 	}
 	b := s.dirty[bucket]
 	if b == nil {
@@ -146,7 +198,6 @@ func (s *MemStore) Delete(bucket, key string) error {
 		s.dirty[bucket] = b
 	}
 	b[key] = memEntry{deleted: true}
-	return nil
 }
 
 // Keys implements Store.
@@ -182,6 +233,7 @@ func (s *MemStore) Sync() error {
 	if s.closed {
 		return ErrClosed
 	}
+	s.syncs++
 	for bucket, entries := range s.dirty {
 		b := s.synced[bucket]
 		if b == nil {
@@ -198,6 +250,13 @@ func (s *MemStore) Sync() error {
 	}
 	s.dirty = make(map[string]map[string]memEntry)
 	return nil
+}
+
+// Syncs implements Syncer.
+func (s *MemStore) Syncs() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.syncs
 }
 
 // Crash simulates a machine crash: all unsynced writes are lost. The store
@@ -218,22 +277,65 @@ func (s *MemStore) Close() error {
 
 // DiskStore is a directory-backed Store. Each bucket is a subdirectory and
 // each key a file whose name is the hex encoding of the key (so arbitrary
-// key bytes are safe). Writes go through a temporary file and an atomic
-// rename.
+// key bytes are safe). Writes go through a temporary file, an fsync, an
+// atomic rename, and an fsync of the parent directory — every Put pays two
+// fsyncs, which is exactly the per-operation cost profile LogStore's group
+// commit exists to amortize.
 type DiskStore struct {
 	mu     sync.Mutex
 	dir    string
+	syncs  uint64
 	closed bool
 }
 
 var _ Store = (*DiskStore)(nil)
+var _ Syncer = (*DiskStore)(nil)
 
-// OpenDisk opens (creating if necessary) a disk store rooted at dir.
+// OpenDisk opens (creating if necessary) a disk store rooted at dir. Stale
+// temporary files left by a crash between CreateTemp and Rename are swept:
+// they were never linked under their key name, so they are invisible to Get
+// and would otherwise accumulate forever.
 func OpenDisk(dir string) (*DiskStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	sweepTempFiles(dir)
 	return &DiskStore{dir: dir}, nil
+}
+
+// sweepTempFiles removes .tmp-* droppings from dir's bucket subdirectories.
+func sweepTempFiles(dir string) {
+	buckets, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, b := range buckets {
+		if !b.IsDir() {
+			if strings.HasPrefix(b.Name(), ".tmp-") || strings.HasPrefix(b.Name(), ".ckpt-") {
+				_ = os.Remove(filepath.Join(dir, b.Name()))
+			}
+			continue
+		}
+		ents, err := os.ReadDir(filepath.Join(dir, b.Name()))
+		if err != nil {
+			continue
+		}
+		for _, ent := range ents {
+			if strings.HasPrefix(ent.Name(), ".tmp-") {
+				_ = os.Remove(filepath.Join(dir, b.Name(), ent.Name()))
+			}
+		}
+	}
+}
+
+// syncDir fsyncs a directory so a rename (or unlink) inside it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 func (s *DiskStore) bucketDir(bucket string) string {
@@ -280,6 +382,10 @@ func (s *DiskStore) Put(bucket, key string, val []byte) error {
 	if s.closed {
 		return ErrClosed
 	}
+	return s.putLocked(bucket, key, val)
+}
+
+func (s *DiskStore) putLocked(bucket, key string, val []byte) error {
 	bd := s.bucketDir(bucket)
 	if err := os.MkdirAll(bd, 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -294,6 +400,15 @@ func (s *DiskStore) Put(bucket, key string, val []byte) error {
 		os.Remove(name)
 		return fmt.Errorf("store: %w", err)
 	}
+	// The rename must not be allowed to expose a file whose *contents* are
+	// still in the page cache: fsync the data before linking it under the
+	// key name, then fsync the directory so the rename itself is durable.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("store: %w", err)
+	}
+	s.syncs++
 	if err := tmp.Close(); err != nil {
 		os.Remove(name)
 		return fmt.Errorf("store: %w", err)
@@ -301,6 +416,33 @@ func (s *DiskStore) Put(bucket, key string, val []byte) error {
 	if err := os.Rename(name, s.keyPath(bucket, key)); err != nil {
 		os.Remove(name)
 		return fmt.Errorf("store: %w", err)
+	}
+	if err := syncDir(bd); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.syncs++
+	return nil
+}
+
+// PutBatch implements Store. DiskStore has no log to group-commit into: the
+// ops are applied in order with full per-op durability (two fsyncs each) —
+// the baseline the A7 ablation measures LogStore against.
+func (s *DiskStore) PutBatch(ops []Op) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for _, op := range ops {
+		var err error
+		if op.Delete {
+			err = s.deleteLocked(op.Bucket, op.Key)
+		} else {
+			err = s.putLocked(op.Bucket, op.Key, op.Val)
+		}
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -336,10 +478,21 @@ func (s *DiskStore) Delete(bucket, key string) error {
 	if s.closed {
 		return ErrClosed
 	}
+	return s.deleteLocked(bucket, key)
+}
+
+func (s *DiskStore) deleteLocked(bucket, key string) error {
 	err := os.Remove(s.keyPath(bucket, key))
-	if err != nil && !errors.Is(err, os.ErrNotExist) {
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	if err := syncDir(s.bucketDir(bucket)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.syncs++
 	return nil
 }
 
@@ -383,8 +536,11 @@ func (s *DiskStore) Keys(bucket string) ([]string, error) {
 	return out, nil
 }
 
-// Sync implements Store. Renames on a journaling filesystem give us the
-// durability the simulation needs; Sync is a no-op.
+// Sync implements Store. Every Put and Delete already fsyncs its data file
+// and parent directory before returning (see putLocked), so there is nothing
+// left to flush here — the durability claim is enforced per operation, which
+// is precisely why this store cannot keep up with batched casts and why
+// LogStore group-commits instead.
 func (s *DiskStore) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -392,6 +548,13 @@ func (s *DiskStore) Sync() error {
 		return ErrClosed
 	}
 	return nil
+}
+
+// Syncs implements Syncer.
+func (s *DiskStore) Syncs() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncs
 }
 
 // Close implements Store.

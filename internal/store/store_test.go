@@ -2,7 +2,12 @@ package store
 
 import (
 	"bytes"
+	"encoding/hex"
 	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -14,10 +19,15 @@ func storeImpls(t *testing.T) map[string]Store {
 	if err != nil {
 		t.Fatal(err)
 	}
+	logst, err := OpenLog(t.TempDir(), LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string]Store{
 		"mem-sync":  NewMemStore(WriteSync),
 		"mem-async": NewMemStore(WriteAsync),
 		"disk":      disk,
+		"log":       logst,
 	}
 }
 
@@ -218,6 +228,48 @@ func TestDiskPersistsAcrossReopen(t *testing.T) {
 	v, ok, err := s2.Get("seg", "file1")
 	if err != nil || !ok || string(v) != "contents" {
 		t.Fatalf("reopened Get = %q %v %v", v, ok, err)
+	}
+}
+
+// A crash between CreateTemp and Rename leaves .tmp-* droppings; OpenDisk
+// must sweep them so they never accumulate or shadow real keys.
+func TestDiskSweepsStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("seg", "real", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Simulate the crash droppings in the root and in a bucket dir.
+	for _, p := range []string{
+		filepath.Join(dir, ".tmp-123456"),
+		filepath.Join(dir, hex.EncodeToString([]byte("seg")), ".tmp-999999"),
+	} {
+		if err := os.WriteFile(p, []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if v, ok, _ := s2.Get("seg", "real"); !ok || string(v) != "v" {
+		t.Fatalf("real key lost: %q %v", v, ok)
+	}
+	err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err == nil && strings.HasPrefix(filepath.Base(path), ".tmp-") {
+			t.Errorf("stale temp file survived open: %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 

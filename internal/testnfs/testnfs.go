@@ -13,7 +13,7 @@ import (
 // NFSNode is one full Deceit server with its RPC endpoint.
 type NFSNode struct {
 	Server *server.Server
-	Store  *store.MemStore
+	Store  store.Store
 	Addr   string
 }
 
@@ -33,12 +33,31 @@ func NewNFSCell(n int) (*NFSCell, error) {
 
 // NewNFSCellParams starts a cell whose new files default to params.
 func NewNFSCellParams(n int, params core.Params) (*NFSCell, error) {
+	return NewNFSCellStores(n, params, nil)
+}
+
+// NewNFSCellStores starts a cell whose server i persists into newStore(i);
+// a nil factory (or a nil store from it) selects the default synchronous
+// MemStore. Lets a harness back selected nodes with a LogStore so crashes
+// exercise real log recovery.
+func NewNFSCellStores(n int, params core.Params, newStore func(i int) (store.Store, error)) (*NFSCell, error) {
 	c := &NFSCell{Net: simnet.NewNetwork()}
 	for i := 0; i < n; i++ {
 		c.IDs = append(c.IDs, simnet.NodeID(fmt.Sprintf("srv%d", i)))
 	}
 	for i := 0; i < n; i++ {
-		nd, err := c.StartNFSNode(i, store.NewMemStore(store.WriteSync), i == 0, params)
+		var st store.Store
+		if newStore != nil {
+			var err error
+			if st, err = newStore(i); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+		if st == nil {
+			st = store.NewMemStore(store.WriteSync)
+		}
+		nd, err := c.StartNFSNode(i, st, i == 0, params)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -49,14 +68,14 @@ func NewNFSCellParams(n int, params core.Params) (*NFSCell, error) {
 }
 
 // StartNFSNode boots server i with the given store.
-func (c *NFSCell) StartNFSNode(i int, st *store.MemStore, initRoot bool, params core.Params) (*NFSNode, error) {
+func (c *NFSCell) StartNFSNode(i int, st store.Store, initRoot bool, params core.Params) (*NFSNode, error) {
 	return c.startNFSNodeAddr(i, st, initRoot, params, "127.0.0.1:0")
 }
 
 // RestartNFSNode reboots a crashed node i with st, binding the NFS endpoint
 // to addr — pass the node's previous address to simulate the restart of a
 // server that clients and gateways will reconnect to.
-func (c *NFSCell) RestartNFSNode(i int, st *store.MemStore, addr string, params core.Params) (*NFSNode, error) {
+func (c *NFSCell) RestartNFSNode(i int, st store.Store, addr string, params core.Params) (*NFSNode, error) {
 	nd, err := c.startNFSNodeAddr(i, st, false, params, addr)
 	if err != nil {
 		return nil, err
@@ -65,7 +84,7 @@ func (c *NFSCell) RestartNFSNode(i int, st *store.MemStore, addr string, params 
 	return nd, nil
 }
 
-func (c *NFSCell) startNFSNodeAddr(i int, st *store.MemStore, initRoot bool, params core.Params, addr string) (*NFSNode, error) {
+func (c *NFSCell) startNFSNodeAddr(i int, st store.Store, initRoot bool, params core.Params, addr string) (*NFSNode, error) {
 	ep := c.Net.Attach(c.IDs[i])
 	srv, err := server.New(server.Config{
 		Transport:     ep,
@@ -99,7 +118,7 @@ func (c *NFSCell) Addrs() []string {
 }
 
 // CrashNFS kills node i (server, endpoint and all).
-func (c *NFSCell) CrashNFS(i int) *store.MemStore {
+func (c *NFSCell) CrashNFS(i int) store.Store {
 	nd := c.Nodes[i]
 	if nd == nil {
 		return nil

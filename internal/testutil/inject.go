@@ -1,0 +1,109 @@
+package testutil
+
+import (
+	"sync"
+
+	"repro/internal/store"
+)
+
+// CrashInjector is the shared store fault injector: one implementation of
+// store.FaultHook used by the store property tests, the testnfs cells and
+// the load harness's mid-commit crash phase, instead of each growing a
+// private copy.
+//
+// Points are armed with a countdown: Arm(p, 3) lets the point pass twice and
+// fires the simulated crash on the third visit. Once any point fires the
+// injector goes inert (the store is "down"); Reset re-arms it for the next
+// incarnation.
+type CrashInjector struct {
+	mu    sync.Mutex
+	armed map[store.CrashPoint]int
+	tear  float64 // fraction of in-flight bytes that reach the file
+	fired []store.CrashPoint
+	hits  map[store.CrashPoint]int
+}
+
+var _ store.FaultHook = (*CrashInjector)(nil)
+
+// NewCrashInjector returns an inert injector (no points armed) that tears
+// half of the in-flight bytes when a torn point fires.
+func NewCrashInjector() *CrashInjector {
+	return &CrashInjector{
+		armed: make(map[store.CrashPoint]int),
+		hits:  make(map[store.CrashPoint]int),
+		tear:  0.5,
+	}
+}
+
+// Arm schedules point p to fire on its n-th visit (n >= 1). Arming with
+// n <= 0 disarms the point.
+func (ci *CrashInjector) Arm(p store.CrashPoint, n int) {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	if n <= 0 {
+		delete(ci.armed, p)
+		return
+	}
+	ci.armed[p] = n
+}
+
+// SetTearFraction controls how much of the in-flight buffer survives a torn
+// crash point, as a fraction in [0, 1].
+func (ci *CrashInjector) SetTearFraction(f float64) {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	ci.tear = f
+}
+
+// Crashpoint implements store.FaultHook.
+func (ci *CrashInjector) Crashpoint(p store.CrashPoint) bool {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	if len(ci.fired) > 0 {
+		return false // already crashed this incarnation
+	}
+	ci.hits[p]++
+	n, ok := ci.armed[p]
+	if !ok {
+		return false
+	}
+	n--
+	if n > 0 {
+		ci.armed[p] = n
+		return false
+	}
+	delete(ci.armed, p)
+	ci.fired = append(ci.fired, p)
+	return true
+}
+
+// Tear implements store.FaultHook.
+func (ci *CrashInjector) Tear(n int) int {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	return int(float64(n) * ci.tear)
+}
+
+// Fired reports the points that actually crashed the store, in order.
+func (ci *CrashInjector) Fired() []store.CrashPoint {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	return append([]store.CrashPoint(nil), ci.fired...)
+}
+
+// Hits reports how many times point p was reached (fired or not).
+func (ci *CrashInjector) Hits(p store.CrashPoint) int {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	return ci.hits[p]
+}
+
+// Reset disarms everything and clears the fired/hit history, readying the
+// injector for the store's next incarnation.
+func (ci *CrashInjector) Reset() {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	ci.armed = make(map[store.CrashPoint]int)
+	ci.hits = make(map[store.CrashPoint]int)
+	ci.fired = nil
+}

@@ -18,7 +18,7 @@ type Node struct {
 	ID    simnet.NodeID
 	Demux *simnet.Demux
 	Proc  *isis.Process
-	Store *store.MemStore
+	Store store.Store
 	Core  *core.Server
 }
 
@@ -71,7 +71,7 @@ func NewCellOpts(n int, iopts isis.Options, copts core.Options) *Cell {
 }
 
 // StartNode attaches one server to the cell.
-func (c *Cell) StartNode(id simnet.NodeID, st *store.MemStore) *Node {
+func (c *Cell) StartNode(id simnet.NodeID, st store.Store) *Node {
 	ep := c.Net.Attach(id)
 	demux := simnet.NewDemux(ep)
 	proc := isis.NewProcess(demux.Channel(0), c.IDs, c.ISISOpts)
@@ -80,7 +80,7 @@ func (c *Cell) StartNode(id simnet.NodeID, st *store.MemStore) *Node {
 }
 
 // Crash simulates a machine crash of node i.
-func (c *Cell) Crash(i int) *store.MemStore {
+func (c *Cell) Crash(i int) store.Store {
 	nd := c.Nodes[i]
 	st := nd.Store
 	nd.Core.Close()
@@ -91,7 +91,7 @@ func (c *Cell) Crash(i int) *store.MemStore {
 }
 
 // Restart brings node i back with the given store.
-func (c *Cell) Restart(i int, st *store.MemStore) *Node {
+func (c *Cell) Restart(i int, st store.Store) *Node {
 	nd := c.StartNode(c.IDs[i], st)
 	c.Nodes[i] = nd
 	return nd
