@@ -8,6 +8,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"repro/internal/derr"
 	"strings"
 	"sync"
 	"testing"
@@ -96,7 +97,7 @@ func BenchmarkF2(b *testing.B) {
 // the join itself persists, so a later attempt finds it done.
 func addReplicaRetry(b *testing.B, ctx context.Context, s *core.Server, id core.SegID, target simnet.NodeID) {
 	b.Helper()
-	err := testutil.Retry(10*time.Second, func(error) bool { return true }, func() error {
+	err := derr.RetryIf(10*time.Second, func(error) bool { return true }, func() error {
 		return s.AddReplica(ctx, id, 0, target)
 	})
 	if err != nil {

@@ -101,7 +101,7 @@ func main() {
 
 	path := *out
 	if path == "" {
-		path = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
+		path = defaultOutPath(time.Now())
 	}
 	if err := res.WriteFile(path); err != nil {
 		fmt.Fprintln(os.Stderr, "deceit-load:", err)
@@ -130,6 +130,22 @@ func main() {
 		fmt.Println("chaos: degraded gracefully and recovered")
 	}
 	fmt.Println("result written to", path)
+}
+
+// defaultOutPath picks the first free BENCH_<date>.json; when a result for
+// the day already exists (two runs land on the same date) it appends a
+// letter — BENCH_<date>b.json — rather than overwriting the committed
+// baseline. Letters keep lexical order aligned with recency, which the
+// load-diff gate's `sort | tail -1` relies on.
+func defaultOutPath(now time.Time) string {
+	base := "BENCH_" + now.Format("2006-01-02")
+	path := base + ".json"
+	for suffix := 'b'; ; suffix++ {
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path
+		}
+		path = base + string(suffix) + ".json"
+	}
 }
 
 func isFlagSet(name string) bool {

@@ -19,37 +19,47 @@
 package agent
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"path"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/derr"
 	"repro/internal/nfsproto"
 	"repro/internal/server"
 	"repro/internal/sunrpc"
 	"repro/internal/xdr"
 )
 
-// NFSError wraps a non-OK NFS status.
+// NFSError wraps a non-OK NFS status from a server that sent no typed
+// error trailer (a stock NFS server, or a pre-taxonomy Deceit server).
 type NFSError struct {
 	Status nfsproto.Status
 }
 
 func (e *NFSError) Error() string { return "agent: " + e.Status.String() }
 
-// IsNotExist reports whether err is an NFSERR_NOENT.
+// IsNotExist reports whether err says the name does not exist.
 func IsNotExist(err error) bool {
+	if _, ok := derr.AsError(err); ok {
+		return derr.CodeOf(err) == derr.CodeNotFound
+	}
 	var ne *NFSError
 	return errors.As(err, &ne) && ne.Status == nfsproto.ErrNoEnt
 }
 
-// IsTransient reports whether err is worth retrying: an NFSERR_IO, which is
-// how the envelope surfaces a segment-layer retryable condition
-// (core.IsRetryable — token movement, a group mid-rejoin) once the server's
-// own retries are exhausted. Definitive failures (NOENT, STALE, ROFS, ...)
-// are not transient.
+// IsTransient reports whether err is worth retrying. Typed errors — the
+// derr trailer Deceit servers append to failed replies — answer from the
+// taxonomy's retryability table, so Busy, Rejoining, Overloaded and
+// Timeout retry while NotFound, Gone and Corrupt fail fast. A bare
+// NFSERR_IO without a trailer stays retryable for compatibility: that is
+// the only shape a stock server gives a transient condition.
 func IsTransient(err error) bool {
+	if _, ok := derr.AsError(err); ok {
+		return derr.IsRetryable(err)
+	}
 	var ne *NFSError
 	return errors.As(err, &ne) && ne.Status == nfsproto.ErrIO
 }
@@ -57,6 +67,19 @@ func IsTransient(err error) bool {
 func statusErr(st nfsproto.Status) error {
 	if st == nfsproto.OK {
 		return nil
+	}
+	return &NFSError{Status: st}
+}
+
+// replyErr converts a non-OK reply into the typed error carried by its derr
+// trailer, falling back to the status-only NFSError when the server sent
+// none. The decoder must be positioned just past the reply body.
+func replyErr(d *xdr.Decoder, st nfsproto.Status) error {
+	if st == nfsproto.OK {
+		return nil
+	}
+	if e, ok := derr.TrailingError(d); ok {
+		return e
 	}
 	return &NFSError{Status: st}
 }
@@ -76,6 +99,16 @@ type Options struct {
 	UID, GID uint32
 	// Machine is the client's name in credentials.
 	Machine string
+	// CallTimeout bounds each RPC round trip; past it the call is abandoned
+	// and the agent fails over to the next server. It is how the agent
+	// survives a server that accepted a call but never replies. Zero means
+	// wait forever (the pre-deadline behavior).
+	CallTimeout time.Duration
+	// Retry, when set, re-issues operations whose typed error is retryable
+	// (per derr's taxonomy, or the policy's own RetryIf) with jittered
+	// backoff, honoring the policy's client-wide budget. Nil means the
+	// caller handles retries.
+	Retry *derr.Policy
 }
 
 func (o *Options) fill() {
@@ -145,7 +178,7 @@ func Mount(addrs []string, opts Options) (*Agent, error) {
 // connectLocked dials addrs[i] and refreshes the root handle. a.mu may be
 // held by the caller or not; the method itself takes it.
 func (a *Agent) connectLocked(start int) error {
-	var lastErr error = errors.New("agent: no servers configured")
+	var lastErr error = derr.New(derr.CodeInvalid, "agent: no servers configured")
 	for off := 0; off < len(a.addrs); off++ {
 		i := (start + off) % len(a.addrs)
 		cli, err := sunrpc.Dial(a.addrs[i])
@@ -167,7 +200,7 @@ func (a *Agent) connectLocked(start int) error {
 		var fhs nfsproto.FHStatus
 		if err := xdr.Unmarshal(raw, &fhs); err != nil || fhs.Status != 0 {
 			cli.Close()
-			lastErr = fmt.Errorf("agent: mount failed on %s", a.addrs[i])
+			lastErr = derr.New(derr.CodeUnreachable, "agent: mount failed on "+a.addrs[i])
 			continue
 		}
 		a.mu.Lock()
@@ -220,22 +253,48 @@ func (a *Agent) call(prog, vers, proc uint32, args []byte) ([]byte, error) {
 		a.Calls++
 		a.mu.Unlock()
 
-		raw, err := cli.Call(prog, vers, proc, args)
+		raw, err := a.callOnce(cli, prog, vers, proc, args)
 		if err == nil {
 			return raw, nil
 		}
 		var rpcErr *sunrpc.RPCError
 		if errors.As(err, &rpcErr) {
-			return nil, err // the server answered; not a connectivity issue
+			// The server answered; not a connectivity issue. SYSTEM_ERR is
+			// an internal server failure, anything else a protocol misuse —
+			// neither is retryable.
+			code := derr.CodeInvalid
+			if rpcErr.Stat == sunrpc.SystemErr {
+				code = derr.CodeInternal
+			}
+			return nil, derr.Wrap(code, "agent: rpc", err)
 		}
 		a.mu.Lock()
 		a.Failovers++
 		a.mu.Unlock()
 		if cerr := a.connectLocked(cur + 1); cerr != nil {
-			return nil, cerr
+			return nil, derr.Wrap(derr.CodeUnreachable, "agent: reconnect", cerr)
 		}
 	}
-	return nil, errors.New("agent: all servers unreachable")
+	return nil, derr.New(derr.CodeUnreachable, "agent: all servers unreachable")
+}
+
+// callOnce issues one RPC bounded by the configured call timeout.
+func (a *Agent) callOnce(cli *sunrpc.Client, prog, vers, proc uint32, args []byte) ([]byte, error) {
+	ctx := context.Background()
+	if a.opts.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, a.opts.CallTimeout)
+		defer cancel()
+	}
+	return cli.CallCtx(ctx, prog, vers, proc, args)
+}
+
+// doRetry runs fn under the agent's retry policy when one is configured.
+func (a *Agent) doRetry(fn func() error) error {
+	if a.opts.Retry == nil {
+		return fn()
+	}
+	return a.opts.Retry.Do(context.Background(), func(context.Context) error { return fn() })
 }
 
 // lease issues the cheap revalidation RPC, sending the epoch the cache
@@ -328,7 +387,51 @@ func (a *Agent) Getattr(h nfsproto.Handle) (nfsproto.FAttr, error) {
 			}
 		}
 	}
-	raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcGetattr, xdr.Marshal(&h))
+	var out nfsproto.FAttr
+	err := a.doRetry(func() error {
+		raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcGetattr, xdr.Marshal(&h))
+		if err != nil {
+			return err
+		}
+		d := xdr.NewDecoder(raw)
+		var res nfsproto.AttrStat
+		if err := res.UnmarshalXDR(d); err != nil {
+			return err
+		}
+		if res.Status != nfsproto.OK {
+			return replyErr(d, res.Status)
+		}
+		l, lok := nfsproto.TrailingLease(d)
+		a.cachePutAttr(h, res.Attr, l, lok)
+		out = res.Attr
+		return nil
+	})
+	return out, err
+}
+
+// Setattr updates attributes.
+func (a *Agent) Setattr(h nfsproto.Handle, sa nfsproto.SAttr) (nfsproto.FAttr, error) {
+	a.invalidate(h)
+	args := nfsproto.SAttrArgs{File: h, Attr: sa}
+	var out nfsproto.FAttr
+	err := a.doRetry(func() error {
+		attr, err := a.attrCall(nfsproto.ProcSetattr, xdr.Marshal(&args))
+		if err != nil {
+			return err
+		}
+		out = attr
+		return nil
+	})
+	if err != nil {
+		return nfsproto.FAttr{}, err
+	}
+	a.invalidate(h)
+	return out, nil
+}
+
+// attrCall issues one RPC whose reply is an attrstat.
+func (a *Agent) attrCall(proc uint32, args []byte) (nfsproto.FAttr, error) {
+	raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, proc, args)
 	if err != nil {
 		return nfsproto.FAttr{}, err
 	}
@@ -338,49 +441,17 @@ func (a *Agent) Getattr(h nfsproto.Handle) (nfsproto.FAttr, error) {
 		return nfsproto.FAttr{}, err
 	}
 	if res.Status != nfsproto.OK {
-		return nfsproto.FAttr{}, statusErr(res.Status)
+		return nfsproto.FAttr{}, replyErr(d, res.Status)
 	}
-	l, lok := nfsproto.TrailingLease(d)
-	a.cachePutAttr(h, res.Attr, l, lok)
-	return res.Attr, nil
-}
-
-// Setattr updates attributes.
-func (a *Agent) Setattr(h nfsproto.Handle, sa nfsproto.SAttr) (nfsproto.FAttr, error) {
-	a.invalidate(h)
-	args := nfsproto.SAttrArgs{File: h, Attr: sa}
-	raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcSetattr, xdr.Marshal(&args))
-	if err != nil {
-		return nfsproto.FAttr{}, err
-	}
-	var res nfsproto.AttrStat
-	if err := xdr.Unmarshal(raw, &res); err != nil {
-		return nfsproto.FAttr{}, err
-	}
-	if res.Status != nfsproto.OK {
-		return nfsproto.FAttr{}, statusErr(res.Status)
-	}
-	a.invalidate(h)
 	return res.Attr, nil
 }
 
 // Lookup resolves name within dir.
 func (a *Agent) Lookup(dir nfsproto.Handle, name string) (nfsproto.Handle, nfsproto.FAttr, error) {
 	args := nfsproto.DirOpArgs{Dir: dir, Name: name}
-	raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcLookup, xdr.Marshal(&args))
-	if err != nil {
-		return nfsproto.Handle{}, nfsproto.FAttr{}, err
-	}
-	var res nfsproto.DirOpRes
-	if err := xdr.Unmarshal(raw, &res); err != nil {
-		return nfsproto.Handle{}, nfsproto.FAttr{}, err
-	}
-	if res.Status != nfsproto.OK {
-		return nfsproto.Handle{}, nfsproto.FAttr{}, statusErr(res.Status)
-	}
 	// Lookup replies carry no lease (the server cannot stamp the child
 	// before reading its attributes); the cache fills from Getattr/Read.
-	return res.File, res.Attr, nil
+	return a.dirOpCall(nfsproto.ProcLookup, xdr.Marshal(&args))
 }
 
 // cachedRange serves a read from the per-range data cache: an entry keyed by
@@ -426,29 +497,34 @@ func (a *Agent) Read(h nfsproto.Handle, off, count uint32) ([]byte, error) {
 		}
 	}
 	args := nfsproto.ReadArgs{File: h, Offset: off, Count: count}
-	raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcRead, xdr.Marshal(&args))
-	if err != nil {
-		return nil, err
-	}
-	d := xdr.NewDecoder(raw)
-	var res nfsproto.ReadRes
-	if err := res.UnmarshalXDR(d); err != nil {
-		return nil, err
-	}
-	if res.Status != nfsproto.OK {
-		return nil, statusErr(res.Status)
-	}
-	l, lok := nfsproto.TrailingLease(d)
-	a.cachePutAttr(h, res.Attr, l, lok)
-	if a.opts.Cache && lok && l.Valid && len(res.Data) <= a.opts.MaxCachedFile {
-		a.mu.Lock()
-		if a.data[h] == nil {
-			a.data[h] = make(map[uint32]rangeEntry)
+	var out []byte
+	err := a.doRetry(func() error {
+		raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcRead, xdr.Marshal(&args))
+		if err != nil {
+			return err
 		}
-		a.data[h][off] = rangeEntry{data: res.Data, count: count, epoch: l.Epoch}
-		a.mu.Unlock()
-	}
-	return res.Data, nil
+		d := xdr.NewDecoder(raw)
+		var res nfsproto.ReadRes
+		if err := res.UnmarshalXDR(d); err != nil {
+			return err
+		}
+		if res.Status != nfsproto.OK {
+			return replyErr(d, res.Status)
+		}
+		l, lok := nfsproto.TrailingLease(d)
+		a.cachePutAttr(h, res.Attr, l, lok)
+		if a.opts.Cache && lok && l.Valid && len(res.Data) <= a.opts.MaxCachedFile {
+			a.mu.Lock()
+			if a.data[h] == nil {
+				a.data[h] = make(map[uint32]rangeEntry)
+			}
+			a.data[h][off] = rangeEntry{data: res.Data, count: count, epoch: l.Epoch}
+			a.mu.Unlock()
+		}
+		out = res.Data
+		return nil
+	})
+	return out, err
 }
 
 // Write writes data at off. The handle's attribute entry and every cached
@@ -457,19 +533,20 @@ func (a *Agent) Read(h nfsproto.Handle, off, count uint32) ([]byte, error) {
 func (a *Agent) Write(h nfsproto.Handle, off uint32, data []byte) (nfsproto.FAttr, error) {
 	a.invalidate(h)
 	args := nfsproto.WriteArgs{File: h, Offset: off, Data: data}
-	raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcWrite, xdr.Marshal(&args))
+	var out nfsproto.FAttr
+	err := a.doRetry(func() error {
+		attr, err := a.attrCall(nfsproto.ProcWrite, xdr.Marshal(&args))
+		if err != nil {
+			return err
+		}
+		out = attr
+		return nil
+	})
 	if err != nil {
 		return nfsproto.FAttr{}, err
 	}
-	var res nfsproto.AttrStat
-	if err := xdr.Unmarshal(raw, &res); err != nil {
-		return nfsproto.FAttr{}, err
-	}
-	if res.Status != nfsproto.OK {
-		return nfsproto.FAttr{}, statusErr(res.Status)
-	}
 	a.invalidate(h)
-	return res.Attr, nil
+	return out, nil
 }
 
 // Create makes a regular file.
@@ -487,18 +564,28 @@ func (a *Agent) Mkdir(dir nfsproto.Handle, name string, sa nfsproto.SAttr) (nfsp
 }
 
 func (a *Agent) dirOpCall(proc uint32, args []byte) (nfsproto.Handle, nfsproto.FAttr, error) {
-	raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, proc, args)
+	var fh nfsproto.Handle
+	var attr nfsproto.FAttr
+	err := a.doRetry(func() error {
+		raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, proc, args)
+		if err != nil {
+			return err
+		}
+		d := xdr.NewDecoder(raw)
+		var res nfsproto.DirOpRes
+		if err := res.UnmarshalXDR(d); err != nil {
+			return err
+		}
+		if res.Status != nfsproto.OK {
+			return replyErr(d, res.Status)
+		}
+		fh, attr = res.File, res.Attr
+		return nil
+	})
 	if err != nil {
 		return nfsproto.Handle{}, nfsproto.FAttr{}, err
 	}
-	var res nfsproto.DirOpRes
-	if err := xdr.Unmarshal(raw, &res); err != nil {
-		return nfsproto.Handle{}, nfsproto.FAttr{}, err
-	}
-	if res.Status != nfsproto.OK {
-		return nfsproto.Handle{}, nfsproto.FAttr{}, statusErr(res.Status)
-	}
-	return res.File, res.Attr, nil
+	return fh, attr, nil
 }
 
 // Remove unlinks a file (or one version via "name;N").
@@ -547,18 +634,24 @@ func (a *Agent) Symlink(dir nfsproto.Handle, name, target string) error {
 
 // Readlink reads a symlink target.
 func (a *Agent) Readlink(h nfsproto.Handle) (string, error) {
-	raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcReadlink, xdr.Marshal(&h))
-	if err != nil {
-		return "", err
-	}
-	var res nfsproto.ReadlinkRes
-	if err := xdr.Unmarshal(raw, &res); err != nil {
-		return "", err
-	}
-	if res.Status != nfsproto.OK {
-		return "", statusErr(res.Status)
-	}
-	return res.Path, nil
+	var out string
+	err := a.doRetry(func() error {
+		raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcReadlink, xdr.Marshal(&h))
+		if err != nil {
+			return err
+		}
+		d := xdr.NewDecoder(raw)
+		var res nfsproto.ReadlinkRes
+		if err := res.UnmarshalXDR(d); err != nil {
+			return err
+		}
+		if res.Status != nfsproto.OK {
+			return replyErr(d, res.Status)
+		}
+		out = res.Path
+		return nil
+	})
+	return out, err
 }
 
 // Readdir lists a directory completely, following cookies.
@@ -567,16 +660,23 @@ func (a *Agent) Readdir(dir nfsproto.Handle) ([]nfsproto.DirEntry, error) {
 	cookie := uint32(0)
 	for {
 		args := nfsproto.ReaddirArgs{Dir: dir, Cookie: cookie, Count: 4096}
-		raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcReaddir, xdr.Marshal(&args))
+		var res nfsproto.ReaddirRes
+		err := a.doRetry(func() error {
+			raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcReaddir, xdr.Marshal(&args))
+			if err != nil {
+				return err
+			}
+			d := xdr.NewDecoder(raw)
+			if err := res.UnmarshalXDR(d); err != nil {
+				return err
+			}
+			if res.Status != nfsproto.OK {
+				return replyErr(d, res.Status)
+			}
+			return nil
+		})
 		if err != nil {
 			return nil, err
-		}
-		var res nfsproto.ReaddirRes
-		if err := xdr.Unmarshal(raw, &res); err != nil {
-			return nil, err
-		}
-		if res.Status != nfsproto.OK {
-			return nil, statusErr(res.Status)
 		}
 		out = append(out, res.Entries...)
 		if res.EOF || len(res.Entries) == 0 {
@@ -589,31 +689,40 @@ func (a *Agent) Readdir(dir nfsproto.Handle) ([]nfsproto.DirEntry, error) {
 // Statfs queries filesystem statistics.
 func (a *Agent) Statfs() (nfsproto.StatfsRes, error) {
 	h := a.Root()
-	raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcStatfs, xdr.Marshal(&h))
+	var res nfsproto.StatfsRes
+	err := a.doRetry(func() error {
+		raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, nfsproto.ProcStatfs, xdr.Marshal(&h))
+		if err != nil {
+			return err
+		}
+		d := xdr.NewDecoder(raw)
+		if err := res.UnmarshalXDR(d); err != nil {
+			return err
+		}
+		if res.Status != nfsproto.OK {
+			return replyErr(d, res.Status)
+		}
+		return nil
+	})
 	if err != nil {
 		return nfsproto.StatfsRes{}, err
-	}
-	var res nfsproto.StatfsRes
-	if err := xdr.Unmarshal(raw, &res); err != nil {
-		return nfsproto.StatfsRes{}, err
-	}
-	if res.Status != nfsproto.OK {
-		return nfsproto.StatfsRes{}, statusErr(res.Status)
 	}
 	return res, nil
 }
 
 func (a *Agent) statusCall(proc uint32, args []byte) error {
-	raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, proc, args)
-	if err != nil {
-		return err
-	}
-	d := xdr.NewDecoder(raw)
-	st := nfsproto.Status(d.Uint32())
-	if d.Err() != nil {
-		return d.Err()
-	}
-	return statusErr(st)
+	return a.doRetry(func() error {
+		raw, err := a.call(nfsproto.NFSProgram, nfsproto.NFSVersion, proc, args)
+		if err != nil {
+			return err
+		}
+		d := xdr.NewDecoder(raw)
+		st := nfsproto.Status(d.Uint32())
+		if d.Err() != nil {
+			return d.Err()
+		}
+		return replyErr(d, st)
+	})
 }
 
 // ---------------------------------------------------------- path helpers --
@@ -777,7 +886,7 @@ func (a *Agent) ReconcileDir(h nfsproto.Handle) (int, error) {
 	if err := d.Err(); err != nil {
 		return 0, err
 	}
-	return merged, statusErr(st)
+	return merged, replyErr(d, st)
 }
 
 // Conflicts fetches the server's conflict log (§3.6).
@@ -800,10 +909,12 @@ func (a *Agent) Conflicts() ([]string, error) {
 }
 
 func (a *Agent) ctlStatusCall(proc uint32, args []byte) error {
-	raw, err := a.call(server.CtlProgram, server.CtlVersion, proc, args)
-	if err != nil {
-		return err
-	}
-	d := xdr.NewDecoder(raw)
-	return statusErr(nfsproto.Status(d.Uint32()))
+	return a.doRetry(func() error {
+		raw, err := a.call(server.CtlProgram, server.CtlVersion, proc, args)
+		if err != nil {
+			return err
+		}
+		d := xdr.NewDecoder(raw)
+		return replyErr(d, nfsproto.Status(d.Uint32()))
+	})
 }

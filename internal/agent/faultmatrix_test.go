@@ -1,0 +1,278 @@
+package agent
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/derr"
+	"repro/internal/nfsproto"
+	"repro/internal/sunrpc"
+	"repro/internal/testutil"
+)
+
+// The fault-injection matrix: every fault kind the RPC seam can inject,
+// crossed with the client's failure plane. The properties under test:
+//
+//  1. every injected fault surfaces to the caller as a correctly
+//     categorized typed error (or is absorbed outright);
+//  2. retryable faults converge under derr.Policy within the deadline;
+//  3. non-retryable faults fail fast — exactly one attempt reaches the
+//     server, even with a retry policy installed.
+func TestRPCFaultMatrix(t *testing.T) {
+	c := newCell(t, 1)
+	srv := c.Nodes[0].Server
+
+	// A file to aim reads at, created before any fault is armed.
+	setup := mount(t, c, Options{})
+	if err := setup.WriteFile("/matrix.dat", []byte("fault matrix payload")); err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := setup.Walk("/matrix.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	readProcs := map[uint32]bool{nfsproto.ProcGetattr: true, nfsproto.ProcRead: true, nfsproto.ProcLookup: true}
+	getattrOnly := map[uint32]bool{nfsproto.ProcGetattr: true}
+	writeProcs := map[uint32]bool{nfsproto.ProcWrite: true}
+
+	newAgent := func(p *derr.Policy) *Agent {
+		return mount(t, c, Options{CallTimeout: 150 * time.Millisecond, Retry: p})
+	}
+
+	t.Run("delay is absorbed", func(t *testing.T) {
+		fi := testutil.NewRPCFaultInjector(1)
+		fi.Add(testutil.RPCFaultRule{Prog: nfsproto.NFSProgram, Procs: readProcs,
+			Fault: sunrpc.FaultDelay, Delay: 30 * time.Millisecond})
+		srv.RPC().SetFaultFunc(fi.Func())
+		defer srv.RPC().SetFaultFunc(nil)
+
+		ag := newAgent(nil)
+		if _, err := ag.Read(h, 0, 4096); err != nil {
+			t.Fatalf("read under delay: %v", err)
+		}
+		if fi.Injected(0) == 0 {
+			t.Fatal("delay rule never fired")
+		}
+	})
+
+	t.Run("duplicate replies are deduplicated", func(t *testing.T) {
+		fi := testutil.NewRPCFaultInjector(2)
+		fi.Add(testutil.RPCFaultRule{Prog: nfsproto.NFSProgram, Procs: writeProcs,
+			Fault: sunrpc.FaultDuplicate})
+		srv.RPC().SetFaultFunc(fi.Func())
+		defer srv.RPC().SetFaultFunc(nil)
+
+		ag := newAgent(nil)
+		if _, err := ag.Write(h, 0, []byte("dup")); err != nil {
+			t.Fatalf("write under duplication: %v", err)
+		}
+		got, err := ag.Read(h, 0, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := "dup" + "lt matrix payload"; string(got) != want {
+			t.Fatalf("read back %q, want %q", got, want)
+		}
+		if fi.Injected(0) == 0 {
+			t.Fatal("duplicate rule never fired")
+		}
+	})
+
+	t.Run("server error fails fast exactly once", func(t *testing.T) {
+		fi := testutil.NewRPCFaultInjector(3)
+		fi.Add(testutil.RPCFaultRule{Prog: nfsproto.NFSProgram, Procs: getattrOnly,
+			Fault: sunrpc.FaultError})
+		srv.RPC().SetFaultFunc(fi.Func())
+		defer srv.RPC().SetFaultFunc(nil)
+
+		// Even with a retry policy installed, an Internal error must not be
+		// re-issued.
+		ag := newAgent(derr.DefaultPolicy())
+		_, err := ag.Getattr(h)
+		if err == nil {
+			t.Fatal("getattr under SYSTEM_ERR succeeded")
+		}
+		if got := derr.CategoryOf(err); got != derr.Internal {
+			t.Fatalf("category = %v (%v), want Internal", got, err)
+		}
+		if derr.IsRetryable(err) {
+			t.Fatalf("SYSTEM_ERR classified retryable: %v", err)
+		}
+		if n := fi.Matched(); n != 1 {
+			t.Fatalf("server saw %d getattr calls, want exactly 1", n)
+		}
+	})
+
+	t.Run("dropped replies converge under policy", func(t *testing.T) {
+		fi := testutil.NewRPCFaultInjector(4)
+		fi.Add(testutil.RPCFaultRule{Prog: nfsproto.NFSProgram, Procs: getattrOnly,
+			Fault: sunrpc.FaultDrop, Max: 2})
+		srv.RPC().SetFaultFunc(fi.Func())
+		defer srv.RPC().SetFaultFunc(nil)
+
+		ag := newAgent(derr.DefaultPolicy())
+		done := make(chan error, 1)
+		go func() { _, err := ag.Getattr(h); done <- err }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("getattr never converged past drops: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("getattr still blocked after 10s")
+		}
+		if fi.Injected(0) != 2 {
+			t.Fatalf("drop rule fired %d times, want 2", fi.Injected(0))
+		}
+	})
+
+	t.Run("persistent drops surface as typed unavailability", func(t *testing.T) {
+		fi := testutil.NewRPCFaultInjector(5)
+		fi.Add(testutil.RPCFaultRule{Prog: nfsproto.NFSProgram, Procs: getattrOnly,
+			Fault: sunrpc.FaultDrop})
+		srv.RPC().SetFaultFunc(fi.Func())
+		defer srv.RPC().SetFaultFunc(nil)
+
+		// No retry policy: the caller sees the raw typed failure.
+		ag := newAgent(nil)
+		_, err := ag.Getattr(h)
+		if err == nil {
+			t.Fatal("getattr under permanent drop succeeded")
+		}
+		if got := derr.CategoryOf(err); got != derr.Unavailable && got != derr.Timeout {
+			t.Fatalf("category = %v (%v), want Unavailable or Timeout", got, err)
+		}
+		if !derr.IsRetryable(err) {
+			t.Fatalf("exhausted-drop error not retryable: %v", err)
+		}
+	})
+}
+
+// TestOverloadShedsTyped drives more concurrent clients than the admission
+// gate admits: shed requests must surface as typed Overloaded errors
+// carrying a retry-after hint, and a budgeted retry policy must absorb the
+// sheds completely while the ≤-limit work keeps flowing.
+//
+// To make the overlap deterministic on any machine, the admission slot is
+// held by a blocker issuing gateway getattrs: the remote cell's replies are
+// delayed by a fault rule, so each forwarded call pins the local slot for
+// the full delay while the hammer clients' local getattrs contend with it.
+func TestOverloadShedsTyped(t *testing.T) {
+	c := newCell(t, 1)
+	srv := c.Nodes[0].Server
+	remote := newCell(t, 1)
+	rAddr := remote.Addrs()[0]
+
+	setup := mount(t, c, Options{})
+	if err := setup.WriteFile("/shed.dat", []byte("overload payload")); err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := setup.Walk("/shed.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the gateway mount before arming the delay.
+	gwH, _, err := setup.Lookup(setup.Root(), "@"+rAddr)
+	if err != nil {
+		t.Fatalf("gateway lookup: %v", err)
+	}
+	if _, err := setup.Getattr(gwH); err != nil {
+		t.Fatalf("gateway getattr: %v", err)
+	}
+
+	fi := testutil.NewRPCFaultInjector(7)
+	fi.Add(testutil.RPCFaultRule{Prog: nfsproto.NFSProgram,
+		Procs: map[uint32]bool{nfsproto.ProcGetattr: true},
+		Fault: sunrpc.FaultDelay, Delay: 25 * time.Millisecond})
+	remote.Nodes[0].Server.RPC().SetFaultFunc(fi.Func())
+	defer remote.Nodes[0].Server.RPC().SetFaultFunc(nil)
+
+	srv.SetMaxInflight(1)
+	defer srv.SetMaxInflight(0)
+
+	// The blocker occupies the single slot for ~25ms per call; it runs
+	// through both phases and then exits, so phase 2 sees real shedding
+	// followed by recovery.
+	const blockerCalls = 60
+	blocker := mount(t, c, Options{})
+	blockerDone := make(chan struct{})
+	go func() {
+		defer close(blockerDone)
+		for i := 0; i < blockerCalls; i++ {
+			_, _ = blocker.Getattr(gwH)
+		}
+	}()
+
+	// Phase 1: bare agents, no retries. Every failure must be a typed
+	// retryable error, and shed requests specifically must surface as
+	// Overloaded with a backoff hint.
+	const clients = 8
+	const opsPer = 20
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failures []error
+	for i := 0; i < clients; i++ {
+		ag := mount(t, c, Options{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < opsPer; j++ {
+				if _, err := ag.Getattr(h); err != nil {
+					mu.Lock()
+					failures = append(failures, err)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if sheds := srv.ShedCount(); sheds == 0 {
+		t.Fatalf("admission gate never shed under %d concurrent clients", clients)
+	}
+	overloaded := 0
+	for _, err := range failures {
+		if !derr.IsRetryable(err) {
+			t.Fatalf("failure under overload not retryable: %v", err)
+		}
+		if derr.CategoryOf(err) != derr.Overloaded {
+			continue
+		}
+		overloaded++
+		if _, ok := derr.RetryAfterOf(err); !ok {
+			t.Fatalf("shed reply carries no retry-after hint: %v", err)
+		}
+	}
+	if overloaded == 0 {
+		t.Fatalf("server shed %d requests but no client observed a typed Overloaded (failures: %d)",
+			srv.ShedCount(), len(failures))
+	}
+
+	// Phase 2: budgeted retry policies absorb the sheds — zero failures
+	// reach the callers even though the blocker keeps pinning the slot
+	// until its quota runs out.
+	for i := 0; i < clients; i++ {
+		pol := &derr.Policy{
+			MaxAttempts: 1 << 10,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    50 * time.Millisecond,
+			Budget:      derr.NewBudget(2, 500),
+		}
+		ag := mount(t, c, Options{Retry: pol})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < opsPer; j++ {
+				if _, err := ag.Getattr(h); err != nil {
+					t.Errorf("retried getattr failed: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-blockerDone
+}

@@ -2,12 +2,19 @@ package bench
 
 import (
 	"fmt"
+	"repro/internal/derr"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/testutil"
 )
+
+// retryCore retries fn under the shared backoff policy while the segment
+// layer reports a retryable condition (token movement, group mid-rejoin).
+func retryCore(fn func() error) error {
+	return derr.RetryIf(10*time.Second, core.IsRetryable, fn)
+}
 
 // This file holds the ablation experiments for the two §3.3 protocol
 // optimizations the paper describes but does not implement ("Deceit
@@ -42,7 +49,7 @@ func ablationCell(n int, copts core.Options, params core.Params, replicas int) (
 		// Retried: blast transfers can time out transiently under load while
 		// the target is still joining the file group.
 		target := c.IDs[r]
-		if err := testutil.RetryRetryable(func() error {
+		if err := retryCore(func() error {
 			return c.Nodes[0].Core.AddReplica(cx, id, 0, target)
 		}); err != nil {
 			c.Close()
@@ -357,7 +364,7 @@ func RunA5() (*Table, error) {
 		// Retried: the first attempt may time out while the target is still
 		// joining the file group (the join itself persists, so a later
 		// attempt finds it done).
-		if err := testutil.RetryRetryable(func() error {
+		if err := retryCore(func() error {
 			return c.Nodes[0].Core.AddReplica(cx, id, 0, c.IDs[1])
 		}); err != nil {
 			return fail(fmt.Errorf("add replica: %w", err))
@@ -366,7 +373,7 @@ func RunA5() (*Table, error) {
 		// Warm-up read: with tokens on, this is the one that casts the grant.
 		// Retried, because the blast transfer that grew the reader's replica
 		// can still be settling (core.ErrBusy is transient here).
-		if err := testutil.RetryRetryable(func() error {
+		if err := retryCore(func() error {
 			_, _, err := reader.Read(cx, id, 0, 0, -1)
 			return err
 		}); err != nil {

@@ -201,7 +201,7 @@ func logCell(n int, copts core.Options, replicas int) (*testutil.Cell, core.SegI
 	params := core.DefaultParams()
 	params.MinReplicas = replicas
 	var id core.SegID
-	err := testutil.RetryRetryable(func() error {
+	err := retryCore(func() error {
 		var err error
 		id, err = c.Nodes[0].Core.Create(cx, params)
 		return err
@@ -216,7 +216,7 @@ func logCell(n int, copts core.Options, replicas int) (*testutil.Cell, core.SegI
 	}
 	for r := 1; r < replicas; r++ {
 		target := c.IDs[r]
-		if err := testutil.RetryRetryable(func() error {
+		if err := retryCore(func() error {
 			return c.Nodes[0].Core.AddReplica(cx, id, 0, target)
 		}); err != nil {
 			c.Close()
@@ -335,7 +335,7 @@ func RunA8() (*Table, error) {
 	segs := make([]core.SegID, nSegs)
 	if err := forEach(nSegs, 16, func(i int) error {
 		var id core.SegID
-		if err := testutil.RetryRetryable(func() error {
+		if err := retryCore(func() error {
 			var err error
 			id, err = c.Nodes[0].Core.Create(cx, params)
 			return err
@@ -343,7 +343,7 @@ func RunA8() (*Table, error) {
 			return fmt.Errorf("create seg %d: %w", i, err)
 		}
 		segs[i] = id
-		if err := testutil.RetryRetryable(func() error {
+		if err := retryCore(func() error {
 			_, err := c.Nodes[0].Core.Write(cx, id, core.WriteReq{Data: payload, Truncate: true})
 			return err
 		}); err != nil {
@@ -351,7 +351,7 @@ func RunA8() (*Table, error) {
 		}
 		for r := 1; r < 3; r++ {
 			target := c.IDs[r]
-			if err := testutil.RetryRetryable(func() error {
+			if err := retryCore(func() error {
 				return c.Nodes[0].Core.AddReplica(cx, id, 0, target)
 			}); err != nil {
 				return fmt.Errorf("replicate seg %d: %w", i, err)
@@ -399,7 +399,7 @@ func RunA8() (*Table, error) {
 		st.Close()
 		if err := forEach(moved, 16, func(i int) error {
 			id := segs[i]
-			if err := testutil.RetryRetryable(func() error {
+			if err := retryCore(func() error {
 				_, err := c.Nodes[0].Core.Write(cx, id, core.WriteReq{Data: payload, Truncate: true})
 				return err
 			}); err != nil {

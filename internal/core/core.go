@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/derr"
 	"repro/internal/isis"
 	"repro/internal/simnet"
 	"repro/internal/version"
@@ -212,21 +213,27 @@ func (c Conflict) String() string {
 		c.Seg, c.MajorA, c.PairA, c.MajorB, c.PairB)
 }
 
-// Errors returned by segment operations.
+// Errors returned by segment operations. Each sentinel is a typed derr
+// value, so errors.Is keeps working at every call site while the code —
+// not the pointer — is the identity that survives the wire: a CodeBusy
+// decoded from a peer's cast reply matches ErrBusy.
 var (
-	// ErrNotFound reports an unknown segment or version.
-	ErrNotFound = errors.New("core: no such segment")
+	// ErrNotFound reports an unknown segment or version. Its category is
+	// Gone, not NotFound: a segment handle that resolves to nothing is
+	// definitively dead (NFS ErrStale), unlike a directory name lookup miss
+	// (the envelope's errNoEnt), which is an ordinary NotFound.
+	ErrNotFound = derr.New(derr.CodeGone, "core: no such segment")
 	// ErrVersionConflict reports a conditional write whose expected version
 	// pair no longer matches (§5.1's aborted serial transaction).
-	ErrVersionConflict = errors.New("core: version pair conflict")
+	ErrVersionConflict = derr.New(derr.CodeVersionConflict, "core: version pair conflict")
 	// ErrWriteUnavailable reports that no write token is available and the
 	// availability level forbids generating one (§4).
-	ErrWriteUnavailable = errors.New("core: write token unavailable")
+	ErrWriteUnavailable = derr.New(derr.CodeWriteUnavailable, "core: write token unavailable")
 	// ErrBusy reports a transient condition (replica transfer in progress,
 	// token movement); the operation should be retried.
-	ErrBusy = errors.New("core: segment busy; retry")
+	ErrBusy = derr.New(derr.CodeBusy, "core: segment busy; retry")
 	// ErrDeleted reports an operation on a deleted segment.
-	ErrDeleted = errors.New("core: segment deleted")
+	ErrDeleted = derr.New(derr.CodeDeleted, "core: segment deleted")
 )
 
 // IsRetryable reports whether err is a transient condition that a caller

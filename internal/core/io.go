@@ -5,6 +5,7 @@ import (
 	"errors"
 	"time"
 
+	"repro/internal/derr"
 	"repro/internal/isis"
 	"repro/internal/simnet"
 	"repro/internal/version"
@@ -238,7 +239,7 @@ func (s *Server) readAfterHolderFailure(ctx context.Context, sg *segment, major 
 	states := make(map[simnet.NodeID]*castReply)
 	for _, r := range replies {
 		cr, err := decodeReply(r.Data)
-		if err != nil || cr.Err != "" || !cr.IsReplica {
+		if err != nil || cr.failed() || !cr.IsReplica {
 			continue
 		}
 		states[r.From] = cr
@@ -385,8 +386,8 @@ func (s *Server) writeOnce(ctx context.Context, id SegID, req WriteReq) (version
 			return version.Pair{}, ErrBusy
 		}
 		for _, r := range replies {
-			if cr, derr := decodeReply(r.Data); derr == nil && cr.Err != "" {
-				return version.Pair{}, replyErr(cr.Err)
+			if cr, decErr := decodeReply(r.Data); decErr == nil && cr.failed() {
+				return version.Pair{}, replyErr(cr)
 			}
 		}
 	}
@@ -495,12 +496,12 @@ func (s *Server) waitWrite(ctx context.Context, call *isis.Call, k int, mustFrom
 		acks := 0
 		haveMust := mustFrom == ""
 		for _, r := range replies {
-			cr, derr := decodeReply(r.Data)
-			if derr != nil {
+			cr, decErr := decodeReply(r.Data)
+			if decErr != nil {
 				continue
 			}
-			if cr.Err != "" {
-				return version.Pair{}, replyErr(cr.Err)
+			if cr.failed() {
+				return version.Pair{}, replyErr(cr)
 			}
 			pair = cr.Pair
 			if cr.IsReplica {
@@ -531,6 +532,9 @@ func (s *Server) waitWrite(ctx context.Context, call *isis.Call, k int, mustFrom
 		if err != nil {
 			if errors.Is(err, isis.ErrDissolved) {
 				return version.Pair{}, ErrBusy
+			}
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				return pair, derr.Wrap(derr.CodeDeadline, "core.write", err)
 			}
 			return pair, err
 		}
@@ -563,14 +567,17 @@ func (s *Server) forwardWrite(ctx context.Context, to simnet.NodeID, id SegID, r
 	if err != nil {
 		return version.Pair{}, nil, false
 	}
-	switch resp.Err {
-	case "":
+	if resp.Code == 0 && resp.Err == "" {
 		return resp.Pair, nil, true
-	case "conflict":
+	}
+	switch derr.Code(resp.Code) {
+	case derr.CodeVersionConflict:
 		return version.Pair{}, ErrVersionConflict, true
-	case "no such version":
+	case derr.CodeGone:
 		return version.Pair{}, ErrNotFound, true
-	case "unavailable":
+	case derr.CodeDeleted:
+		return version.Pair{}, ErrDeleted, true
+	case derr.CodeWriteUnavailable:
 		return version.Pair{}, ErrWriteUnavailable, true
 	default:
 		// The holder was shutting down, lost the token, or timed out:
@@ -599,7 +606,7 @@ func (s *Server) writePiggyback(ctx context.Context, sg *segment, major uint64, 
 		Data:     req.Data,
 		Truncate: req.Truncate,
 		Expect:   req.Expect,
-		HasData:  s.ensureDataForFork(sg, major),
+		HasData:  s.ensureDataForFork(ctx, sg, major),
 	}))
 	if err != nil {
 		if errors.Is(err, isis.ErrDissolved) {
@@ -613,8 +620,8 @@ func (s *Server) writePiggyback(ctx context.Context, sg *segment, major uint64, 
 	if err != nil || len(replies) == 0 {
 		return version.Pair{}, ErrBusy
 	}
-	first, derr := decodeReply(replies[0].Data)
-	if derr != nil {
+	first, decErr := decodeReply(replies[0].Data)
+	if decErr != nil {
 		return version.Pair{}, ErrBusy
 	}
 	switch first.Outcome {
@@ -623,8 +630,8 @@ func (s *Server) writePiggyback(ctx context.Context, sg *segment, major uint64, 
 	case tokBusy:
 		return version.Pair{}, ErrBusy
 	}
-	if first.Err != "" {
-		return version.Pair{}, replyErr(first.Err)
+	if first.failed() {
+		return version.Pair{}, replyErr(first)
 	}
 	granted := first.Major
 
@@ -680,7 +687,7 @@ func (s *Server) acquireToken(ctx context.Context, sg *segment, major uint64) (u
 	proposed := s.majAlloc.Next()
 	r, err := s.castAll(ctx, sg, &castMsg{
 		Op: opTokenRequest, Major: major, NewMajor: proposed,
-		HasData: s.ensureDataForFork(sg, major),
+		HasData: s.ensureDataForFork(ctx, sg, major),
 	})
 	if err != nil {
 		return 0, err
@@ -702,7 +709,7 @@ func (s *Server) acquireToken(ctx context.Context, sg *segment, major uint64) (u
 // is unreachable (the token-regeneration case: "replicas corresponding to
 // the new token are generated by copying the original replica", §3.5 — so
 // the regenerating server must have a copy to fork from).
-func (s *Server) ensureDataForFork(sg *segment, major uint64) bool {
+func (s *Server) ensureDataForFork(ctx context.Context, sg *segment, major uint64) bool {
 	sg.mu.Lock()
 	_, have := sg.local[major]
 	ms := sg.majors[major]
@@ -725,7 +732,7 @@ func (s *Server) ensureDataForFork(sg *segment, major uint64) bool {
 		return false
 	}
 	for _, p := range peers {
-		if s.pullReplicaFrom(sg, major, p) {
+		if s.pullReplicaFrom(ctx, sg, major, p) {
 			sg.mu.Lock()
 			_, have = sg.local[major]
 			sg.mu.Unlock()
@@ -760,7 +767,7 @@ func (s *Server) ensureLocalReplica(ctx context.Context, sg *segment, major uint
 		}
 		select {
 		case <-ctx.Done():
-			return ctx.Err()
+			return derr.FromContext(ctx, "core.replica")
 		case <-time.After(s.opts.RetryDelay):
 		}
 	}

@@ -1,10 +1,21 @@
 package core
 
 import (
+	"repro/internal/derr"
 	"repro/internal/simnet"
 	"repro/internal/version"
 	"repro/internal/wire"
 )
+
+// replyFail builds a cast rejection carrying a typed code. The state
+// machine uses it for every refusal, so the code — not string matching —
+// is what crosses the group boundary.
+func replyFail(code derr.Code, msg string) *castReply {
+	return &castReply{Code: uint16(code), Err: msg}
+}
+
+// failed reports whether the reply is a rejection.
+func (r *castReply) failed() bool { return r.Code != 0 || r.Err != "" }
 
 // Operation codes for file-group casts. Each cast is applied by every group
 // member in the same total order, so the per-file metadata they drive (token
@@ -103,7 +114,11 @@ func (m *castMsg) UnmarshalWire(d *wire.Decoder) error {
 
 // castReply is every member's reply to a cast.
 type castReply struct {
-	OK        bool
+	OK bool
+	// Code is the typed failure carried across the group boundary (a
+	// derr.Code); 0 means success. Err is the human-readable message that
+	// rides along — the code, not the string, is what replyErr matches on.
+	Code      uint16
 	Err       string
 	IsReplica bool // this member holds a non-volatile replica and applied the op
 	Pair      version.Pair
@@ -121,6 +136,7 @@ type castReply struct {
 // MarshalWire implements wire.Marshaler.
 func (r *castReply) MarshalWire(e *wire.Encoder) {
 	e.Bool(r.OK)
+	e.Uint16(r.Code)
 	e.String(r.Err)
 	e.Bool(r.IsReplica)
 	r.Pair.MarshalWire(e)
@@ -134,6 +150,7 @@ func (r *castReply) MarshalWire(e *wire.Encoder) {
 // UnmarshalWire implements wire.Unmarshaler.
 func (r *castReply) UnmarshalWire(d *wire.Decoder) error {
 	r.OK = d.Bool()
+	r.Code = d.Uint16()
 	r.Err = d.String()
 	r.IsReplica = d.Bool()
 	if err := r.Pair.UnmarshalWire(d); err != nil {
@@ -161,14 +178,17 @@ const (
 
 // directMsg is the encoding for all direct inter-server messages.
 type directMsg struct {
-	Kind     uint8
-	ReqID    uint64
-	Seg      SegID
-	Major    uint64
-	Off      int64
-	N        int64
-	Data     []byte
-	Pair     version.Pair
+	Kind  uint8
+	ReqID uint64
+	Seg   SegID
+	Major uint64
+	Off   int64
+	N     int64
+	Data  []byte
+	Pair  version.Pair
+	// Code types a failure across the direct channel (a derr.Code); 0 means
+	// success. Err carries the human-readable message.
+	Code     uint16
 	Err      string
 	Size     int64
 	Branches []byte
@@ -197,6 +217,7 @@ func (m *directMsg) MarshalWire(e *wire.Encoder) {
 	e.Int64(m.N)
 	e.Bytes32(m.Data)
 	m.Pair.MarshalWire(e)
+	e.Uint16(m.Code)
 	e.String(m.Err)
 	e.Int64(m.Size)
 	e.Bytes32(m.Branches)
@@ -220,6 +241,7 @@ func (m *directMsg) UnmarshalWire(d *wire.Decoder) error {
 	if err := m.Pair.UnmarshalWire(d); err != nil {
 		return err
 	}
+	m.Code = d.Uint16()
 	m.Err = d.String()
 	m.Size = d.Int64()
 	m.Branches = d.Bytes32()

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/derr"
 	"repro/internal/isis"
 	"repro/internal/simnet"
 	"repro/internal/store"
@@ -384,7 +385,7 @@ func (s *Server) AddReplica(ctx context.Context, id SegID, major uint64, target 
 		}
 		select {
 		case <-ctx.Done():
-			return ctx.Err()
+			return derr.FromContext(ctx, "core.addreplica")
 		case <-time.After(s.opts.RetryDelay):
 		}
 	}
@@ -496,7 +497,10 @@ func (s *Server) Write(ctx context.Context, id SegID, req WriteReq) (version.Pai
 }
 
 // retry re-runs fn while it reports a retryable condition (IsRetryable),
-// spacing attempts by RetryDelay.
+// spacing attempts by RetryDelay. When the context expires mid-retry the
+// caller sees a typed Timeout wrapping the last attempt's error, so the
+// transient cause stays visible (errors.Is still matches ErrBusy) while the
+// code that crosses the RPC boundary says what actually ended the wait.
 func (s *Server) retry(ctx context.Context, fn func() error) error {
 	for {
 		err := fn()
@@ -505,7 +509,7 @@ func (s *Server) retry(ctx context.Context, fn func() error) error {
 		}
 		select {
 		case <-ctx.Done():
-			return err
+			return derr.Wrap(derr.CodeDeadline, "core.retry", err)
 		case <-time.After(s.opts.RetryDelay):
 		}
 	}
@@ -539,6 +543,9 @@ func (s *Server) castK(ctx context.Context, sg *segment, m *castMsg, k int) (*ca
 		if errors.Is(err, isis.ErrDissolved) {
 			return nil, ErrBusy
 		}
+		if cctx.Err() != nil {
+			return nil, derr.Wrap(derr.CodeDeadline, "core.cast", err)
+		}
 		return nil, err
 	}
 	if len(replies) == 0 {
@@ -548,24 +555,33 @@ func (s *Server) castK(ctx context.Context, sg *segment, m *castMsg, k int) (*ca
 	if err != nil {
 		return nil, err
 	}
-	if r.Err != "" {
-		return r, replyErr(r.Err)
+	if r.failed() {
+		return r, replyErr(r)
 	}
 	return r, nil
 }
 
-func replyErr(code string) error {
-	switch code {
-	case "conflict":
+// replyErr converts a cast rejection into the caller-facing error. Known
+// codes map to the canonical sentinels (so err == ErrVersionConflict style
+// checks keep working); anything else surfaces as a typed derr carrying the
+// code that crossed the wire.
+func replyErr(r *castReply) error {
+	switch derr.Code(r.Code) {
+	case derr.CodeVersionConflict:
 		return ErrVersionConflict
-	case "no such version", "deleted":
+	case derr.CodeGone:
 		return ErrNotFound
-	case "write unavailable":
+	case derr.CodeDeleted:
+		return ErrDeleted
+	case derr.CodeWriteUnavailable:
 		return ErrWriteUnavailable
-	case "busy", "not holder", "holder unavailable", "bad proposed major":
+	case derr.CodeBusy:
 		return ErrBusy
+	case 0:
+		// A legacy peer that set only the string; classify conservatively.
+		return derr.Newf(derr.CodeInternal, "core: %s", r.Err)
 	default:
-		return fmt.Errorf("core: %s", code)
+		return derr.Newf(derr.Code(r.Code), "core: %s", r.Err)
 	}
 }
 
@@ -601,7 +617,7 @@ func (s *Server) openSegment(ctx context.Context, id SegID) (*segment, error) {
 			case <-ch:
 				continue
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return nil, derr.FromContext(ctx, "core.open")
 			}
 		}
 		ch := make(chan struct{})
@@ -817,7 +833,7 @@ type segApp struct {
 func (a *segApp) Deliver(from simnet.NodeID, payload []byte) []byte {
 	var m castMsg
 	if err := wire.Unmarshal(payload, &m); err != nil {
-		return wire.Marshal(&castReply{Err: "bad message: " + err.Error()})
+		return wire.Marshal(replyFail(derr.CodeInvalid, "bad message: "+err.Error()))
 	}
 	return wire.Marshal(a.sg.apply(from, &m))
 }

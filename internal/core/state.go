@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/derr"
 	"repro/internal/isis"
 	"repro/internal/simnet"
 	"repro/internal/store"
@@ -248,7 +249,7 @@ func (sg *segment) apply(from simnet.NodeID, m *castMsg) *castReply {
 	defer sg.mu.Unlock()
 
 	if sg.deleted && m.Op != opDeleteSeg {
-		return &castReply{Err: "deleted"}
+		return replyFail(derr.CodeDeleted, "deleted")
 	}
 	switch m.Op {
 	case opUpdate:
@@ -286,7 +287,7 @@ func (sg *segment) apply(from simnet.NodeID, m *castMsg) *castReply {
 	case opReadToken:
 		return sg.applyReadToken(from, m)
 	default:
-		return &castReply{Err: fmt.Sprintf("unknown op %d", m.Op)}
+		return replyFail(derr.CodeInvalid, fmt.Sprintf("unknown op %d", m.Op))
 	}
 }
 
@@ -342,20 +343,20 @@ func (sg *segment) resolveUpdateMajor(from simnet.NodeID, m *castMsg) (uint64, *
 func (sg *segment) applyUpdate(from simnet.NodeID, m *castMsg) *castReply {
 	major, ms := sg.resolveUpdateMajor(from, m)
 	if ms == nil {
-		return &castReply{Err: "no such version"}
+		return replyFail(derr.CodeGone, "no such version")
 	}
 	if ms.transferring {
-		return &castReply{Err: "busy"}
+		return replyFail(derr.CodeBusy, "busy")
 	}
 	if from != ms.holder {
 		// A stale holder's update sequenced after the token moved.
-		return &castReply{Err: "not holder"}
+		return replyFail(derr.CodeBusy, "not holder")
 	}
 	if sg.tokenDisabledLocked(ms) {
-		return &castReply{Err: "write unavailable"}
+		return replyFail(derr.CodeWriteUnavailable, "write unavailable")
 	}
 	if !m.Expect.IsZero() && ms.pair != m.Expect {
-		return &castReply{Err: "conflict", Pair: ms.pair}
+		return &castReply{Code: uint16(derr.CodeVersionConflict), Err: "conflict", Pair: ms.pair}
 	}
 	hadReaders := ms.revokeReadersLocked()
 	sg.epoch++
@@ -403,10 +404,10 @@ func applyData(data []byte, off int64, payload []byte, truncate bool) []byte {
 func (sg *segment) applyMarkUnstable(from simnet.NodeID, m *castMsg) *castReply {
 	ms := sg.majors[m.Major]
 	if ms == nil {
-		return &castReply{Err: "no such version"}
+		return replyFail(derr.CodeGone, "no such version")
 	}
 	if from != ms.holder {
-		return &castReply{Err: "not holder"}
+		return replyFail(derr.CodeBusy, "not holder")
 	}
 	ms.unstable = true
 	// The start of a write stream revokes all read tokens; this cast is
@@ -427,10 +428,10 @@ func (sg *segment) applyMarkUnstable(from simnet.NodeID, m *castMsg) *castReply 
 func (sg *segment) applyMarkStable(from simnet.NodeID, m *castMsg) *castReply {
 	ms := sg.majors[m.Major]
 	if ms == nil {
-		return &castReply{Err: "no such version"}
+		return replyFail(derr.CodeGone, "no such version")
 	}
 	if from != ms.holder {
-		return &castReply{Err: "not holder"}
+		return replyFail(derr.CodeBusy, "not holder")
 	}
 	ms.unstable = false
 	if rep := sg.local[m.Major]; rep != nil {
@@ -447,7 +448,7 @@ func (sg *segment) applyMarkStable(from simnet.NodeID, m *castMsg) *castReply {
 func (sg *segment) applyForceStable(from simnet.NodeID, m *castMsg) *castReply {
 	ms := sg.majors[m.Major]
 	if ms == nil {
-		return &castReply{Err: "no such version"}
+		return replyFail(derr.CodeGone, "no such version")
 	}
 	ms.unstable = false
 	ms.pair = m.Pair
@@ -475,7 +476,7 @@ func (sg *segment) applyForceStable(from simnet.NodeID, m *castMsg) *castReply {
 func (sg *segment) applyTokenRequest(from simnet.NodeID, m *castMsg) *castReply {
 	ms := sg.majors[m.Major]
 	if ms == nil {
-		return &castReply{Err: "no such version"}
+		return replyFail(derr.CodeGone, "no such version")
 	}
 	if ms.transferring {
 		return &castReply{Outcome: tokBusy, Major: m.Major, Pair: ms.pair}
@@ -515,12 +516,12 @@ func (sg *segment) applyTokenRequest(from simnet.NodeID, m *castMsg) *castReply 
 	}
 	newMajor := m.NewMajor
 	if newMajor == 0 || sg.majors[newMajor] != nil {
-		return &castReply{Err: "bad proposed major"}
+		return replyFail(derr.CodeBusy, "bad proposed major")
 	}
 	if err := sg.branches.Add(version.Branch{
 		NewMajor: newMajor, FromMajor: m.Major, FromSub: ms.pair.Sub,
 	}); err != nil {
-		return &castReply{Err: err.Error()}
+		return replyFail(derr.CodeInternal, err.Error())
 	}
 	nms := newMajorState(newMajor)
 	nms.holder = from
@@ -564,7 +565,7 @@ func (sg *segment) applyTokenUpdate(from simnet.NodeID, m *castMsg) *castReply {
 	major := tr.Major
 	ms := sg.majors[major]
 	if ms == nil {
-		return &castReply{Err: "no such version"}
+		return replyFail(derr.CodeGone, "no such version")
 	}
 	if sg.params.Stability && !ms.unstable {
 		ms.unstable = true
@@ -597,7 +598,7 @@ func (sg *segment) applyTokenUpdate(from simnet.NodeID, m *castMsg) *castReply {
 func (sg *segment) applyReadToken(from simnet.NodeID, m *castMsg) *castReply {
 	ms := sg.majors[m.Major]
 	if ms == nil {
-		return &castReply{Err: "no such version"}
+		return replyFail(derr.CodeGone, "no such version")
 	}
 	if !ms.replicas[from] {
 		return &castReply{Outcome: tokUnavailable, Major: m.Major, Pair: ms.pair}
@@ -612,13 +613,13 @@ func (sg *segment) applyReadToken(from simnet.NodeID, m *castMsg) *castReply {
 func (sg *segment) applyRequestReplica(from simnet.NodeID, m *castMsg) *castReply {
 	ms := sg.majors[m.Major]
 	if ms == nil {
-		return &castReply{Err: "no such version"}
+		return replyFail(derr.CodeGone, "no such version")
 	}
 	if ms.replicas[m.Target] {
 		return &castReply{OK: true, Pair: ms.pair} // already a replica
 	}
 	if ms.holder == "" || !sg.view.Contains(ms.holder) {
-		return &castReply{Err: "holder unavailable"}
+		return replyFail(derr.CodeBusy, "holder unavailable")
 	}
 	// Only the holder acts (it coordinates the transfer); everyone replies.
 	if ms.holder == sg.srv.id && !ms.transferring {
@@ -630,13 +631,13 @@ func (sg *segment) applyRequestReplica(from simnet.NodeID, m *castMsg) *castRepl
 func (sg *segment) applyBeginTransfer(from simnet.NodeID, m *castMsg) *castReply {
 	ms := sg.majors[m.Major]
 	if ms == nil {
-		return &castReply{Err: "no such version"}
+		return replyFail(derr.CodeGone, "no such version")
 	}
 	if from != ms.holder {
-		return &castReply{Err: "not holder"}
+		return replyFail(derr.CodeBusy, "not holder")
 	}
 	if ms.transferring {
-		return &castReply{Err: "busy"}
+		return replyFail(derr.CodeBusy, "busy")
 	}
 	ms.transferring = true
 	// The target pulls the data outside the group (blast transfer) and then
@@ -650,7 +651,7 @@ func (sg *segment) applyBeginTransfer(from simnet.NodeID, m *castMsg) *castReply
 func (sg *segment) applyReplicaReady(from simnet.NodeID, m *castMsg) *castReply {
 	ms := sg.majors[m.Major]
 	if ms == nil {
-		return &castReply{Err: "no such version"}
+		return replyFail(derr.CodeGone, "no such version")
 	}
 	ms.transferring = false
 	if m.Pair == ms.pair {
@@ -670,7 +671,7 @@ func (sg *segment) applyAbortTransfer(from simnet.NodeID, m *castMsg) *castReply
 func (sg *segment) applyDeleteReplica(from simnet.NodeID, m *castMsg) *castReply {
 	ms := sg.majors[m.Major]
 	if ms == nil {
-		return &castReply{Err: "no such version"}
+		return replyFail(derr.CodeGone, "no such version")
 	}
 	ms.dropReplica(m.Target)
 	delete(ms.readers, m.Target) // a read token rides the replica it covers
@@ -684,7 +685,7 @@ func (sg *segment) applyDeleteReplica(from simnet.NodeID, m *castMsg) *castReply
 
 func (sg *segment) applyDeleteMajor(from simnet.NodeID, m *castMsg) *castReply {
 	if sg.majors[m.Major] == nil {
-		return &castReply{Err: "no such version"}
+		return replyFail(derr.CodeGone, "no such version")
 	}
 	delete(sg.majors, m.Major)
 	sg.epoch++ // the current version may change; cached reads must revalidate
@@ -717,7 +718,7 @@ func (sg *segment) applySetParams(from simnet.NodeID, m *castMsg) *castReply {
 func (sg *segment) applyInquiry(from simnet.NodeID, m *castMsg) *castReply {
 	ms := sg.majors[m.Major]
 	if ms == nil {
-		return &castReply{Err: "no such version"}
+		return replyFail(derr.CodeGone, "no such version")
 	}
 	rep := sg.local[m.Major]
 	r := &castReply{OK: true, Pair: ms.pair, Size: ms.size}
@@ -732,7 +733,7 @@ func (sg *segment) applyInquiry(from simnet.NodeID, m *castMsg) *castReply {
 func (sg *segment) applyReconcile(from simnet.NodeID, m *castMsg) *castReply {
 	var ss segSnapshot
 	if err := wire.Unmarshal(m.Snapshot, &ss); err != nil {
-		return &castReply{Err: err.Error()}
+		return replyFail(derr.CodeInternal, err.Error())
 	}
 	sg.mergeSnapshotLocked(&ss, false)
 	sg.srv.persistMeta(sg)

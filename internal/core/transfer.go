@@ -2,14 +2,24 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"time"
 
+	"repro/internal/derr"
 	"repro/internal/simnet"
 	"repro/internal/version"
 	"repro/internal/wire"
 )
+
+// fail marks a direct-channel response as a typed failure. As with cast
+// replies, the code — not the string — is what the requester acts on.
+func (m *directMsg) fail(code derr.Code, msg string) {
+	m.Code = uint16(code)
+	m.Err = msg
+}
+
+// failed reports whether the response is a failure.
+func (m *directMsg) failed() bool { return m.Code != 0 || m.Err != "" }
 
 // This file implements the blast replica transfer of §3.1 ("replicas are
 // generated with a file transfer protocol from an existing replica ... the
@@ -145,7 +155,7 @@ func (s *Server) fetchReplica(sg *segment, major uint64, source simnet.NodeID) {
 				req.Have, req.HaveSet = have, true
 			}
 			resp, err := s.directCall(ctx, source, req)
-			if err != nil || resp.Err != "" {
+			if err != nil || resp.failed() {
 				s.abortTransfer(sg, major)
 				return
 			}
@@ -289,7 +299,7 @@ func (s *Server) refreshReplica(sg *segment, major uint64) {
 			return
 		}
 		for _, peer := range peers {
-			if s.pullReplicaFrom(sg, major, peer) {
+			if s.pullReplicaFrom(context.Background(), sg, major, peer) {
 				return
 			}
 		}
@@ -303,8 +313,11 @@ func (s *Server) refreshReplica(sg *segment, major uint64) {
 
 // pullReplicaFrom fetches major's full data from peer and installs it if it
 // is newer than the local copy and still matches the group-agreed pair.
-func (s *Server) pullReplicaFrom(sg *segment, major uint64, peer simnet.NodeID) bool {
-	ctx, cancel := context.WithTimeout(context.Background(), 2*s.opts.OpTimeout)
+// The pull is bounded by both the transfer budget and the caller's ctx, so
+// an op-scoped deadline propagates into state transfer instead of the pull
+// outliving the operation that needed it.
+func (s *Server) pullReplicaFrom(ctx context.Context, sg *segment, major uint64, peer simnet.NodeID) bool {
+	ctx, cancel := context.WithTimeout(ctx, 2*s.opts.OpTimeout)
 	defer cancel()
 	var buf []byte
 	var pair version.Pair
@@ -327,7 +340,7 @@ func (s *Server) pullReplicaFrom(sg *segment, major uint64, peer simnet.NodeID) 
 			req.Have, req.HaveSet = have, true
 		}
 		resp, err := s.directCall(ctx, peer, req)
-		if err != nil || resp.Err != "" {
+		if err != nil || resp.failed() {
 			return false
 		}
 		if off == 0 && resp.Unchanged {
@@ -390,7 +403,7 @@ func (s *Server) directCall(ctx context.Context, to simnet.NodeID, req *directMs
 	case resp := <-ch:
 		return resp, nil
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, derr.FromContext(ctx, "core.direct")
 	case <-s.done:
 		return nil, ErrDeleted
 	}
@@ -407,7 +420,7 @@ func (s *Server) directRead(ctx context.Context, to simnet.NodeID, id SegID, maj
 	if err != nil {
 		return nil, version.Pair{}, ErrBusy
 	}
-	if resp.Err != "" {
+	if resp.failed() {
 		return nil, version.Pair{}, ErrBusy
 	}
 	return resp.Data, resp.Pair, nil
@@ -468,7 +481,7 @@ func (s *Server) serveFetch(from simnet.NodeID, req *directMsg) {
 	resp := &directMsg{Kind: dmFetchResp, ReqID: req.ReqID, Seg: req.Seg, Major: req.Major}
 	sg := s.tab.get(req.Seg)
 	if sg == nil {
-		resp.Err = "no such segment"
+		resp.fail(derr.CodeNotFound, "no such segment")
 		s.sendDirect(from, resp)
 		return
 	}
@@ -476,7 +489,7 @@ func (s *Server) serveFetch(from simnet.NodeID, req *directMsg) {
 	rep := sg.local[req.Major]
 	if rep == nil {
 		sg.mu.Unlock()
-		resp.Err = "no replica"
+		resp.fail(derr.CodeNotFound, "no replica")
 		s.sendDirect(from, resp)
 		return
 	}
@@ -506,7 +519,7 @@ func (s *Server) serveRead(from simnet.NodeID, req *directMsg) {
 	resp := &directMsg{Kind: dmReadResp, ReqID: req.ReqID, Seg: req.Seg, Major: req.Major}
 	sg := s.tab.get(req.Seg)
 	if sg == nil {
-		resp.Err = "no such segment"
+		resp.fail(derr.CodeNotFound, "no such segment")
 		s.sendDirect(from, resp)
 		return
 	}
@@ -514,7 +527,7 @@ func (s *Server) serveRead(from simnet.NodeID, req *directMsg) {
 	if !sg.readyLocked() {
 		// Still recovering: our pre-crash state may be obsolete (§3.6).
 		sg.mu.Unlock()
-		resp.Err = "recovering"
+		resp.fail(derr.CodeRejoining, "recovering")
 		s.sendDirect(from, resp)
 		return
 	}
@@ -530,7 +543,7 @@ func (s *Server) serveRead(from simnet.NodeID, req *directMsg) {
 		if phantom {
 			go s.dropPhantomReplica(sg, major)
 		}
-		resp.Err = "no replica"
+		resp.fail(derr.CodeNotFound, "no replica")
 		s.sendDirect(from, resp)
 		return
 	}
@@ -539,7 +552,7 @@ func (s *Server) serveRead(from simnet.NodeID, req *directMsg) {
 	// current, and revocation is collected before any later write returns).
 	if ms.unstable && sg.params.Stability && ms.holder != s.id && !ms.readers[s.id] {
 		sg.mu.Unlock()
-		resp.Err = "unstable"
+		resp.fail(derr.CodeBusy, "unstable")
 		s.sendDirect(from, resp)
 		return
 	}
@@ -548,7 +561,7 @@ func (s *Server) serveRead(from simnet.NodeID, req *directMsg) {
 	if rep.pair != ms.pair {
 		sg.mu.Unlock()
 		go s.refreshReplica(sg, major)
-		resp.Err = "stale replica"
+		resp.fail(derr.CodeBusy, "stale replica")
 		s.sendDirect(from, resp)
 		return
 	}
@@ -577,17 +590,13 @@ func (s *Server) serveWrite(from simnet.NodeID, req *directMsg) {
 		Expect:    req.Expect,
 		noForward: true,
 	})
-	switch {
-	case err == nil:
+	if err == nil {
 		resp.Pair = pair
-	case errors.Is(err, ErrVersionConflict):
-		resp.Err = "conflict"
-	case errors.Is(err, ErrNotFound):
-		resp.Err = "no such version"
-	case errors.Is(err, ErrWriteUnavailable):
-		resp.Err = "unavailable"
-	default:
-		resp.Err = "busy"
+	} else {
+		// CodeOf collapses the local error to its wire code: the forwarding
+		// peer decides from the code alone whether the outcome is settled
+		// (conflict, gone, unavailable) or worth retrying via the token path.
+		resp.fail(derr.CodeOf(err), err.Error())
 	}
 	s.sendDirect(from, resp)
 }
@@ -599,7 +608,7 @@ func (s *Server) serveOpen(from simnet.NodeID, req *directMsg) {
 	ctx, cancel := context.WithTimeout(context.Background(), s.opts.OpTimeout)
 	defer cancel()
 	if _, err := s.openSegment(ctx, req.Seg); err != nil {
-		resp.Err = err.Error()
+		resp.fail(derr.CodeOf(err), err.Error())
 	}
 	s.sendDirect(from, resp)
 }

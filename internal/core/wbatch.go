@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 
+	"repro/internal/derr"
 	"repro/internal/isis"
 	"repro/internal/version"
 )
@@ -143,7 +144,7 @@ func (s *Server) writeBatchOnce(ctx context.Context, sg *segment, major uint64, 
 	}
 
 	proposed := s.majAlloc.Next()
-	hasData := s.ensureDataForFork(sg, major)
+	hasData := s.ensureDataForFork(ctx, sg, major)
 	payloads := make([][]byte, len(reqs))
 	payloads[0] = encodeCast(&castMsg{
 		Op: opTokenUpdate, Major: major, NewMajor: proposed,
@@ -175,8 +176,8 @@ func (s *Server) writeBatchOnce(ctx context.Context, sg *segment, major uint64, 
 	if err != nil || len(replies) == 0 {
 		return nil, nil, ErrBusy
 	}
-	first, derr := decodeReply(replies[0].Data)
-	if derr != nil {
+	first, decErr := decodeReply(replies[0].Data)
+	if decErr != nil {
 		return nil, nil, ErrBusy
 	}
 	switch first.Outcome {
@@ -224,8 +225,8 @@ func (s *Server) writeBatchOnce(ctx context.Context, sg *segment, major uint64, 
 	mustFrom := s.stabilityAckNode(params)
 	pairs := make([]version.Pair, len(reqs))
 	errs := make([]error, len(reqs))
-	if first.Err != "" {
-		errs[0] = replyErr(first.Err)
+	if first.failed() {
+		errs[0] = replyErr(first)
 	} else if safety > 0 {
 		pairs[0], errs[0] = s.waitWrite(ctx, bc.Op(0), safety, mustFrom)
 	}
@@ -262,8 +263,8 @@ func (s *Server) collectAsyncErrs(ctx context.Context, bc *isis.BatchCall, errs 
 		if err != nil || len(replies) == 0 {
 			continue
 		}
-		if cr, derr := decodeReply(replies[0].Data); derr == nil && cr.Err != "" {
-			errs[i] = replyErr(cr.Err)
+		if cr, decErr := decodeReply(replies[0].Data); decErr == nil && cr.failed() {
+			errs[i] = replyErr(cr)
 		}
 	}
 }
@@ -311,7 +312,7 @@ func (s *Server) writeCoalescedOnce(ctx context.Context, id SegID, req WriteReq)
 		return pw.pair, pw.err
 	case <-ctx.Done():
 		// The drainer still completes the op; only this caller stops waiting.
-		return version.Pair{}, ctx.Err()
+		return version.Pair{}, derr.FromContext(ctx, "core.write")
 	}
 }
 

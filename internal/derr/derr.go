@@ -1,0 +1,330 @@
+// Package derr is Deceit's structured failure plane: every error that
+// crosses a layer or RPC boundary carries a stable machine-readable Code,
+// the code maps to exactly one Category, and a single authoritative table
+// decides retryability. The legacy NFS status is a *derived view* of the
+// code (see the envelope's StatusOf), not the source of truth, so "token
+// moving, retry in a moment" no longer collapses into the same NFSERR_IO
+// as "disk ate your data".
+//
+// Codes survive both wire boundaries:
+//
+//   - inter-server cast replies carry the numeric code in the internal wire
+//     codec (MarshalWire/UnmarshalWire);
+//   - SunRPC replies to clients carry an optional XDR trailer
+//     (AppendTrailer/TrailingError) after the standard NFS reply body, which
+//     stock NFS clients ignore exactly like the lease trailer.
+//
+// On top of the taxonomy sits the retry engine (see policy.go): exponential
+// backoff with full jitter, per-op attempt caps, a client-wide retry budget
+// so retry storms cannot amplify an outage, and context-deadline awareness.
+package derr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Code is a stable machine-readable error code. Numeric values are part of
+// the wire protocol: never renumber an existing code, only append.
+type Code uint16
+
+// The code space, grouped by category. Gaps leave room to grow a category
+// without renumbering.
+const (
+	// CodeInvalid is a malformed or unacceptable request (bad argument,
+	// garbage bytes) the caller must fix; retrying the same call cannot help.
+	CodeInvalid Code = 1
+	// CodeNotDir reports a non-directory used where a directory is required.
+	CodeNotDir Code = 2
+	// CodeIsDir reports a directory used where a file is required.
+	CodeIsDir Code = 3
+	// CodeNameTooLong reports a name over the NFS limit.
+	CodeNameTooLong Code = 4
+	// CodeNotSymlink reports a readlink on a non-symlink.
+	CodeNotSymlink Code = 5
+
+	// CodeNotFound reports a name or version that does not resolve: the
+	// container exists, the entry does not.
+	CodeNotFound Code = 10
+
+	// CodeExists reports a create colliding with an existing name.
+	CodeExists Code = 20
+	// CodeNotEmpty reports an rmdir of a non-empty directory.
+	CodeNotEmpty Code = 21
+	// CodeVersionConflict reports a conditional write whose expected version
+	// pair no longer matches (§5.1's aborted serial transaction). Retryable:
+	// the caller re-reads and re-applies, which is exactly what the
+	// envelope's optimistic loops do.
+	CodeVersionConflict Code = 22
+
+	// CodeBusy reports a transient segment condition — token movement or a
+	// replica transfer in flight. Retry after a short backoff.
+	CodeBusy Code = 30
+	// CodeRejoining reports a group dissolved for a partition-heal rejoin
+	// that is still in flight. Retry after a short backoff.
+	CodeRejoining Code = 31
+	// CodeUnreachable reports transport-level failure after failover was
+	// exhausted: no server could be reached at all.
+	CodeUnreachable Code = 32
+	// CodeWriteUnavailable reports that no write token is available and the
+	// availability level forbids regenerating one (§4). Definitive until an
+	// operator or a partition heal changes the world; not retryable.
+	CodeWriteUnavailable Code = 33
+
+	// CodeDeadline reports a context deadline expiring before the operation
+	// completed. Retryable — with a fresh deadline.
+	CodeDeadline Code = 40
+
+	// CodeOverloaded reports server-side admission control shedding the
+	// request. Retry after the RetryAfter hint.
+	CodeOverloaded Code = 50
+
+	// CodeGone reports a segment that no longer exists anywhere: the handle
+	// refers to nothing, and retrying cannot help.
+	CodeGone Code = 60
+	// CodeDeleted reports an operation on a deleted segment.
+	CodeDeleted Code = 61
+
+	// CodeCorrupt reports data that decoded as garbage: a corrupt header,
+	// directory table, or store record.
+	CodeCorrupt Code = 70
+
+	// CodeInternal is the catch-all for unexpected server-side failure.
+	CodeInternal Code = 80
+)
+
+// Category classifies a code; the issue-facing failure interface. Every
+// code maps to exactly one category.
+type Category uint8
+
+// Categories.
+const (
+	Invalid Category = iota + 1
+	NotFound
+	Conflict
+	Unavailable
+	Timeout
+	Overloaded
+	Gone
+	Corrupt
+	Internal
+)
+
+func (c Category) String() string {
+	switch c {
+	case Invalid:
+		return "invalid"
+	case NotFound:
+		return "not-found"
+	case Conflict:
+		return "conflict"
+	case Unavailable:
+		return "unavailable"
+	case Timeout:
+		return "timeout"
+	case Overloaded:
+		return "overloaded"
+	case Gone:
+		return "gone"
+	case Corrupt:
+		return "corrupt"
+	case Internal:
+		return "internal"
+	default:
+		return fmt.Sprintf("category(%d)", uint8(c))
+	}
+}
+
+// codeInfo is one row of the taxonomy: the authoritative name, category and
+// retryability of a code. There is exactly one table; everything else
+// (NFS status mapping, load-harness taxonomy, client retry decisions) is
+// derived from it.
+type codeInfo struct {
+	name      string
+	cat       Category
+	retryable bool
+}
+
+var codeTable = map[Code]codeInfo{
+	CodeInvalid:          {"invalid", Invalid, false},
+	CodeNotDir:           {"not-dir", Invalid, false},
+	CodeIsDir:            {"is-dir", Invalid, false},
+	CodeNameTooLong:      {"name-too-long", Invalid, false},
+	CodeNotSymlink:       {"not-symlink", Invalid, false},
+	CodeNotFound:         {"not-found", NotFound, false},
+	CodeExists:           {"exists", Conflict, false},
+	CodeNotEmpty:         {"not-empty", Conflict, false},
+	CodeVersionConflict:  {"version-conflict", Conflict, true},
+	CodeBusy:             {"busy", Unavailable, true},
+	CodeRejoining:        {"rejoining", Unavailable, true},
+	CodeUnreachable:      {"unreachable", Unavailable, true},
+	CodeWriteUnavailable: {"write-unavailable", Unavailable, false},
+	CodeDeadline:         {"deadline", Timeout, true},
+	CodeOverloaded:       {"overloaded", Overloaded, true},
+	CodeGone:             {"gone", Gone, false},
+	CodeDeleted:          {"deleted", Gone, false},
+	CodeCorrupt:          {"corrupt", Corrupt, false},
+	CodeInternal:         {"internal", Internal, false},
+}
+
+// Codes returns every defined code; exhaustiveness tests and the wire
+// round-trip tests range over it.
+func Codes() []Code {
+	out := make([]Code, 0, len(codeTable))
+	for c := range codeTable {
+		out = append(out, c)
+	}
+	return out
+}
+
+// String returns the code's stable name.
+func (c Code) String() string {
+	if info, ok := codeTable[c]; ok {
+		return info.name
+	}
+	return fmt.Sprintf("code(%d)", uint16(c))
+}
+
+// Category returns the code's category; unknown codes (a newer peer's code
+// decoded by an older binary) classify as Internal so they are handled
+// conservatively rather than dropped.
+func (c Code) Category() Category {
+	if info, ok := codeTable[c]; ok {
+		return info.cat
+	}
+	return Internal
+}
+
+// Retryable is the authoritative retryability decision for a code. Unknown
+// codes are not retryable: a fault we cannot classify must fail fast rather
+// than spin.
+func (c Code) Retryable() bool {
+	if info, ok := codeTable[c]; ok {
+		return info.retryable
+	}
+	return false
+}
+
+// E is the structured error. Code is the wire-stable identity; Op and Msg
+// are human context; RetryAfter is the server's backoff hint (overload
+// shedding sets it); cause is the wrapped local error, which does not cross
+// the wire.
+type E struct {
+	Code       Code
+	Op         string // operation context, e.g. "core.write" (optional)
+	Msg        string
+	RetryAfter time.Duration // backoff hint; zero = none
+	cause      error
+}
+
+// New returns a derr with a code and message.
+func New(code Code, msg string) *E { return &E{Code: code, Msg: msg} }
+
+// Newf returns a derr with a formatted message.
+func Newf(code Code, format string, args ...any) *E {
+	return &E{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Wrap attaches a code and operation context to a cause, keeping the cause
+// on the local errors.Is/As chain. Wrapping an *E without an explicit
+// message inherits its message so the text does not nest endlessly.
+func Wrap(code Code, op string, cause error) *E {
+	e := &E{Code: code, Op: op, cause: cause}
+	if cause != nil {
+		e.Msg = cause.Error()
+	}
+	return e
+}
+
+// WithOp returns a copy of e carrying operation context.
+func (e *E) WithOp(op string) *E {
+	c := *e
+	c.Op = op
+	return &c
+}
+
+// WithRetryAfter returns a copy of e carrying a backoff hint.
+func (e *E) WithRetryAfter(d time.Duration) *E {
+	c := *e
+	c.RetryAfter = d
+	return &c
+}
+
+// Error implements error.
+func (e *E) Error() string {
+	prefix := ""
+	if e.Op != "" {
+		prefix = e.Op + ": "
+	}
+	if e.Msg != "" {
+		return fmt.Sprintf("%s%s [%s/%s]", prefix, e.Msg, e.Code.Category(), e.Code)
+	}
+	return fmt.Sprintf("%s%s/%s", prefix, e.Code.Category(), e.Code)
+}
+
+// Unwrap exposes the wrapped cause to errors.Is/As.
+func (e *E) Unwrap() error { return e.cause }
+
+// Is makes two derrs equal when their codes match, so sentinels defined as
+// *E values keep working with errors.Is across the wire: a decoded
+// CodeBusy matches core.ErrBusy even though they are distinct allocations.
+func (e *E) Is(target error) bool {
+	t, ok := target.(*E)
+	return ok && t.Code == e.Code
+}
+
+// AsError extracts the *E from an error chain.
+func AsError(err error) (*E, bool) {
+	var e *E
+	if errors.As(err, &e) {
+		return e, true
+	}
+	return nil, false
+}
+
+// CodeOf returns the code carried by err, or CodeInternal when err carries
+// none (every boundary is supposed to attach one; an untyped error is by
+// definition an internal failure). A nil err has no code; callers must not
+// ask.
+func CodeOf(err error) Code {
+	if e, ok := AsError(err); ok {
+		return e.Code
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return CodeDeadline
+	}
+	return CodeInternal
+}
+
+// CategoryOf classifies an arbitrary error via its code.
+func CategoryOf(err error) Category { return CodeOf(err).Category() }
+
+// IsRetryable is the retry decision every layer shares, table-driven from
+// the code. Untyped context expiry counts as Timeout (retryable with a
+// fresh deadline); any other untyped error is not retryable.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	return CodeOf(err).Retryable()
+}
+
+// RetryAfterOf returns the server's backoff hint carried by err, if any.
+func RetryAfterOf(err error) (time.Duration, bool) {
+	if e, ok := AsError(err); ok && e.RetryAfter > 0 {
+		return e.RetryAfter, true
+	}
+	return 0, false
+}
+
+// FromContext types a context expiry: deadline or cancellation becomes a
+// typed Timeout wrapping the original so errors.Is(err, context.Canceled)
+// still works locally. Returns nil when ctx is live.
+func FromContext(ctx context.Context, op string) error {
+	if err := ctx.Err(); err != nil {
+		return Wrap(CodeDeadline, op, err)
+	}
+	return nil
+}

@@ -1,0 +1,374 @@
+package derr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+	"repro/internal/xdr"
+)
+
+// TestTaxonomyExhaustive asserts every code has a name, a category, a
+// retryability decision, and survives both wire encodings with errors.Is
+// identity intact.
+func TestTaxonomyExhaustive(t *testing.T) {
+	codes := Codes()
+	if len(codes) == 0 {
+		t.Fatal("no codes defined")
+	}
+	seenNames := map[string]Code{}
+	for _, c := range codes {
+		name := c.String()
+		if name == "" || strings.HasPrefix(name, "code(") {
+			t.Errorf("code %d has no stable name", c)
+		}
+		if prev, dup := seenNames[name]; dup {
+			t.Errorf("codes %d and %d share name %q", prev, c, name)
+		}
+		seenNames[name] = c
+
+		cat := c.Category()
+		if cat < Invalid || cat > Internal {
+			t.Errorf("code %s has out-of-range category %v", c, cat)
+		}
+		if strings.HasPrefix(cat.String(), "category(") {
+			t.Errorf("code %s category %d has no name", c, cat)
+		}
+
+		// Retryability must be consistent with the category contract:
+		// Timeout and Overloaded are always retryable; Invalid, NotFound,
+		// Gone, Corrupt and Internal never are.
+		retry := c.Retryable()
+		switch cat {
+		case Timeout, Overloaded:
+			if !retry {
+				t.Errorf("code %s: category %v must be retryable", c, cat)
+			}
+		case Invalid, NotFound, Gone, Corrupt, Internal:
+			if retry {
+				t.Errorf("code %s: category %v must not be retryable", c, cat)
+			}
+		}
+
+		orig := Newf(c, "boom %d", 7).WithOp("op.test").WithRetryAfter(250 * time.Millisecond)
+
+		// Internal wire round-trip.
+		data := wire.Marshal(orig)
+		var dec E
+		if err := wire.Unmarshal(data, &dec); err != nil {
+			t.Fatalf("code %s: wire round-trip: %v", c, err)
+		}
+		if dec.Code != c || dec.Op != orig.Op || dec.Msg != orig.Msg || dec.RetryAfter != orig.RetryAfter {
+			t.Errorf("code %s: wire round-trip mismatch: %+v vs %+v", c, dec, *orig)
+		}
+		if !errors.Is(&dec, orig) || !errors.Is(orig, &dec) {
+			t.Errorf("code %s: errors.Is identity lost across wire codec", c)
+		}
+
+		// XDR trailer round-trip, with reply-body bytes in front the way a
+		// real SunRPC reply carries them.
+		e := xdr.NewEncoder(nil)
+		e.Uint32(5) // fake NFS status word
+		AppendTrailer(e, orig)
+		d := xdr.NewDecoder(e.Bytes())
+		if got := d.Uint32(); got != 5 {
+			t.Fatalf("body word = %d", got)
+		}
+		te, ok := TrailingError(d)
+		if !ok {
+			t.Fatalf("code %s: trailer not recognized", c)
+		}
+		if te.Code != c || te.RetryAfter != orig.RetryAfter {
+			t.Errorf("code %s: trailer mismatch: %+v", c, te)
+		}
+		if !errors.Is(te, orig) {
+			t.Errorf("code %s: errors.Is identity lost across trailer", c)
+		}
+		if IsRetryable(te) != retry {
+			t.Errorf("code %s: retryability changed across trailer", c)
+		}
+	}
+}
+
+func TestTrailerForeignBytes(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0x01},
+		{0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		xdr.NewEncoder(nil).Bytes(),
+	}
+	// A lease trailer must not be misread as an error trailer.
+	e := xdr.NewEncoder(nil)
+	e.Uint32(0x444C5345)
+	e.Uint64(42)
+	e.Bool(true)
+	cases = append(cases, e.Bytes())
+	// Truncated real trailer.
+	e2 := xdr.NewEncoder(nil)
+	AppendTrailer(e2, New(CodeBusy, "x"))
+	cases = append(cases, e2.Bytes()[:trailerLen-2])
+
+	for i, b := range cases {
+		if _, ok := TrailingError(xdr.NewDecoder(b)); ok {
+			t.Errorf("case %d: foreign bytes decoded as trailer", i)
+		}
+	}
+}
+
+func TestUnknownCodeConservative(t *testing.T) {
+	c := Code(65000)
+	if c.Retryable() {
+		t.Error("unknown code must not be retryable")
+	}
+	if c.Category() != Internal {
+		t.Errorf("unknown code category = %v, want Internal", c.Category())
+	}
+}
+
+func TestCodeOfAndWrap(t *testing.T) {
+	base := errors.New("disk on fire")
+	wrapped := Wrap(CodeCorrupt, "store.get", base)
+	if !errors.Is(wrapped, base) {
+		t.Error("Wrap lost the cause chain")
+	}
+	if CodeOf(wrapped) != CodeCorrupt {
+		t.Errorf("CodeOf = %v", CodeOf(wrapped))
+	}
+	if CodeOf(fmt.Errorf("outer: %w", wrapped)) != CodeCorrupt {
+		t.Error("CodeOf through fmt.Errorf %w failed")
+	}
+	if CodeOf(errors.New("untyped")) != CodeInternal {
+		t.Error("untyped error should classify Internal")
+	}
+	if CodeOf(context.DeadlineExceeded) != CodeDeadline {
+		t.Error("context.DeadlineExceeded should classify Deadline")
+	}
+	if CategoryOf(fmt.Errorf("x: %w", context.Canceled)) != Timeout {
+		t.Error("wrapped cancellation should classify Timeout")
+	}
+	if IsRetryable(nil) {
+		t.Error("nil is not retryable")
+	}
+}
+
+func TestSentinelMatchingAcrossWire(t *testing.T) {
+	// The core-sentinel pattern: a package-level *E matched with errors.Is
+	// against an error decoded from the wire.
+	sentinel := New(CodeBusy, "core: segment busy")
+	var dec E
+	if err := wire.Unmarshal(wire.Marshal(New(CodeBusy, "different text")), &dec); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(&dec, sentinel) {
+		t.Error("decoded CodeBusy should match the sentinel regardless of text")
+	}
+	if errors.Is(&dec, New(CodeGone, "")) {
+		t.Error("decoded CodeBusy must not match CodeGone sentinel")
+	}
+}
+
+func TestPolicyRetriesUntilSuccess(t *testing.T) {
+	p := &Policy{MaxAttempts: 10, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}
+	n := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		n++
+		if n < 4 {
+			return New(CodeBusy, "busy")
+		}
+		return nil
+	})
+	if err != nil || n != 4 {
+		t.Fatalf("err=%v n=%d", err, n)
+	}
+}
+
+func TestPolicyNonRetryableFailsFastOnce(t *testing.T) {
+	p := DefaultPolicy()
+	n := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		n++
+		return New(CodeGone, "stale")
+	})
+	if n != 1 {
+		t.Fatalf("non-retryable error was attempted %d times", n)
+	}
+	if CategoryOf(err) != Gone {
+		t.Fatalf("category = %v", CategoryOf(err))
+	}
+}
+
+func TestPolicyAttemptCap(t *testing.T) {
+	p := &Policy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}
+	n := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		n++
+		return New(CodeBusy, "busy")
+	})
+	if n != 3 {
+		t.Fatalf("attempts = %d, want 3", n)
+	}
+	if !errors.Is(err, New(CodeBusy, "")) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPolicyDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	p := &Policy{MaxAttempts: 1 << 20, BaseDelay: 5 * time.Millisecond, MaxDelay: 10 * time.Millisecond}
+	start := time.Now()
+	err := p.Do(ctx, func(context.Context) error { return New(CodeBusy, "busy") })
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop ignored deadline, ran %v", elapsed)
+	}
+	// The loop must stop retrying once ctx expires; the surfaced error is
+	// either the typed Timeout or the last (retryable) attempt error.
+	if !IsRetryable(err) && CategoryOf(err) != Timeout {
+		t.Fatalf("unexpected terminal error %v", err)
+	}
+}
+
+func TestPolicyHonorsRetryAfterHint(t *testing.T) {
+	var slept []time.Duration
+	p := &Policy{
+		MaxAttempts: 2,
+		BaseDelay:   time.Microsecond,
+		MaxDelay:    time.Microsecond,
+		Sleep: func(_ context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	hint := 123 * time.Millisecond
+	_ = p.Do(context.Background(), func(context.Context) error {
+		return New(CodeOverloaded, "shed").WithRetryAfter(hint)
+	})
+	if len(slept) != 1 || slept[0] < hint {
+		t.Fatalf("slept %v, want >= %v once", slept, hint)
+	}
+}
+
+func TestBudgetStopsRetryStorm(t *testing.T) {
+	b := NewBudget(0.1, 3)
+	p := &Policy{MaxAttempts: 1 << 20, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond, Budget: b}
+	n := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		n++
+		return New(CodeBusy, "busy")
+	})
+	// Burst of 3 tokens: 1 first attempt + 3 budgeted retries.
+	if n != 4 {
+		t.Fatalf("attempts = %d, want 4 (burst-limited)", n)
+	}
+	if !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("err = %v", err)
+	}
+	if CodeOf(err) != CodeBusy {
+		t.Fatalf("budget exhaustion must keep the underlying code, got %v", CodeOf(err))
+	}
+
+	// Successes replenish: 10 successes at ratio 0.1 buy one retry.
+	for i := 0; i < 10; i++ {
+		b.OnSuccess()
+	}
+	if !b.Withdraw() {
+		t.Fatal("budget should have replenished")
+	}
+	if b.Withdraw() {
+		t.Fatal("budget over-replenished")
+	}
+}
+
+func TestBudgetConcurrent(t *testing.T) {
+	b := NewBudget(0.5, 100)
+	var wg sync.WaitGroup
+	var granted sync.Map
+	total := 0
+	var mu sync.Mutex
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if b.Withdraw() {
+					mu.Lock()
+					total++
+					mu.Unlock()
+					granted.Store(id, true)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if total != 100 {
+		t.Fatalf("granted %d retries from a burst of 100", total)
+	}
+}
+
+func TestRetryHelper(t *testing.T) {
+	n := 0
+	err := Retry(5*time.Second, func() error {
+		n++
+		if n < 3 {
+			return New(CodeBusy, "busy")
+		}
+		return nil
+	})
+	if err != nil || n != 3 {
+		t.Fatalf("err=%v n=%d", err, n)
+	}
+
+	// Non-retryable stops immediately.
+	n = 0
+	err = Retry(5*time.Second, func() error {
+		n++
+		return New(CodeGone, "gone")
+	})
+	if err == nil || n != 1 {
+		t.Fatalf("err=%v n=%d", err, n)
+	}
+
+	// RetryIf with retry-everything keeps going on untyped errors.
+	n = 0
+	err = RetryIf(5*time.Second, func(error) bool { return true }, func() error {
+		n++
+		if n < 3 {
+			return errors.New("untyped flake")
+		}
+		return nil
+	})
+	if err != nil || n != 3 {
+		t.Fatalf("err=%v n=%d", err, n)
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	if FromContext(ctx, "op") != nil {
+		t.Fatal("live ctx should yield nil")
+	}
+	cancel()
+	err := FromContext(ctx, "op")
+	if CategoryOf(err) != Timeout || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestErrorStringFormat(t *testing.T) {
+	e := New(CodeOverloaded, "in-flight limit reached").WithOp("server.nfs")
+	s := e.Error()
+	for _, want := range []string{"server.nfs", "in-flight limit reached", "overloaded"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Error() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package derr
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+	"repro/internal/xdr"
+)
+
+// FuzzUnmarshalWire throws truncated and garbage payloads at the internal
+// wire decoder: it must return an error or a well-formed E, never panic or
+// over-allocate.
+func FuzzUnmarshalWire(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add(wire.Marshal(New(CodeBusy, "busy").WithOp("core.write")))
+	f.Add(wire.Marshal(New(CodeOverloaded, "shed").WithRetryAfter(1000000000)))
+	full := wire.Marshal(Newf(CodeCorrupt, "segment %d header", 9))
+	for i := range full {
+		f.Add(full[:i])
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var e E
+		if err := wire.Unmarshal(data, &e); err != nil {
+			return
+		}
+		if len(e.Msg) > maxWireMsg || len(e.Op) > maxWireMsg {
+			t.Fatalf("oversized strings survived decode: op=%d msg=%d", len(e.Op), len(e.Msg))
+		}
+		// Whatever decoded must re-encode and decode to the same value.
+		var e2 E
+		if err := wire.Unmarshal(wire.Marshal(&e), &e2); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if e2 != e {
+			t.Fatalf("unstable round-trip: %+v vs %+v", e2, e)
+		}
+	})
+}
+
+// FuzzTrailingError throws arbitrary reply tails at the trailer decoder:
+// ok=true must imply a sane E; anything else must come back ok=false
+// without panicking.
+func FuzzTrailingError(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x44, 0x45, 0x52, 0x52})
+	e := xdr.NewEncoder(nil)
+	AppendTrailer(e, New(CodeDeadline, "op timed out"))
+	f.Add(e.Bytes())
+	for i := range e.Bytes() {
+		f.Add(e.Bytes()[:i])
+	}
+	// Lease trailer bytes must never parse as an error trailer.
+	le := xdr.NewEncoder(nil)
+	le.Uint32(0x444C5345)
+	le.Uint64(7)
+	le.Bool(true)
+	f.Add(le.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		te, ok := TrailingError(xdr.NewDecoder(data))
+		if !ok {
+			return
+		}
+		if te == nil {
+			t.Fatal("ok=true with nil error")
+		}
+		if len(te.Msg) > maxWireMsg {
+			t.Fatalf("oversized trailer message: %d", len(te.Msg))
+		}
+	})
+}

@@ -1,0 +1,227 @@
+package derr
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy is the retry engine: exponential backoff with full jitter, a
+// per-operation attempt cap, optional client-wide Budget, and context
+// awareness. The retry decision itself comes from the taxonomy
+// (IsRetryable) unless RetryIf overrides it.
+//
+// The zero Policy is usable and means "no retries" (one attempt). Use
+// DefaultPolicy for the standard client behavior.
+type Policy struct {
+	// MaxAttempts caps total attempts (first try included). Zero or one
+	// means no retries.
+	MaxAttempts int
+	// BaseDelay is the backoff cap for the first retry; attempt k waits a
+	// uniformly random duration in [0, min(MaxDelay, BaseDelay·2^k)] — full
+	// jitter, so a thundering herd decorrelates immediately.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff window growth.
+	MaxDelay time.Duration
+	// Budget, when set, is consulted before every retry; an exhausted
+	// budget stops retrying even if attempts remain. Share one Budget per
+	// client so concurrent operations cannot collectively amplify an
+	// outage.
+	Budget *Budget
+	// RetryIf overrides the taxonomy's retryability decision when set.
+	RetryIf func(error) bool
+	// Sleep is a test seam; nil means time.Sleep honoring ctx.
+	Sleep func(ctx context.Context, d time.Duration) error
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// DefaultPolicy returns the standard client policy: 8 attempts, 10ms base
+// full-jitter backoff capped at 2s, no budget (attach one with Budget).
+func DefaultPolicy() *Policy {
+	return &Policy{MaxAttempts: 8, BaseDelay: 10 * time.Millisecond, MaxDelay: 2 * time.Second}
+}
+
+// backoff returns the jittered delay before retry attempt k (0-based), or
+// the server's hint when the error carries one and it is longer.
+func (p *Policy) backoff(k int, err error) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 2 * time.Second
+	}
+	window := base << uint(min(k, 20))
+	if window > maxd || window <= 0 {
+		window = maxd
+	}
+	p.mu.Lock()
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	d := time.Duration(p.rng.Int63n(int64(window) + 1))
+	p.mu.Unlock()
+	if hint, ok := RetryAfterOf(err); ok && hint > d {
+		d = hint
+	}
+	return d
+}
+
+func (p *Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	if d <= 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (p *Policy) retryable(err error) bool {
+	if p.RetryIf != nil {
+		return p.RetryIf(err)
+	}
+	return IsRetryable(err)
+}
+
+// Do runs fn, retrying per the policy while the error is retryable, the
+// attempt cap and budget allow, and ctx is live. The last error is
+// returned; context expiry surfaces as a typed Timeout wrapping both
+// ctx.Err and the last attempt's error.
+func (p *Policy) Do(ctx context.Context, fn func(ctx context.Context) error) error {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for k := 0; ; k++ {
+		if cerr := FromContext(ctx, ""); cerr != nil {
+			if err != nil {
+				return err
+			}
+			return cerr
+		}
+		err = fn(ctx)
+		if err == nil {
+			if p.Budget != nil {
+				p.Budget.OnSuccess()
+			}
+			return nil
+		}
+		if k+1 >= attempts || !p.retryable(err) {
+			return err
+		}
+		if p.Budget != nil && !p.Budget.Withdraw() {
+			return Wrap(CodeOf(err), "retry budget exhausted", err)
+		}
+		if serr := p.sleep(ctx, p.backoff(k, err)); serr != nil {
+			return Wrap(CodeDeadline, "retry interrupted", err)
+		}
+	}
+}
+
+// Retry is the drop-in replacement for the old testutil.Retry helper:
+// run fn until it succeeds or timeout elapses, backing off between
+// retryable failures under a default policy with a generous attempt cap
+// (the timeout, not the cap, is the binding limit).
+func Retry(timeout time.Duration, fn func() error) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	p := &Policy{MaxAttempts: 1 << 20, BaseDelay: 2 * time.Millisecond, MaxDelay: 100 * time.Millisecond}
+	return p.Do(ctx, func(context.Context) error { return fn() })
+}
+
+// RetryIf is Retry with an explicit retryability predicate, for call sites
+// whose errors predate the taxonomy (or that want retry-everything).
+func RetryIf(timeout time.Duration, retryable func(error) bool, fn func() error) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	p := &Policy{MaxAttempts: 1 << 20, BaseDelay: 2 * time.Millisecond, MaxDelay: 100 * time.Millisecond, RetryIf: retryable}
+	return p.Do(ctx, func(context.Context) error { return fn() })
+}
+
+// Budget is a client-wide retry budget: a token bucket where successes
+// deposit a fraction of a token and every retry withdraws a whole one.
+// When the bucket is empty, retries are refused — first-attempt traffic
+// always passes, so a healthy fraction of work continues while the
+// storm-amplification path is cut. The design follows the classic
+// retry-budget rule: sustained retry volume is bounded by DepositRatio of
+// sustained success volume, plus a small burst floor.
+type Budget struct {
+	// DepositRatio is the fraction of a retry token earned per success.
+	// 0.1 means sustained retries are capped at 10% of successes.
+	DepositRatio float64
+	// Burst is the bucket capacity (and initial balance) in tokens.
+	Burst float64
+
+	mu     sync.Mutex
+	tokens float64
+	init   bool
+}
+
+// NewBudget returns a budget allowing sustained retries at ratio times the
+// success rate with the given burst capacity.
+func NewBudget(ratio float64, burst int) *Budget {
+	return &Budget{DepositRatio: ratio, Burst: float64(burst)}
+}
+
+func (b *Budget) lockedInit() {
+	if !b.init {
+		b.init = true
+		if b.Burst <= 0 {
+			b.Burst = 10
+		}
+		if b.DepositRatio <= 0 {
+			b.DepositRatio = 0.1
+		}
+		b.tokens = b.Burst
+	}
+}
+
+// OnSuccess deposits DepositRatio of a token, up to Burst.
+func (b *Budget) OnSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lockedInit()
+	b.tokens += b.DepositRatio
+	if b.tokens > b.Burst {
+		b.tokens = b.Burst
+	}
+}
+
+// Withdraw takes one token for a retry, reporting false when the budget is
+// exhausted.
+func (b *Budget) Withdraw() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lockedInit()
+	// The epsilon absorbs float accumulation error (ten 0.1-deposits must
+	// buy exactly one retry).
+	if b.tokens < 1-1e-9 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Balance returns the current token balance (tests and introspection).
+func (b *Budget) Balance() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lockedInit()
+	return b.tokens
+}

@@ -1,0 +1,98 @@
+package derr
+
+import (
+	"time"
+
+	"repro/internal/wire"
+	"repro/internal/xdr"
+)
+
+// Two wire encodings carry a derr across process boundaries:
+//
+//  1. the internal wire codec (MarshalWire/UnmarshalWire), embedded in
+//     inter-server messages such as castReply;
+//  2. a magic-guarded XDR trailer (AppendTrailer/TrailingError) appended
+//     after the standard NFS reply body on the SunRPC boundary, following
+//     the lease-trailer pattern: stock clients ignore trailing bytes,
+//     Deceit-aware clients check the magic and recover the typed error.
+//
+// Neither encoding ships the wrapped cause — it is local context only.
+
+// trailerMagic guards the error trailer: "DERR" in ASCII. A reply whose
+// trailing bytes do not start with this magic carries no typed error.
+const trailerMagic = 0x44455252
+
+// trailerLen is the fixed-field prefix of the trailer: magic, code,
+// retry-after, and the message length word.
+const trailerLen = 4 + 4 + 4 + 4
+
+// maxWireMsg bounds the human-readable strings a decoded error may carry,
+// so a corrupt length cannot drive a huge allocation.
+const maxWireMsg = 4096
+
+// MarshalWire encodes e for inter-server messages.
+func (e *E) MarshalWire(enc *wire.Encoder) {
+	enc.Uint16(uint16(e.Code))
+	enc.String(e.Op)
+	enc.String(e.Msg)
+	enc.Uint32(uint32(e.RetryAfter / time.Millisecond))
+}
+
+// UnmarshalWire decodes an error encoded by MarshalWire.
+func (e *E) UnmarshalWire(d *wire.Decoder) error {
+	e.Code = Code(d.Uint16())
+	e.Op = d.String()
+	e.Msg = d.String()
+	e.RetryAfter = time.Duration(d.Uint32()) * time.Millisecond
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if len(e.Op) > maxWireMsg || len(e.Msg) > maxWireMsg {
+		return wire.ErrTooLong
+	}
+	return nil
+}
+
+// AppendTrailer appends the typed-error trailer for err to an XDR-encoded
+// RPC reply. A nil err or an err carrying no useful code still appends a
+// trailer (CodeInternal) — the caller decides whether to call at all; the
+// convention is to append only on error replies.
+func AppendTrailer(enc *xdr.Encoder, err error) {
+	e, ok := AsError(err)
+	if !ok {
+		e = Wrap(CodeOf(err), "", err)
+	}
+	enc.Uint32(trailerMagic)
+	enc.Uint32(uint32(e.Code))
+	enc.Uint32(uint32(e.RetryAfter / time.Millisecond))
+	msg := e.Msg
+	if e.Op != "" {
+		msg = e.Op + ": " + msg
+	}
+	if len(msg) > maxWireMsg {
+		msg = msg[:maxWireMsg]
+	}
+	enc.String(msg)
+}
+
+// TrailingError checks whether the remaining bytes of a decoded RPC reply
+// carry an error trailer and returns the typed error if so. Foreign or
+// absent trailing bytes (a stock server, garbage, truncation) return
+// ok=false with the decoder unconsumed past the peek, mirroring
+// nfsproto.TrailingLease.
+func TrailingError(d *xdr.Decoder) (e *E, ok bool) {
+	if d.Err() != nil || d.Remaining() < trailerLen {
+		return nil, false
+	}
+	if d.Uint32() != trailerMagic {
+		return nil, false
+	}
+	code := Code(d.Uint32())
+	retryAfter := time.Duration(d.Uint32()) * time.Millisecond
+	msg := d.String()
+	if d.Err() != nil || len(msg) > maxWireMsg {
+		return nil, false
+	}
+	e = &E{Code: code, Msg: msg, RetryAfter: retryAfter}
+	return e, true
+}

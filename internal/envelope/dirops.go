@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/derr"
 	"repro/internal/nfsproto"
 	"repro/internal/version"
 	"repro/internal/wire"
@@ -50,44 +51,32 @@ func (ev *Envelope) mutateDir(ctx context.Context, dir core.SegID, fn func(*dirT
 	}
 }
 
+// The envelope's own failure vocabulary, every entry a typed derr so the
+// code survives to the RPC trailer. The legacy NFS status is derived from
+// these by nfsproto.StatusOf — it is a view, not the identity.
 var (
-	errNotDir   = errors.New("envelope: not a directory")
-	errIsDir    = errors.New("envelope: is a directory")
-	errExist    = errors.New("envelope: name exists")
-	errNoEnt    = errors.New("envelope: no such entry")
-	errNotEmpty = errors.New("envelope: directory not empty")
+	errNotDir      = derr.New(derr.CodeNotDir, "envelope: not a directory")
+	errIsDir       = derr.New(derr.CodeIsDir, "envelope: is a directory")
+	errExist       = derr.New(derr.CodeExists, "envelope: name exists")
+	errNoEnt       = derr.New(derr.CodeNotFound, "envelope: no such entry")
+	errNotEmpty    = derr.New(derr.CodeNotEmpty, "envelope: directory not empty")
+	errStale       = derr.New(derr.CodeGone, "envelope: stale handle")
+	errNameTooLong = derr.New(derr.CodeNameTooLong, "envelope: name too long")
+	errBadName     = derr.New(derr.CodeInvalid, "envelope: invalid name")
+	errNotSymlink  = derr.New(derr.CodeNotSymlink, "envelope: not a symlink")
 )
-
-func mapDirErr(err error) nfsproto.Status {
-	switch {
-	case err == nil:
-		return nfsproto.OK
-	case errors.Is(err, errNotDir):
-		return nfsproto.ErrNotDir
-	case errors.Is(err, errIsDir):
-		return nfsproto.ErrIsDir
-	case errors.Is(err, errExist):
-		return nfsproto.ErrExist
-	case errors.Is(err, errNoEnt):
-		return nfsproto.ErrNoEnt
-	case errors.Is(err, errNotEmpty):
-		return nfsproto.ErrNotEmpty
-	default:
-		return mapErr(err)
-	}
-}
 
 // Lookup implements NFSPROC_LOOKUP, including the version syntax: looking up
 // "foo;3" yields a handle bound to foo's third version (§3.5: "by using an
 // unqualified filename, the user automatically requests the most recent
 // available version").
-func (ev *Envelope) Lookup(ctx context.Context, dirH nfsproto.Handle, name string) (nfsproto.Handle, nfsproto.FAttr, nfsproto.Status) {
+func (ev *Envelope) Lookup(ctx context.Context, dirH nfsproto.Handle, name string) (nfsproto.Handle, nfsproto.FAttr, error) {
 	dir, dirMajor, ok := UnpackHandle(dirH)
 	if !ok {
-		return nfsproto.Handle{}, nfsproto.FAttr{}, nfsproto.ErrStale
+		return nfsproto.Handle{}, nfsproto.FAttr{}, errStale
 	}
 	if len(name) > maxName {
-		return nfsproto.Handle{}, nfsproto.FAttr{}, nfsproto.ErrNameTooLong
+		return nfsproto.Handle{}, nfsproto.FAttr{}, errNameTooLong
 	}
 	base, idx, qualified := parseVersionName(name)
 
@@ -95,37 +84,37 @@ func (ev *Envelope) Lookup(ctx context.Context, dirH nfsproto.Handle, name strin
 		// ".." would require parent tracking; the envelope serves "." and
 		// lets the agent resolve ".." (stock NFS clients resolve dotdot
 		// through their own namei cache for the mount root anyway).
-		a, st := ev.attr(ctx, dir, dirMajor)
-		return PackHandle(dir, dirMajor), a, st
+		a, err := ev.attr(ctx, dir, dirMajor)
+		return PackHandle(dir, dirMajor), a, err
 	}
 
 	// A version-qualified directory handle resolves names against that
 	// version's entry table (§3.5: old directory versions stay browsable).
 	t, _, err := ev.readDir(ctx, dir, dirMajor)
 	if err != nil {
-		return nfsproto.Handle{}, nfsproto.FAttr{}, mapErr(err)
+		return nfsproto.Handle{}, nfsproto.FAttr{}, err
 	}
 	seg, found := t.find(base)
 	if !found {
-		return nfsproto.Handle{}, nfsproto.FAttr{}, nfsproto.ErrNoEnt
+		return nfsproto.Handle{}, nfsproto.FAttr{}, errNoEnt
 	}
 	major := uint64(0)
 	if qualified {
 		info, err := ev.seg.Stat(ctx, seg)
 		if err != nil {
-			return nfsproto.Handle{}, nfsproto.FAttr{}, mapErr(err)
+			return nfsproto.Handle{}, nfsproto.FAttr{}, err
 		}
 		m, ok := majorForIndex(info, idx)
 		if !ok {
-			return nfsproto.Handle{}, nfsproto.FAttr{}, nfsproto.ErrNoEnt
+			return nfsproto.Handle{}, nfsproto.FAttr{}, errNoEnt
 		}
 		major = m
 	}
-	a, st := ev.attr(ctx, seg, major)
-	if st != nfsproto.OK {
-		return nfsproto.Handle{}, nfsproto.FAttr{}, st
+	a, err := ev.attr(ctx, seg, major)
+	if err != nil {
+		return nfsproto.Handle{}, nfsproto.FAttr{}, err
 	}
-	return PackHandle(seg, major), a, nfsproto.OK
+	return PackHandle(seg, major), a, nil
 }
 
 // newNode allocates a segment and writes its header, batching any initial
@@ -165,13 +154,13 @@ func (ev *Envelope) newNode(ctx context.Context, kind uint8, sa nfsproto.SAttr, 
 
 // Create implements NFSPROC_CREATE. Creating over an existing name
 // truncates it, matching SunOS client expectations for O_CREAT|O_TRUNC.
-func (ev *Envelope) Create(ctx context.Context, dirH nfsproto.Handle, name string, sa nfsproto.SAttr) (nfsproto.Handle, nfsproto.FAttr, nfsproto.Status) {
+func (ev *Envelope) Create(ctx context.Context, dirH nfsproto.Handle, name string, sa nfsproto.SAttr) (nfsproto.Handle, nfsproto.FAttr, error) {
 	dir, _, ok := UnpackHandle(dirH)
 	if !ok {
-		return nfsproto.Handle{}, nfsproto.FAttr{}, nfsproto.ErrStale
+		return nfsproto.Handle{}, nfsproto.FAttr{}, errStale
 	}
 	if name == "" || len(name) > maxName || name == "." || name == ".." {
-		return nfsproto.Handle{}, nfsproto.FAttr{}, nfsproto.ErrAcces
+		return nfsproto.Handle{}, nfsproto.FAttr{}, errBadName
 	}
 
 	var seg core.SegID
@@ -202,28 +191,28 @@ func (ev *Envelope) Create(ctx context.Context, dirH nfsproto.Handle, name strin
 		return nil
 	})
 	if err != nil {
-		return nfsproto.Handle{}, nfsproto.FAttr{}, mapDirErr(err)
+		return nfsproto.Handle{}, nfsproto.FAttr{}, err
 	}
 	if existing {
 		if _, err := ev.seg.Write(ctx, seg, core.WriteReq{Off: headerSize, Truncate: true}); err != nil {
-			return nfsproto.Handle{}, nfsproto.FAttr{}, mapErr(err)
+			return nfsproto.Handle{}, nfsproto.FAttr{}, err
 		}
 	}
-	a, st := ev.attr(ctx, seg, 0)
-	if st != nfsproto.OK {
-		return nfsproto.Handle{}, nfsproto.FAttr{}, st
+	a, err := ev.attr(ctx, seg, 0)
+	if err != nil {
+		return nfsproto.Handle{}, nfsproto.FAttr{}, err
 	}
-	return PackHandle(seg, 0), a, nfsproto.OK
+	return PackHandle(seg, 0), a, nil
 }
 
 // Mkdir implements NFSPROC_MKDIR.
-func (ev *Envelope) Mkdir(ctx context.Context, dirH nfsproto.Handle, name string, sa nfsproto.SAttr) (nfsproto.Handle, nfsproto.FAttr, nfsproto.Status) {
+func (ev *Envelope) Mkdir(ctx context.Context, dirH nfsproto.Handle, name string, sa nfsproto.SAttr) (nfsproto.Handle, nfsproto.FAttr, error) {
 	dir, _, ok := UnpackHandle(dirH)
 	if !ok {
-		return nfsproto.Handle{}, nfsproto.FAttr{}, nfsproto.ErrStale
+		return nfsproto.Handle{}, nfsproto.FAttr{}, errStale
 	}
 	if name == "" || len(name) > maxName || name == "." || name == ".." {
-		return nfsproto.Handle{}, nfsproto.FAttr{}, nfsproto.ErrAcces
+		return nfsproto.Handle{}, nfsproto.FAttr{}, errBadName
 	}
 	var seg core.SegID
 	err := ev.mutateDir(ctx, dir, func(t *dirTable) error {
@@ -244,23 +233,23 @@ func (ev *Envelope) Mkdir(ctx context.Context, dirH nfsproto.Handle, name string
 		return nil
 	})
 	if err != nil {
-		return nfsproto.Handle{}, nfsproto.FAttr{}, mapDirErr(err)
+		return nfsproto.Handle{}, nfsproto.FAttr{}, err
 	}
-	a, st := ev.attr(ctx, seg, 0)
-	if st != nfsproto.OK {
-		return nfsproto.Handle{}, nfsproto.FAttr{}, st
+	a, err := ev.attr(ctx, seg, 0)
+	if err != nil {
+		return nfsproto.Handle{}, nfsproto.FAttr{}, err
 	}
-	return PackHandle(seg, 0), a, nfsproto.OK
+	return PackHandle(seg, 0), a, nil
 }
 
 // Symlink implements NFSPROC_SYMLINK.
-func (ev *Envelope) Symlink(ctx context.Context, dirH nfsproto.Handle, name, target string, sa nfsproto.SAttr) nfsproto.Status {
+func (ev *Envelope) Symlink(ctx context.Context, dirH nfsproto.Handle, name, target string, sa nfsproto.SAttr) error {
 	dir, _, ok := UnpackHandle(dirH)
 	if !ok {
-		return nfsproto.ErrStale
+		return errStale
 	}
 	if name == "" || len(name) > maxName {
-		return nfsproto.ErrNameTooLong
+		return errNameTooLong
 	}
 	var seg core.SegID
 	err := ev.mutateDir(ctx, dir, func(t *dirTable) error {
@@ -279,40 +268,40 @@ func (ev *Envelope) Symlink(ctx context.Context, dirH nfsproto.Handle, name, tar
 		t.Entries = append(t.Entries, dirEntry{Name: name, Seg: seg})
 		return nil
 	})
-	return mapDirErr(err)
+	return err
 }
 
 // Remove implements NFSPROC_REMOVE. Removing a version-qualified name
 // ("foo;2") deletes just that version (§2.1: special commands let the user
 // delete specific versions); removing the unqualified name unlinks the file.
-func (ev *Envelope) Remove(ctx context.Context, dirH nfsproto.Handle, name string) nfsproto.Status {
+func (ev *Envelope) Remove(ctx context.Context, dirH nfsproto.Handle, name string) error {
 	dir, _, ok := UnpackHandle(dirH)
 	if !ok {
-		return nfsproto.ErrStale
+		return errStale
 	}
 	base, idx, qualified := parseVersionName(name)
 	if qualified {
 		t, _, err := ev.readDir(ctx, dir, 0)
 		if err != nil {
-			return mapErr(err)
+			return err
 		}
 		seg, found := t.find(base)
 		if !found {
-			return nfsproto.ErrNoEnt
+			return errNoEnt
 		}
 		info, err := ev.seg.Stat(ctx, seg)
 		if err != nil {
-			return mapErr(err)
+			return err
 		}
 		major, ok := majorForIndex(info, idx)
 		if !ok {
-			return nfsproto.ErrNoEnt
+			return errNoEnt
 		}
 		if len(info.Versions) == 1 {
 			// Deleting the last version unlinks the file proper.
 			return ev.Remove(ctx, dirH, base)
 		}
-		return mapErr(ev.seg.DeleteVersion(ctx, seg, major))
+		return ev.seg.DeleteVersion(ctx, seg, major)
 	}
 
 	var seg core.SegID
@@ -333,16 +322,16 @@ func (ev *Envelope) Remove(ctx context.Context, dirH nfsproto.Handle, name strin
 		return nil
 	})
 	if err != nil {
-		return mapDirErr(err)
+		return err
 	}
-	return mapErr(ev.unlinked(ctx, seg))
+	return ev.unlinked(ctx, seg)
 }
 
 // Rmdir implements NFSPROC_RMDIR.
-func (ev *Envelope) Rmdir(ctx context.Context, dirH nfsproto.Handle, name string) nfsproto.Status {
+func (ev *Envelope) Rmdir(ctx context.Context, dirH nfsproto.Handle, name string) error {
 	dir, _, ok := UnpackHandle(dirH)
 	if !ok {
-		return nfsproto.ErrStale
+		return errStale
 	}
 	var seg core.SegID
 	err := ev.mutateDir(ctx, dir, func(t *dirTable) error {
@@ -369,41 +358,40 @@ func (ev *Envelope) Rmdir(ctx context.Context, dirH nfsproto.Handle, name string
 		return nil
 	})
 	if err != nil {
-		return mapDirErr(err)
+		return err
 	}
-	return mapErr(ev.seg.Delete(ctx, seg))
+	return ev.seg.Delete(ctx, seg)
 }
 
 // Rename implements NFSPROC_RENAME.
-func (ev *Envelope) Rename(ctx context.Context, fromDirH nfsproto.Handle, fromName string, toDirH nfsproto.Handle, toName string) nfsproto.Status {
+func (ev *Envelope) Rename(ctx context.Context, fromDirH nfsproto.Handle, fromName string, toDirH nfsproto.Handle, toName string) error {
 	fromDir, _, ok := UnpackHandle(fromDirH)
 	if !ok {
-		return nfsproto.ErrStale
+		return errStale
 	}
 	toDir, _, ok2 := UnpackHandle(toDirH)
 	if !ok2 {
-		return nfsproto.ErrStale
+		return errStale
 	}
 	if toName == "" || len(toName) > maxName {
-		return nfsproto.ErrNameTooLong
+		return errNameTooLong
 	}
 
 	// Resolve the source first.
 	var seg core.SegID
-	st := func() nfsproto.Status {
+	if err := func() error {
 		t, _, err := ev.readDir(ctx, fromDir, 0)
 		if err != nil {
-			return mapErr(err)
+			return err
 		}
 		s, found := t.find(fromName)
 		if !found {
-			return nfsproto.ErrNoEnt
+			return errNoEnt
 		}
 		seg = s
-		return nfsproto.OK
-	}()
-	if st != nfsproto.OK {
-		return st
+		return nil
+	}(); err != nil {
+		return err
 	}
 
 	if fromDir == toDir {
@@ -425,7 +413,7 @@ func (ev *Envelope) Rename(ctx context.Context, fromDirH nfsproto.Handle, fromNa
 			}
 			return nil
 		})
-		return mapDirErr(err)
+		return err
 	}
 
 	// Cross-directory: link into the target, record the uplink, then unlink
@@ -433,7 +421,7 @@ func (ev *Envelope) Rename(ctx context.Context, fromDirH nfsproto.Handle, fromNa
 	// count, and an uplink list must be modified in some safe order" — the
 	// order here never leaves the file unreachable.
 	if err := ev.addUplink(ctx, seg, toDir, 0); err != nil {
-		return mapErr(err)
+		return err
 	}
 	var displaced core.SegID
 	err := ev.mutateDir(ctx, toDir, func(t *dirTable) error {
@@ -448,39 +436,39 @@ func (ev *Envelope) Rename(ctx context.Context, fromDirH nfsproto.Handle, fromNa
 		return nil
 	})
 	if err != nil {
-		return mapDirErr(err)
+		return err
 	}
 	err = ev.mutateDir(ctx, fromDir, func(t *dirTable) error {
 		t.remove(fromName)
 		return nil
 	})
 	if err != nil {
-		return mapDirErr(err)
+		return err
 	}
 	if displaced != 0 {
 		if err := ev.unlinked(ctx, displaced); err != nil {
-			return mapErr(err)
+			return err
 		}
 	}
-	return nfsproto.OK
+	return nil
 }
 
 // Link implements NFSPROC_LINK: a new hard link adds the directory to the
 // file's uplink list and bumps the link-count hint (§5.2).
-func (ev *Envelope) Link(ctx context.Context, fileH nfsproto.Handle, dirH nfsproto.Handle, name string) nfsproto.Status {
+func (ev *Envelope) Link(ctx context.Context, fileH nfsproto.Handle, dirH nfsproto.Handle, name string) error {
 	seg, _, ok := UnpackHandle(fileH)
 	if !ok {
-		return nfsproto.ErrStale
+		return errStale
 	}
 	dir, _, ok2 := UnpackHandle(dirH)
 	if !ok2 {
-		return nfsproto.ErrStale
+		return errStale
 	}
 	if name == "" || len(name) > maxName {
-		return nfsproto.ErrNameTooLong
+		return errNameTooLong
 	}
 	if err := ev.addUplink(ctx, seg, dir, 1); err != nil {
-		return mapErr(err)
+		return err
 	}
 	err := ev.mutateDir(ctx, dir, func(t *dirTable) error {
 		if _, found := t.find(name); found {
@@ -493,32 +481,32 @@ func (ev *Envelope) Link(ctx context.Context, fileH nfsproto.Handle, dirH nfspro
 		// Roll the link count hint back; the uplink stays as a harmless
 		// superset (GC verifies against real directory contents).
 		_ = ev.adjustLinkCount(ctx, seg, -1)
-		return mapDirErr(err)
+		return err
 	}
-	return nfsproto.OK
+	return nil
 }
 
 // Readdir implements NFSPROC_READDIR with cookie-based pagination. The
 // synthetic "." and ".." entries appear first, as clients expect.
-func (ev *Envelope) Readdir(ctx context.Context, dirH nfsproto.Handle, cookie uint32, count uint32) (nfsproto.ReaddirRes, nfsproto.Status) {
+func (ev *Envelope) Readdir(ctx context.Context, dirH nfsproto.Handle, cookie uint32, count uint32) (nfsproto.ReaddirRes, error) {
 	dir, dirMajor, ok := UnpackHandle(dirH)
 	if !ok {
-		return nfsproto.ReaddirRes{Status: nfsproto.ErrStale}, nfsproto.ErrStale
+		return nfsproto.ReaddirRes{Status: nfsproto.ErrStale}, errStale
 	}
 	// One combined header+table read: a directory scan touches its segment
 	// once, and under a read token that read never leaves this server.
 	hdr, payload, _, err := ev.readNode(ctx, dir, dirMajor)
 	if err != nil {
-		return nfsproto.ReaddirRes{Status: mapErr(err)}, mapErr(err)
+		return nfsproto.ReaddirRes{Status: nfsproto.StatusOf(err)}, err
 	}
 	if hdr.Kind != kindDir {
-		return nfsproto.ReaddirRes{Status: nfsproto.ErrNotDir}, nfsproto.ErrNotDir
+		return nfsproto.ReaddirRes{Status: nfsproto.ErrNotDir}, errNotDir
 	}
 	t := new(dirTable)
 	if len(payload) > 0 {
 		if err := t.UnmarshalWire(wire.NewDecoder(payload)); err != nil {
-			st := mapErr(fmt.Errorf("envelope: corrupt directory %v: %w", dir, err))
-			return nfsproto.ReaddirRes{Status: st}, st
+			cerr := derr.Wrap(derr.CodeCorrupt, fmt.Sprintf("envelope: corrupt directory %v", dir), err)
+			return nfsproto.ReaddirRes{Status: nfsproto.StatusOf(cerr)}, cerr
 		}
 	}
 	sort.Slice(t.Entries, func(i, j int) bool { return t.Entries[i].Name < t.Entries[j].Name })
@@ -540,13 +528,13 @@ func (ev *Envelope) Readdir(ctx context.Context, dirH nfsproto.Handle, cookie ui
 	for i := int(cookie); i < len(all); i++ {
 		sz := uint32(16 + len(all[i].Name))
 		if bytes+sz > count && len(res.Entries) > 0 {
-			return res, nfsproto.OK
+			return res, nil
 		}
 		res.Entries = append(res.Entries, all[i])
 		bytes += sz
 	}
 	res.EOF = true
-	return res, nfsproto.OK
+	return res, nil
 }
 
 // ReconcileDir implements the "reconcile directory versions" special
@@ -556,17 +544,17 @@ func (ev *Envelope) Readdir(ctx context.Context, dirH nfsproto.Handle, cookie ui
 // deletes the obsolete versions, so the user recovers every file created on
 // either side. Name collisions keep the current version's binding and
 // expose the other under "name;conflict".
-func (ev *Envelope) ReconcileDir(ctx context.Context, dirH nfsproto.Handle) (int, nfsproto.Status) {
+func (ev *Envelope) ReconcileDir(ctx context.Context, dirH nfsproto.Handle) (int, error) {
 	dir, _, ok := UnpackHandle(dirH)
 	if !ok {
-		return 0, nfsproto.ErrStale
+		return 0, errStale
 	}
 	info, err := ev.seg.Stat(ctx, dir)
 	if err != nil {
-		return 0, mapErr(err)
+		return 0, err
 	}
 	if len(info.Versions) <= 1 {
-		return 0, nfsproto.OK // nothing to reconcile
+		return 0, nil // nothing to reconcile
 	}
 
 	// Gather entries from every non-current version.
@@ -582,7 +570,7 @@ func (ev *Envelope) ReconcileDir(ctx context.Context, dirH nfsproto.Handle) (int
 		}
 		t, _, err := ev.readDir(ctx, dir, v.Major)
 		if err != nil {
-			return 0, mapErr(err)
+			return 0, err
 		}
 		for i := range t.Entries {
 			extras = append(extras, foreign{name: t.Entries[i].Name, seg: t.Entries[i].Seg})
@@ -613,15 +601,15 @@ func (ev *Envelope) ReconcileDir(ctx context.Context, dirH nfsproto.Handle) (int
 		return nil
 	})
 	if err2 != nil {
-		return 0, mapDirErr(err2)
+		return 0, err2
 	}
 	// The obsolete directory versions have been folded in; drop them.
 	for _, m := range obsolete {
 		if err := ev.seg.DeleteVersion(ctx, dir, m); err != nil {
-			return merged, mapErr(err)
+			return merged, err
 		}
 	}
-	return merged, nfsproto.OK
+	return merged, nil
 }
 
 // ------------------------------------------------------- uplinks and GC --
@@ -643,7 +631,7 @@ func (ev *Envelope) addUplink(ctx context.Context, seg, dir core.SegID, delta in
 		}
 		if !present {
 			if len(hdr.Uplinks) >= maxUplinks {
-				return errors.New("envelope: uplink list full")
+				return derr.New(derr.CodeInvalid, "envelope: uplink list full")
 			}
 			hdr.Uplinks = append(hdr.Uplinks, uint64(dir))
 		}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/derr"
 	"repro/internal/nfsproto"
 	"repro/internal/version"
 	"repro/internal/wire"
@@ -271,7 +272,7 @@ func (ev *Envelope) readHeader(ctx context.Context, id core.SegID, major uint64)
 	hdr := new(fileHeader)
 	d := wire.NewDecoder(data)
 	if err := hdr.UnmarshalWire(d); err != nil {
-		return nil, pair, fmt.Errorf("envelope: corrupt header of %v: %w", id, err)
+		return nil, pair, derr.Wrap(derr.CodeCorrupt, fmt.Sprintf("envelope: corrupt header of %v", id), err)
 	}
 	return hdr, pair, nil
 }
@@ -281,7 +282,7 @@ func (ev *Envelope) readHeader(ctx context.Context, id core.SegID, major uint64)
 func headerReq(hdr *fileHeader, expect version.Pair) (core.WriteReq, error) {
 	buf := wire.Marshal(hdr)
 	if len(buf) > headerSize {
-		return core.WriteReq{}, errors.New("envelope: header overflow (too many uplinks)")
+		return core.WriteReq{}, derr.New(derr.CodeInvalid, "envelope: header overflow (too many uplinks)")
 	}
 	return core.WriteReq{Off: 0, Data: buf, Expect: expect}, nil
 }
@@ -308,7 +309,7 @@ func (ev *Envelope) readDir(ctx context.Context, id core.SegID, major uint64) (*
 	}
 	d := wire.NewDecoder(data)
 	if err := t.UnmarshalWire(d); err != nil {
-		return nil, pair, fmt.Errorf("envelope: corrupt directory %v: %w", id, err)
+		return nil, pair, derr.Wrap(derr.CodeCorrupt, fmt.Sprintf("envelope: corrupt directory %v", id), err)
 	}
 	return t, pair, nil
 }
@@ -323,7 +324,7 @@ func (ev *Envelope) readNode(ctx context.Context, id core.SegID, major uint64) (
 	}
 	hdr := new(fileHeader)
 	if err := hdr.UnmarshalWire(wire.NewDecoder(data)); err != nil {
-		return nil, nil, pair, fmt.Errorf("envelope: corrupt header of %v: %w", id, err)
+		return nil, nil, pair, derr.Wrap(derr.CodeCorrupt, fmt.Sprintf("envelope: corrupt header of %v", id), err)
 	}
 	var payload []byte
 	if int64(len(data)) > headerSize {
@@ -366,14 +367,14 @@ func (ev *Envelope) writeDir(ctx context.Context, id core.SegID, t *dirTable, ex
 // attr synthesizes the NFS fattr for a file. Size comes from the segment;
 // mtime advances with the version pair so clients' attribute caches
 // invalidate on every update.
-func (ev *Envelope) attr(ctx context.Context, id core.SegID, major uint64) (nfsproto.FAttr, nfsproto.Status) {
+func (ev *Envelope) attr(ctx context.Context, id core.SegID, major uint64) (nfsproto.FAttr, error) {
 	hdr, pair, err := ev.readHeader(ctx, id, major)
 	if err != nil {
-		return nfsproto.FAttr{}, mapErr(err)
+		return nfsproto.FAttr{}, err
 	}
 	info, err := ev.seg.Stat(ctx, id)
 	if err != nil {
-		return nfsproto.FAttr{}, mapErr(err)
+		return nfsproto.FAttr{}, err
 	}
 	m := major
 	if m == 0 {
@@ -389,7 +390,7 @@ func (ev *Envelope) attr(ctx context.Context, id core.SegID, major uint64) (nfsp
 	if size < 0 {
 		size = 0
 	}
-	return ev.attrFrom(id, hdr, pair, size), nfsproto.OK
+	return ev.attrFrom(id, hdr, pair, size), nil
 }
 
 func (ev *Envelope) attrFrom(id core.SegID, hdr *fileHeader, pair version.Pair, size int64) nfsproto.FAttr {
@@ -430,25 +431,25 @@ func (ev *Envelope) attrFrom(id core.SegID, hdr *fileHeader, pair version.Pair, 
 }
 
 // Getattr implements NFSPROC_GETATTR.
-func (ev *Envelope) Getattr(ctx context.Context, h nfsproto.Handle) (nfsproto.FAttr, nfsproto.Status) {
+func (ev *Envelope) Getattr(ctx context.Context, h nfsproto.Handle) (nfsproto.FAttr, error) {
 	seg, major, ok := UnpackHandle(h)
 	if !ok {
-		return nfsproto.FAttr{}, nfsproto.ErrStale
+		return nfsproto.FAttr{}, errStale
 	}
 	return ev.attr(ctx, seg, major)
 }
 
 // Setattr implements NFSPROC_SETATTR: mode/uid/gid/time changes rewrite the
 // header; a size change truncates or extends the payload.
-func (ev *Envelope) Setattr(ctx context.Context, h nfsproto.Handle, sa nfsproto.SAttr) (nfsproto.FAttr, nfsproto.Status) {
+func (ev *Envelope) Setattr(ctx context.Context, h nfsproto.Handle, sa nfsproto.SAttr) (nfsproto.FAttr, error) {
 	seg, major, ok := UnpackHandle(h)
 	if !ok {
-		return nfsproto.FAttr{}, nfsproto.ErrStale
+		return nfsproto.FAttr{}, errStale
 	}
 	for {
 		hdr, pair, err := ev.readHeader(ctx, seg, major)
 		if err != nil {
-			return nfsproto.FAttr{}, mapErr(err)
+			return nfsproto.FAttr{}, err
 		}
 		changed := false
 		if sa.Mode != nfsproto.NoValue {
@@ -473,7 +474,7 @@ func (ev *Envelope) Setattr(ctx context.Context, h nfsproto.Handle, sa nfsproto.
 		if changed {
 			hreq, err := headerReq(hdr, pair)
 			if err != nil {
-				return nfsproto.FAttr{}, mapErr(err)
+				return nfsproto.FAttr{}, err
 			}
 			reqs = append(reqs, hreq)
 		}
@@ -487,77 +488,77 @@ func (ev *Envelope) Setattr(ctx context.Context, h nfsproto.Handle, sa nfsproto.
 				if errors.Is(err, core.ErrVersionConflict) {
 					continue // the §5.1 optimistic retry
 				}
-				return nfsproto.FAttr{}, mapErr(err)
+				return nfsproto.FAttr{}, err
 			}
 		}
 		return ev.attrOK(ctx, seg, major)
 	}
 }
 
-func (ev *Envelope) attrOK(ctx context.Context, seg core.SegID, major uint64) (nfsproto.FAttr, nfsproto.Status) {
-	a, st := ev.attr(ctx, seg, major)
-	if st != nfsproto.OK {
-		return nfsproto.FAttr{}, st
+func (ev *Envelope) attrOK(ctx context.Context, seg core.SegID, major uint64) (nfsproto.FAttr, error) {
+	a, err := ev.attr(ctx, seg, major)
+	if err != nil {
+		return nfsproto.FAttr{}, err
 	}
-	return a, nfsproto.OK
+	return a, nil
 }
 
 // Read implements NFSPROC_READ.
-func (ev *Envelope) Read(ctx context.Context, h nfsproto.Handle, off, count uint32) ([]byte, nfsproto.FAttr, nfsproto.Status) {
+func (ev *Envelope) Read(ctx context.Context, h nfsproto.Handle, off, count uint32) ([]byte, nfsproto.FAttr, error) {
 	seg, major, ok := UnpackHandle(h)
 	if !ok {
-		return nil, nfsproto.FAttr{}, nfsproto.ErrStale
+		return nil, nfsproto.FAttr{}, errStale
 	}
 	data, _, err := ev.seg.Read(ctx, seg, major, headerSize+int64(off), int64(count))
 	if err != nil {
-		return nil, nfsproto.FAttr{}, mapErr(err)
+		return nil, nfsproto.FAttr{}, err
 	}
-	a, st := ev.attr(ctx, seg, major)
-	if st != nfsproto.OK {
-		return nil, nfsproto.FAttr{}, st
+	a, err := ev.attr(ctx, seg, major)
+	if err != nil {
+		return nil, nfsproto.FAttr{}, err
 	}
-	return data, a, nfsproto.OK
+	return data, a, nil
 }
 
 // Write implements NFSPROC_WRITE.
-func (ev *Envelope) Write(ctx context.Context, h nfsproto.Handle, off uint32, data []byte) (nfsproto.FAttr, nfsproto.Status) {
+func (ev *Envelope) Write(ctx context.Context, h nfsproto.Handle, off uint32, data []byte) (nfsproto.FAttr, error) {
 	seg, major, ok := UnpackHandle(h)
 	if !ok {
-		return nfsproto.FAttr{}, nfsproto.ErrStale
+		return nfsproto.FAttr{}, errStale
 	}
 	_, err := ev.seg.Write(ctx, seg, core.WriteReq{
 		Major: major, Off: headerSize + int64(off), Data: data,
 	})
 	if err != nil {
-		return nfsproto.FAttr{}, mapErr(err)
+		return nfsproto.FAttr{}, err
 	}
 	return ev.attrOK(ctx, seg, major)
 }
 
 // Readlink implements NFSPROC_READLINK.
-func (ev *Envelope) Readlink(ctx context.Context, h nfsproto.Handle) (string, nfsproto.Status) {
+func (ev *Envelope) Readlink(ctx context.Context, h nfsproto.Handle) (string, error) {
 	seg, major, ok := UnpackHandle(h)
 	if !ok {
-		return "", nfsproto.ErrStale
+		return "", errStale
 	}
 	hdr, _, err := ev.readHeader(ctx, seg, major)
 	if err != nil {
-		return "", mapErr(err)
+		return "", err
 	}
 	if hdr.Kind != kindLnk {
-		return "", nfsproto.ErrNXIO
+		return "", errNotSymlink
 	}
 	data, _, err := ev.seg.Read(ctx, seg, major, headerSize, -1)
 	if err != nil {
-		return "", mapErr(err)
+		return "", err
 	}
-	return string(data), nfsproto.OK
+	return string(data), nil
 }
 
 // Statfs implements NFSPROC_STATFS with synthetic capacity numbers.
-func (ev *Envelope) Statfs(ctx context.Context, h nfsproto.Handle) (nfsproto.StatfsRes, nfsproto.Status) {
+func (ev *Envelope) Statfs(ctx context.Context, h nfsproto.Handle) (nfsproto.StatfsRes, error) {
 	if _, _, ok := UnpackHandle(h); !ok {
-		return nfsproto.StatfsRes{Status: nfsproto.ErrStale}, nfsproto.ErrStale
+		return nfsproto.StatfsRes{Status: nfsproto.ErrStale}, errStale
 	}
 	return nfsproto.StatfsRes{
 		Status: nfsproto.OK,
@@ -566,28 +567,7 @@ func (ev *Envelope) Statfs(ctx context.Context, h nfsproto.Handle) (nfsproto.Sta
 		Blocks: 1 << 20,
 		BFree:  1 << 19,
 		BAvail: 1 << 19,
-	}, nfsproto.OK
-}
-
-// mapErr converts segment-server errors into NFS status codes, using the
-// segment layer's own predicates for the gone/retryable classes.
-func mapErr(err error) nfsproto.Status {
-	switch {
-	case err == nil:
-		return nfsproto.OK
-	case core.IsGone(err):
-		return nfsproto.ErrStale
-	case errors.Is(err, core.ErrWriteUnavailable):
-		return nfsproto.ErrROFS
-	case errors.Is(err, core.ErrVersionConflict):
-		return nfsproto.ErrIO
-	case core.IsRetryable(err):
-		// The segment layer exhausted its own retries; surface a transient
-		// failure the NFS client will retry.
-		return nfsproto.ErrIO
-	default:
-		return nfsproto.ErrIO
-	}
+	}, nil
 }
 
 // parseVersionName splits the §3.5 version-qualified syntax "name;N" into

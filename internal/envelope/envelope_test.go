@@ -34,9 +34,9 @@ func ctxT(t *testing.T, d time.Duration) context.Context {
 	return ctx
 }
 
-func mustOK(t *testing.T, st nfsproto.Status, what string) {
+func mustOK(t *testing.T, st error, what string) {
 	t.Helper()
-	if st != nfsproto.OK {
+	if st != nil {
 		t.Fatalf("%s: %v", what, st)
 	}
 }
@@ -210,7 +210,7 @@ func TestRemoveAndGC(t *testing.T) {
 	seg, _, _ := UnpackHandle(fh)
 
 	mustOK(t, ev.Remove(ctx, root, "victim"), "remove")
-	if _, _, st := ev.Lookup(ctx, root, "victim"); st != nfsproto.ErrNoEnt {
+	if _, _, st := ev.Lookup(ctx, root, "victim"); nfsproto.StatusOf(st) != nfsproto.ErrNoEnt {
 		t.Errorf("lookup after remove = %v", st)
 	}
 	// The segment itself must be deallocated (GC, §5.2).
@@ -317,7 +317,7 @@ func TestRenameSameAndCrossDir(t *testing.T) {
 
 	// Same-directory rename.
 	mustOK(t, ev.Rename(ctx, root, "old", root, "new"), "rename")
-	if _, _, st := ev.Lookup(ctx, root, "old"); st != nfsproto.ErrNoEnt {
+	if _, _, st := ev.Lookup(ctx, root, "old"); nfsproto.StatusOf(st) != nfsproto.ErrNoEnt {
 		t.Errorf("old name still present: %v", st)
 	}
 	fh2, _, st := ev.Lookup(ctx, root, "new")
@@ -337,7 +337,7 @@ func TestRenameSameAndCrossDir(t *testing.T) {
 	if string(data) != "content" {
 		t.Errorf("moved data = %q", data)
 	}
-	if _, _, st := ev.Lookup(ctx, root, "new"); st != nfsproto.ErrNoEnt {
+	if _, _, st := ev.Lookup(ctx, root, "new"); nfsproto.StatusOf(st) != nfsproto.ErrNoEnt {
 		t.Errorf("source name survived cross-dir rename")
 	}
 }
@@ -369,24 +369,24 @@ func TestMkdirRmdirSemantics(t *testing.T) {
 
 	sub, _, st := ev.Mkdir(ctx, root, "d", nfsproto.SAttr{Mode: nfsproto.NoValue})
 	mustOK(t, st, "mkdir")
-	if _, _, st := ev.Mkdir(ctx, root, "d", nfsproto.SAttr{Mode: nfsproto.NoValue}); st != nfsproto.ErrExist {
+	if _, _, st := ev.Mkdir(ctx, root, "d", nfsproto.SAttr{Mode: nfsproto.NoValue}); nfsproto.StatusOf(st) != nfsproto.ErrExist {
 		t.Errorf("duplicate mkdir = %v", st)
 	}
 	// Rmdir of a non-empty directory fails.
 	_, _, st = ev.Create(ctx, sub, "f", nfsproto.SAttr{Mode: nfsproto.NoValue})
 	mustOK(t, st, "create in d")
-	if st := ev.Rmdir(ctx, root, "d"); st != nfsproto.ErrNotEmpty {
+	if st := ev.Rmdir(ctx, root, "d"); nfsproto.StatusOf(st) != nfsproto.ErrNotEmpty {
 		t.Errorf("rmdir non-empty = %v", st)
 	}
 	mustOK(t, ev.Remove(ctx, sub, "f"), "remove f")
 	mustOK(t, ev.Rmdir(ctx, root, "d"), "rmdir")
-	if _, _, st := ev.Lookup(ctx, root, "d"); st != nfsproto.ErrNoEnt {
+	if _, _, st := ev.Lookup(ctx, root, "d"); nfsproto.StatusOf(st) != nfsproto.ErrNoEnt {
 		t.Errorf("lookup removed dir = %v", st)
 	}
 	// Remove on a directory fails with ISDIR.
 	_, _, st = ev.Mkdir(ctx, root, "d2", nfsproto.SAttr{Mode: nfsproto.NoValue})
 	mustOK(t, st, "mkdir d2")
-	if st := ev.Remove(ctx, root, "d2"); st != nfsproto.ErrIsDir {
+	if st := ev.Remove(ctx, root, "d2"); nfsproto.StatusOf(st) != nfsproto.ErrIsDir {
 		t.Errorf("remove dir = %v", st)
 	}
 }
@@ -454,12 +454,12 @@ func TestStaleHandleRejected(t *testing.T) {
 	ev := envs[0]
 	ctx := ctxT(t, 10*time.Second)
 	var bogus nfsproto.Handle
-	if _, st := ev.Getattr(ctx, bogus); st != nfsproto.ErrStale {
+	if _, st := ev.Getattr(ctx, bogus); nfsproto.StatusOf(st) != nfsproto.ErrStale {
 		t.Errorf("garbage handle getattr = %v", st)
 	}
 	// A well-formed handle to a vanished segment is stale too.
 	gone := PackHandle(core.SegID(0x123456789), 0)
-	if _, st := ev.Getattr(ctx, gone); st != nfsproto.ErrStale {
+	if _, st := ev.Getattr(ctx, gone); nfsproto.StatusOf(st) != nfsproto.ErrStale {
 		t.Errorf("dangling handle getattr = %v", st)
 	}
 }

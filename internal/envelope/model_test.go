@@ -82,7 +82,7 @@ func (h *modelHarness) handleFor(path string) (nfsproto.Handle, bool) {
 	}
 	for _, part := range strings.Split(path, "/") {
 		next, _, st := h.ev.Lookup(h.ctx, cur, part)
-		if st != nfsproto.OK {
+		if st != nil {
 			return nfsproto.Handle{}, false
 		}
 		cur = next
@@ -117,17 +117,17 @@ func (h *modelHarness) step(i int) {
 		existing := mdir.children[name]
 		switch {
 		case existing == nil:
-			if st != nfsproto.OK {
+			if st != nil {
 				t.Fatalf("step %d: create %s/%s = %v, model says new file", i, dir, name, st)
 			}
 			mdir.children[name] = newMFile()
 		case existing.isDir:
-			if st == nfsproto.OK {
+			if st == nil {
 				t.Fatalf("step %d: create over directory %s/%s succeeded", i, dir, name)
 			}
 		default:
 			// NFS create over an existing file truncates it.
-			if st != nfsproto.OK {
+			if st != nil {
 				t.Fatalf("step %d: create over file %s/%s = %v", i, dir, name, st)
 			}
 			existing.data = nil
@@ -138,12 +138,12 @@ func (h *modelHarness) step(i int) {
 		_, _, st := h.ev.Mkdir(h.ctx, dh, name, nfsproto.SAttr{Mode: 0755})
 		mdir := h.m.resolve(dir)
 		if mdir.children[name] == nil {
-			if st != nfsproto.OK {
+			if st != nil {
 				t.Fatalf("step %d: mkdir %s/%s = %v, model says free", i, dir, name, st)
 			}
 			mdir.children[name] = newMDir()
 			h.dirs = append(h.dirs, join(dir, name))
-		} else if st == nfsproto.OK {
+		} else if st == nil {
 			t.Fatalf("step %d: mkdir over existing %s/%s succeeded", i, dir, name)
 		}
 	case 2: // write to a file
@@ -155,12 +155,12 @@ func (h *modelHarness) step(i int) {
 		}
 		dh, _ := h.handleFor(dir)
 		fh, _, st := h.ev.Lookup(h.ctx, dh, name)
-		if st != nfsproto.OK {
+		if st != nil {
 			t.Fatalf("step %d: lookup %s/%s = %v, model has a file", i, dir, name, st)
 		}
 		off := uint32(h.rng.Intn(32))
 		payload := []byte(fmt.Sprintf("w%d", i))
-		if _, st := h.ev.Write(h.ctx, fh, off, payload); st != nfsproto.OK {
+		if _, st := h.ev.Write(h.ctx, fh, off, payload); st != nil {
 			t.Fatalf("step %d: write %s/%s = %v", i, dir, name, st)
 		}
 		end := int(off) + len(payload)
@@ -178,11 +178,11 @@ func (h *modelHarness) step(i int) {
 		}
 		dh, _ := h.handleFor(dir)
 		fh, _, st := h.ev.Lookup(h.ctx, dh, name)
-		if st != nfsproto.OK {
+		if st != nil {
 			t.Fatalf("step %d: lookup %s/%s = %v", i, dir, name, st)
 		}
 		data, _, st := h.ev.Read(h.ctx, fh, 0, 1<<16)
-		if st != nfsproto.OK {
+		if st != nil {
 			t.Fatalf("step %d: read %s/%s = %v", i, dir, name, st)
 		}
 		if string(data) != string(mf.data) {
@@ -196,15 +196,15 @@ func (h *modelHarness) step(i int) {
 		st := h.ev.Remove(h.ctx, dh, name)
 		switch {
 		case target == nil:
-			if st == nfsproto.OK {
+			if st == nil {
 				t.Fatalf("step %d: remove missing %s/%s succeeded", i, dir, name)
 			}
 		case target.isDir:
-			if st == nfsproto.OK {
+			if st == nil {
 				t.Fatalf("step %d: remove of directory %s/%s succeeded", i, dir, name)
 			}
 		default:
-			if st != nfsproto.OK {
+			if st != nil {
 				t.Fatalf("step %d: remove %s/%s = %v", i, dir, name, st)
 			}
 			delete(mdir.children, name)
@@ -217,15 +217,15 @@ func (h *modelHarness) step(i int) {
 		st := h.ev.Rmdir(h.ctx, dh, name)
 		switch {
 		case target == nil || !target.isDir:
-			if st == nfsproto.OK {
+			if st == nil {
 				t.Fatalf("step %d: rmdir non-directory %s/%s succeeded", i, dir, name)
 			}
 		case len(target.children) > 0:
-			if st == nfsproto.OK {
+			if st == nil {
 				t.Fatalf("step %d: rmdir non-empty %s/%s succeeded", i, dir, name)
 			}
 		default:
-			if st != nfsproto.OK {
+			if st != nil {
 				t.Fatalf("step %d: rmdir %s/%s = %v", i, dir, name, st)
 			}
 			delete(mdir.children, name)
@@ -256,7 +256,7 @@ func (h *modelHarness) step(i int) {
 		fdh, _ := h.handleFor(fromDir)
 		tdh, _ := h.handleFor(toDir)
 		st := h.ev.Rename(h.ctx, fdh, fromName, tdh, toName)
-		if st != nfsproto.OK {
+		if st != nil {
 			t.Fatalf("step %d: rename %s/%s -> %s/%s = %v", i, fromDir, fromName, toDir, toName, st)
 		}
 		delete(mFrom.children, fromName)
@@ -271,17 +271,17 @@ func (h *modelHarness) step(i int) {
 		mTo := h.m.resolve(toDir)
 		dh, _ := h.handleFor(dir)
 		fh, _, st := h.ev.Lookup(h.ctx, dh, name)
-		if st != nfsproto.OK {
+		if st != nil {
 			t.Fatalf("step %d: lookup %s/%s = %v", i, dir, name, st)
 		}
 		tdh, _ := h.handleFor(toDir)
 		st = h.ev.Link(h.ctx, fh, tdh, toName)
 		if mTo.children[toName] == nil {
-			if st != nfsproto.OK {
+			if st != nil {
 				t.Fatalf("step %d: link %s/%s -> %s/%s = %v", i, dir, name, toDir, toName, st)
 			}
 			mTo.children[toName] = src
-		} else if st == nfsproto.OK {
+		} else if st == nil {
 			t.Fatalf("step %d: link over existing %s/%s succeeded", i, toDir, toName)
 		}
 	case 8: // readdir and compare listings
@@ -289,7 +289,7 @@ func (h *modelHarness) step(i int) {
 		mdir := h.m.resolve(dir)
 		dh, _ := h.handleFor(dir)
 		res, st := h.ev.Readdir(h.ctx, dh, 0, 1<<20)
-		if st != nfsproto.OK {
+		if st != nil {
 			t.Fatalf("step %d: readdir %s = %v", i, dir, st)
 		}
 		var got []string
@@ -313,7 +313,7 @@ func (h *modelHarness) step(i int) {
 		exists := h.m.resolve(dir).children[name] != nil
 		dh, _ := h.handleFor(dir)
 		_, _, st := h.ev.Lookup(h.ctx, dh, name)
-		if exists != (st == nfsproto.OK) {
+		if exists != (st == nil) {
 			t.Fatalf("step %d: lookup %s/%s = %v, model exists=%v", i, dir, name, st, exists)
 		}
 	}

@@ -48,36 +48,36 @@ func TestVersionLookupEdgeCases(t *testing.T) {
 	root := ev.Root()
 
 	fh, _, st := ev.Create(ctx, root, "doc.txt", nfsproto.SAttr{Mode: nfsproto.NoValue})
-	if st != nfsproto.OK {
+	if st != nil {
 		t.Fatalf("create: %v", st)
 	}
-	if _, st := ev.Write(ctx, fh, 0, []byte("v1")); st != nfsproto.OK {
+	if _, st := ev.Write(ctx, fh, 0, []byte("v1")); st != nil {
 		t.Fatalf("write: %v", st)
 	}
 
 	// ";1" selects the only version.
 	h1, _, st := ev.Lookup(ctx, root, "doc.txt;1")
-	if st != nfsproto.OK {
+	if st != nil {
 		t.Fatalf("lookup doc.txt;1: %v", st)
 	}
 	data, _, st := ev.Read(ctx, h1, 0, 16)
-	if st != nfsproto.OK || string(data) != "v1" {
+	if st != nil || string(data) != "v1" {
 		t.Errorf("read ;1 = %q %v", data, st)
 	}
 
 	// Out-of-range version indexes do not resolve.
-	if _, _, st := ev.Lookup(ctx, root, "doc.txt;2"); st == nfsproto.OK {
+	if _, _, st := ev.Lookup(ctx, root, "doc.txt;2"); st == nil {
 		t.Error("lookup doc.txt;2 resolved on an unforked file")
 	}
-	if _, _, st := ev.Lookup(ctx, root, "doc.txt;999"); st == nfsproto.OK {
+	if _, _, st := ev.Lookup(ctx, root, "doc.txt;999"); st == nil {
 		t.Error("lookup doc.txt;999 resolved")
 	}
 
 	// A file literally named with a non-numeric ";suffix" is a plain name.
-	if _, _, st := ev.Create(ctx, root, "odd;name", nfsproto.SAttr{Mode: nfsproto.NoValue}); st != nfsproto.OK {
+	if _, _, st := ev.Create(ctx, root, "odd;name", nfsproto.SAttr{Mode: nfsproto.NoValue}); st != nil {
 		t.Fatalf("create odd;name: %v", st)
 	}
-	if _, _, st := ev.Lookup(ctx, root, "odd;name"); st != nfsproto.OK {
+	if _, _, st := ev.Lookup(ctx, root, "odd;name"); st != nil {
 		t.Errorf("lookup odd;name: %v", st)
 	}
 }

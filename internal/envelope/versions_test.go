@@ -31,9 +31,9 @@ func forkedDirSetup(t *testing.T) (cell *testutil.Cell, envs []*Envelope, dirH n
 	}
 	root := envs[0].Root()
 
-	var st nfsproto.Status
+	var st error
 	dirH, _, st = envs[0].Mkdir(ctx, root, "shared", nfsproto.SAttr{Mode: nfsproto.NoValue})
-	if st != nfsproto.OK {
+	if st != nil {
 		t.Fatalf("mkdir: %v", st)
 	}
 	seg, _, _ := UnpackHandle(dirH)
@@ -57,7 +57,7 @@ func forkedDirSetup(t *testing.T) (cell *testutil.Cell, envs []*Envelope, dirH n
 			cctx, ccancel := context.WithTimeout(context.Background(), 3*time.Second)
 			_, _, st := ev.Create(cctx, dirH, name, nfsproto.SAttr{Mode: nfsproto.NoValue})
 			ccancel()
-			if st == nfsproto.OK {
+			if st == nil {
 				return
 			}
 			time.Sleep(100 * time.Millisecond)
@@ -119,7 +119,7 @@ func TestVersionQualifiedNamesAfterFork(t *testing.T) {
 
 	// Unqualified lookup resolves to the most recent available version.
 	_, _, st := ev.Lookup(ctx, root, "shared")
-	if st != nfsproto.OK {
+	if st != nil {
 		t.Fatalf("unqualified lookup: %v", st)
 	}
 
@@ -127,14 +127,14 @@ func TestVersionQualifiedNamesAfterFork(t *testing.T) {
 	sides := map[string]bool{}
 	for _, versioned := range []string{"shared;1", "shared;2"} {
 		vh, attr, st := ev.Lookup(ctx, root, versioned)
-		if st != nfsproto.OK {
+		if st != nil {
 			t.Fatalf("lookup %s: %v", versioned, st)
 		}
 		if attr.Type != nfsproto.TypeDir {
 			t.Errorf("%s type = %v", versioned, attr.Type)
 		}
 		res, st := ev.Readdir(ctx, vh, 0, 8192)
-		if st != nfsproto.OK {
+		if st != nil {
 			t.Fatalf("readdir %s: %v", versioned, st)
 		}
 		for _, e := range res.Entries {
@@ -156,7 +156,7 @@ func TestReconcileDirMergesForkedVersions(t *testing.T) {
 	ev := envs[0]
 
 	merged, st := ev.ReconcileDir(ctx, dirH)
-	if st != nfsproto.OK {
+	if st != nil {
 		t.Fatalf("reconcile: %v", st)
 	}
 	if merged == 0 {
@@ -172,7 +172,7 @@ func TestReconcileDirMergesForkedVersions(t *testing.T) {
 		t.Errorf("versions after reconcile = %d, want 1", len(info.Versions))
 	}
 	res, st := ev.Readdir(ctx, dirH, 0, 8192)
-	if st != nfsproto.OK {
+	if st != nil {
 		t.Fatalf("readdir: %v", st)
 	}
 	names := map[string]bool{}

@@ -3,9 +3,11 @@ package load
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/derr"
 	"repro/internal/simnet"
 	"repro/internal/store"
 	"repro/internal/testnfs"
@@ -19,6 +21,10 @@ import (
 //	0.20 D  loss          SetLoss(Loss)
 //	0.30 D  partition     srv1 isolated from the majority
 //	0.45 D  heal          partition healed
+//	0.46 D  overload      every server's admission bound squeezed to
+//	                      OverloadMaxInflight: excess requests are shed with
+//	                      typed Overloaded errors and retry-after hints
+//	0.53 D  unsqueeze     admission bounds restored to unlimited
 //	0.55 D  crash         last server killed mid-group-commit: its on-disk
 //	                      log store is left with a torn (half-written) wal
 //	                      frame
@@ -39,6 +45,12 @@ type ChaosConfig struct {
 	Latency time.Duration // injected one-way WAN latency (default 2ms)
 	Jitter  time.Duration // latency jitter bound (default 1ms)
 	Loss    float64       // message loss probability (default 0.02)
+
+	// OverloadMaxInflight is the per-server admission bound during the
+	// overload squeeze (default 1). Shed requests must reach the clients as
+	// typed Overloaded errors — zero server sheds, or server sheds without
+	// client-side Overloaded errors, are violations.
+	OverloadMaxInflight int
 
 	// Graceful-degradation gates: the run must keep its overall error
 	// fraction under MaxErrorFraction, and inside the recovery window —
@@ -80,6 +92,9 @@ func (cc ChaosConfig) withDefaults(cfg Config) ChaosConfig {
 	}
 	if cc.Loss == 0 {
 		cc.Loss = 0.02
+	}
+	if cc.OverloadMaxInflight == 0 {
+		cc.OverloadMaxInflight = 1
 	}
 	if cc.MaxErrorFraction == 0 {
 		cc.MaxErrorFraction = 0.50
@@ -124,6 +139,7 @@ type ChaosResult struct {
 	MixResult
 	Events        []ChaosEvent  `json:"events"`
 	ErrorFraction float64       `json:"error_fraction"`
+	ServerSheds   uint64        `json:"server_sheds"`
 	Trace         []TraceBucket `json:"trace"`
 	Recovery      RecoveryStats `json:"recovery"`
 	Graceful      bool          `json:"graceful"`
@@ -142,6 +158,7 @@ func runChaos(cell *testnfs.NFSCell, fx *fixture, cfg Config, vlog *victimLog) (
 
 	var mu sync.Mutex
 	var events []ChaosEvent
+	var serverSheds atomic.Uint64
 	sched := func(start time.Time) {
 		record := func(name string) {
 			mu.Lock()
@@ -171,6 +188,19 @@ func runChaos(cell *testnfs.NFSCell, fx *fixture, cfg Config, vlog *victimLog) (
 		at(0.45)
 		cell.Net.Heal()
 		record("heal")
+		at(0.46)
+		for i := range cell.Nodes {
+			cell.Nodes[i].Server.SetMaxInflight(cc.OverloadMaxInflight)
+		}
+		record(fmt.Sprintf("overload squeeze: max-inflight %d on every server", cc.OverloadMaxInflight))
+		at(0.53)
+		var squeezed uint64
+		for i := range cell.Nodes {
+			squeezed += cell.Nodes[i].Server.ShedCount()
+			cell.Nodes[i].Server.SetMaxInflight(0)
+		}
+		serverSheds.Store(squeezed)
+		record(fmt.Sprintf("overload squeeze cleared: %d requests shed", squeezed))
 		at(0.55)
 		if vlog != nil {
 			// Arm a torn-commit crash so the node dies with a half-written
@@ -270,6 +300,15 @@ func runChaos(cell *testnfs.NFSCell, fx *fixture, cfg Config, vlog *victimLog) (
 		cr.Violations = append(cr.Violations, fmt.Sprintf(
 			"recovery-window error fraction %.2f exceeds %.2f: did not recover within %.1fs of the last fault",
 			cr.Recovery.ErrorFraction, cc.RecoveryMaxErrorFraction, (from-lastFault).Seconds()))
+	}
+	cr.ServerSheds = serverSheds.Load()
+	if cr.ServerSheds == 0 {
+		cr.Violations = append(cr.Violations,
+			"overload squeeze shed nothing: admission control never engaged")
+	} else if cr.Errors[derr.Overloaded.String()] == 0 {
+		cr.Violations = append(cr.Violations, fmt.Sprintf(
+			"servers shed %d requests but clients recorded no typed %q errors: the Overloaded code was lost on the wire",
+			cr.ServerSheds, derr.Overloaded))
 	}
 	minTput := cc.RecoveryMinThroughputFraction * cc.Rate
 	if cr.Recovery.Throughput < minTput {

@@ -12,6 +12,7 @@
 package load
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/core"
+	"repro/internal/derr"
 	"repro/internal/nfsproto"
 	"repro/internal/store"
 	"repro/internal/testnfs"
@@ -262,7 +264,10 @@ func newFixture(cell *testnfs.NFSCell, cfg Config) (*fixture, error) {
 	for i := range content {
 		content[i] = byte('0' + i%10)
 	}
-	if err := testutil.Retry(10*time.Second, agent.IsTransient, func() error {
+	prep := &derr.Policy{MaxAttempts: 1 << 8, BaseDelay: 5 * time.Millisecond, MaxDelay: 250 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := prep.Do(ctx, func(context.Context) error {
 		return fx.agents[0].MkdirAll("/load")
 	}); err != nil {
 		fx.close()
@@ -271,7 +276,7 @@ func newFixture(cell *testnfs.NFSCell, cfg Config) (*fixture, error) {
 	for f := 0; f < cfg.Files; f++ {
 		path := filePath(f)
 		ag := fx.agents[f%len(fx.agents)]
-		if err := testutil.Retry(10*time.Second, agent.IsTransient, func() error {
+		if err := prep.Do(ctx, func(context.Context) error {
 			return ag.WriteFile(path, content)
 		}); err != nil {
 			fx.close()
@@ -322,18 +327,17 @@ func (fx *fixture) do(ag *agent.Agent, a arrival) error {
 	return fmt.Errorf("load: unknown op class %q", a.class)
 }
 
-// classify maps an op error into the result's error taxonomy.
+// classify maps an op error into the result's error taxonomy: the derr
+// category carried across the wire. Replies from servers predating the
+// typed trailer fall back to their raw NFS status; anything untyped beyond
+// that classifies through derr's default projection (context expiry →
+// timeout, everything else → internal).
 func classify(err error) string {
 	var ne *agent.NFSError
-	switch {
-	case agent.IsTransient(err):
-		return "transient"
-	case agent.IsNotExist(err):
-		return "noent"
-	case errors.As(err, &ne):
+	if _, ok := derr.AsError(err); !ok && errors.As(err, &ne) {
 		return "nfs-" + ne.Status.String()
 	}
-	return "net"
+	return derr.CategoryOf(err).String()
 }
 
 // workerState is one worker's private tallies, merged after the run so the
@@ -432,7 +436,7 @@ func runMix(cell *testnfs.NFSCell, fx *fixture, cfg Config, mix Mix,
 			defer wg.Done()
 			for a := range arrivals {
 				if stop.Load() {
-					ws.errs["shed"]++
+					ws.errs["drain-shed"]++
 					ws.shed++
 					continue
 				}

@@ -82,10 +82,11 @@ type MixResult struct {
 	Shed        uint64  `json:"shed"` // arrivals abandoned at the drain deadline
 	Throughput  float64 `json:"throughput_ops_sec"`
 
-	// Errors is the taxonomy of failed ops: "transient" (segment-layer
-	// retryable surfaced as NFSERR_IO), "noent", "nfs-<status>" for other
-	// definitive NFS errors, "net" for connectivity failures after agent
-	// failover was exhausted, and "shed".
+	// Errors is the taxonomy of failed ops, keyed by the derr category the
+	// typed error carried across the wire ("unavailable", "overloaded",
+	// "timeout", "not-found", ...), plus "nfs-<status>" for legacy replies
+	// with no typed trailer and "drain-shed" for arrivals the harness
+	// abandoned at the drain deadline.
 	Errors map[string]uint64 `json:"errors,omitempty"`
 
 	PerClass map[string]ClassStats `json:"per_class"`

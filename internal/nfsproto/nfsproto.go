@@ -6,6 +6,7 @@
 package nfsproto
 
 import (
+	"repro/internal/derr"
 	"repro/internal/xdr"
 )
 
@@ -73,6 +74,44 @@ const (
 	ErrStale       Status = 70
 	ErrWFlush      Status = 99
 )
+
+// StatusOf derives the legacy NFSv2 status from a typed error. The derr
+// code is the source of truth; this is the lossy projection stock NFS
+// clients see in the reply body (the full code rides the error trailer, see
+// derr.AppendTrailer). Transient conditions — busy, overloaded, timed out —
+// all project to NFSERR_IO because NFSv2 has nothing finer; the trailer is
+// how the agent tells them apart.
+func StatusOf(err error) Status {
+	if err == nil {
+		return OK
+	}
+	switch derr.CodeOf(err) {
+	case derr.CodeNotDir:
+		return ErrNotDir
+	case derr.CodeIsDir:
+		return ErrIsDir
+	case derr.CodeNameTooLong:
+		return ErrNameTooLong
+	case derr.CodeNotSymlink:
+		return ErrNXIO
+	case derr.CodeInvalid:
+		// NFSv2 has no EINVAL; ACCES is what SunOS clients surface for a
+		// name the server refuses.
+		return ErrAcces
+	case derr.CodeNotFound:
+		return ErrNoEnt
+	case derr.CodeExists:
+		return ErrExist
+	case derr.CodeNotEmpty:
+		return ErrNotEmpty
+	case derr.CodeGone, derr.CodeDeleted:
+		return ErrStale
+	case derr.CodeWriteUnavailable:
+		return ErrROFS
+	default:
+		return ErrIO
+	}
+}
 
 func (s Status) String() string {
 	switch s {

@@ -2,12 +2,16 @@ package server
 
 import (
 	"repro/internal/core"
+	"repro/internal/derr"
 	"repro/internal/envelope"
 	"repro/internal/nfsproto"
 	"repro/internal/simnet"
 	"repro/internal/sunrpc"
 	"repro/internal/xdr"
 )
+
+// errStaleCtl is the control program's stale-handle rejection.
+var errStaleCtl = derr.New(derr.CodeGone, "ctl: stale handle")
 
 // The Deceit control program carries the paper's special commands (§2.1):
 // "special commands are provided to list all versions of a file, locate all
@@ -250,12 +254,12 @@ func (s *Server) handleCtl(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		}
 		seg, _, ok := envelope.UnpackHandle(h)
 		if !ok {
-			return statusReply(nfsproto.ErrStale), sunrpc.Success
+			return statusReply(errStaleCtl), sunrpc.Success
 		}
 		if err := s.core.SetParams(ctx, seg, p.ToCore()); err != nil {
-			return statusReply(nfsproto.ErrIO), sunrpc.Success
+			return statusReply(err), sunrpc.Success
 		}
-		return statusReply(nfsproto.OK), sunrpc.Success
+		return statusReply(nil), sunrpc.Success
 
 	case CtlGetParams:
 		var h nfsproto.Handle
@@ -264,11 +268,11 @@ func (s *Server) handleCtl(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		}
 		seg, _, ok := envelope.UnpackHandle(h)
 		if !ok {
-			return statusReply(nfsproto.ErrStale), sunrpc.Success
+			return statusReply(errStaleCtl), sunrpc.Success
 		}
 		params, err := s.core.GetParams(ctx, seg)
 		if err != nil {
-			return statusReply(nfsproto.ErrIO), sunrpc.Success
+			return statusReply(err), sunrpc.Success
 		}
 		e := xdr.NewEncoder(nil)
 		e.Uint32(uint32(nfsproto.OK))
@@ -290,13 +294,16 @@ func (s *Server) handleCtl(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		}
 		seg, _, ok := envelope.UnpackHandle(h)
 		if !ok {
-			return statusReply(nfsproto.ErrStale), sunrpc.Success
+			return statusReply(errStaleCtl), sunrpc.Success
 		}
 		major := uint64(0)
 		if idx > 0 {
 			info, err := s.core.Stat(ctx, seg)
-			if err != nil || int(idx) > len(info.Versions) {
-				return statusReply(nfsproto.ErrNoEnt), sunrpc.Success
+			if err != nil {
+				return statusReply(err), sunrpc.Success
+			}
+			if int(idx) > len(info.Versions) {
+				return statusReply(derr.New(derr.CodeNotFound, "ctl: no such version")), sunrpc.Success
 			}
 			major = info.Versions[idx-1].Major
 		}
@@ -307,9 +314,9 @@ func (s *Server) handleCtl(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 			err = s.core.RemoveReplica(ctx, seg, major, simnet.NodeID(target))
 		}
 		if err != nil {
-			return statusReply(nfsproto.ErrIO), sunrpc.Success
+			return statusReply(err), sunrpc.Success
 		}
-		return statusReply(nfsproto.OK), sunrpc.Success
+		return statusReply(nil), sunrpc.Success
 
 	case CtlConflicts:
 		// §3.6: conflicts are "logged into a well known file"; the control
@@ -328,10 +335,13 @@ func (s *Server) handleCtl(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		if err := xdr.Unmarshal(args, &h); err != nil {
 			return nil, sunrpc.GarbageArgs
 		}
-		merged, st := s.env.ReconcileDir(ctx, h)
+		merged, rerr := s.env.ReconcileDir(ctx, h)
 		e := xdr.NewEncoder(nil)
-		e.Uint32(uint32(st))
+		e.Uint32(uint32(nfsproto.StatusOf(rerr)))
 		e.Uint32(uint32(merged))
+		if rerr != nil {
+			derr.AppendTrailer(e, rerr)
+		}
 		return e.Bytes(), sunrpc.Success
 
 	case CtlLease:
@@ -355,7 +365,7 @@ func (s *Server) handleCtl(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		e.Bool(lease.Valid)
 		if lease.Valid && lease.Epoch == a.Epoch {
 			e.Bool(false) // entry still good: no attributes needed
-		} else if attr, st := s.env.Getattr(ctx, a.File); st == nfsproto.OK {
+		} else if attr, aerr := s.env.Getattr(ctx, a.File); aerr == nil {
 			e.Bool(true)
 			attr.MarshalXDR(e)
 		} else {

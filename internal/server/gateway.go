@@ -332,6 +332,6 @@ func staleFor(proc uint32) []byte {
 	case nfsproto.ProcGetattr, nfsproto.ProcSetattr, nfsproto.ProcWrite:
 		return xdr.Marshal(&nfsproto.AttrStat{Status: nfsproto.ErrStale})
 	default:
-		return statusReply(nfsproto.ErrStale)
+		return statusReply(errStaleCtl)
 	}
 }

@@ -9,11 +9,12 @@ package server
 
 import (
 	"context"
-	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/derr"
 	"repro/internal/envelope"
 	"repro/internal/isis"
 	"repro/internal/nfsproto"
@@ -47,6 +48,11 @@ type Config struct {
 	InitRoot bool
 	// OpTimeout bounds each client-visible NFS operation.
 	OpTimeout time.Duration
+	// MaxInflight bounds concurrently-executing NFS operations. Beyond the
+	// bound the server sheds the request immediately with a typed
+	// Overloaded error (carrying a retry-after hint) rather than queueing
+	// work it cannot finish within OpTimeout. Zero means unlimited.
+	MaxInflight int
 }
 
 // Server is one running Deceit server.
@@ -59,6 +65,10 @@ type Server struct {
 	rpc   *sunrpc.Server
 	gw    *gateway
 	addr  string
+
+	inflight    atomic.Int64
+	maxInflight atomic.Int64
+	sheds       atomic.Uint64
 }
 
 // New starts the protocol stack. Call ServeNFS to expose the RPC endpoint,
@@ -75,13 +85,14 @@ func New(cfg Config) (*Server, error) {
 	cs := core.NewServer(proc, demux.Channel(1), cfg.Store, cfg.Core)
 	env := envelope.New(cs, envelope.Options{DefaultParams: cfg.DefaultParams})
 	s := &Server{cfg: cfg, demux: demux, proc: proc, core: cs, env: env, gw: newGateway()}
+	s.maxInflight.Store(int64(cfg.MaxInflight))
 
 	if cfg.InitRoot {
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.OpTimeout)
 		defer cancel()
 		if err := env.InitRoot(ctx); err != nil {
 			s.Close()
-			return nil, fmt.Errorf("server: init root: %w", err)
+			return nil, derr.Wrap(derr.CodeInternal, "server: init root", err)
 		}
 	}
 	return s, nil
@@ -95,6 +106,10 @@ func (s *Server) Envelope() *envelope.Envelope { return s.env }
 
 // Proc exposes the ISIS process.
 func (s *Server) Proc() *isis.Process { return s.proc }
+
+// RPC exposes the SunRPC endpoint once ServeNFS has been called — the fault
+// injection matrix installs its failpoints there.
+func (s *Server) RPC() *sunrpc.Server { return s.rpc }
 
 // ID returns the server's cell-internal identity.
 func (s *Server) ID() simnet.NodeID { return s.proc.ID() }
@@ -132,6 +147,71 @@ func (s *Server) opCtx() (context.Context, context.CancelFunc) {
 	return context.WithTimeout(context.Background(), s.cfg.OpTimeout)
 }
 
+// ---------------------------------------------------- admission control ----
+
+// shedRetryAfter is the backoff hint attached to Overloaded replies: long
+// enough that a retry has a chance of landing after the burst drains, short
+// enough that clients converge well within an op deadline.
+const shedRetryAfter = 2 * time.Millisecond
+
+// SetMaxInflight adjusts the admission bound at runtime (0 = unlimited).
+func (s *Server) SetMaxInflight(n int) { s.maxInflight.Store(int64(n)) }
+
+// ShedCount reports how many NFS requests were refused by admission control.
+func (s *Server) ShedCount() uint64 { return s.sheds.Load() }
+
+// admit reserves an execution slot; callers must release() iff it succeeds.
+func (s *Server) admit() bool {
+	n := s.inflight.Add(1)
+	if lim := s.maxInflight.Load(); lim > 0 && n > lim {
+		s.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+func (s *Server) release() { s.inflight.Add(-1) }
+
+// shedReply builds the correctly-shaped error reply for proc: the legacy
+// status word degrades to ErrIO, and the derr trailer carries the typed
+// Overloaded code plus a retry-after hint.
+func shedReply(proc uint32) []byte {
+	err := derr.New(derr.CodeOverloaded, "server: too many in-flight requests").
+		WithRetryAfter(shedRetryAfter)
+	st := nfsproto.StatusOf(err)
+	e := xdr.NewEncoder(nil)
+	switch proc {
+	case nfsproto.ProcGetattr, nfsproto.ProcSetattr, nfsproto.ProcWrite:
+		(&nfsproto.AttrStat{Status: st}).MarshalXDR(e)
+	case nfsproto.ProcLookup, nfsproto.ProcCreate, nfsproto.ProcMkdir:
+		(&nfsproto.DirOpRes{Status: st}).MarshalXDR(e)
+	case nfsproto.ProcReadlink:
+		(&nfsproto.ReadlinkRes{Status: st}).MarshalXDR(e)
+	case nfsproto.ProcRead:
+		(&nfsproto.ReadRes{Status: st}).MarshalXDR(e)
+	case nfsproto.ProcReaddir:
+		(&nfsproto.ReaddirRes{Status: st}).MarshalXDR(e)
+	case nfsproto.ProcStatfs:
+		(&nfsproto.StatfsRes{Status: st}).MarshalXDR(e)
+	default: // Remove, Rmdir, Rename, Link, Symlink reply with a bare status.
+		e.Uint32(uint32(st))
+	}
+	derr.AppendTrailer(e, err)
+	return e.Bytes()
+}
+
+// errReply appends the derr trailer to an already-marshaled reply body when
+// the operation failed, so the typed code survives the lossy NFS status
+// projection.
+func errReply(body []byte, err error) []byte {
+	if err == nil {
+		return body
+	}
+	e := xdr.NewEncoder(body)
+	derr.AppendTrailer(e, err)
+	return e.Bytes()
+}
+
 // ------------------------------------------------------------- MOUNT ----
 
 func (s *Server) handleMount(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, sunrpc.AcceptStat) {
@@ -160,11 +240,17 @@ func (s *Server) handleMount(proc uint32, cred sunrpc.Cred, args []byte) ([]byte
 // --------------------------------------------------------------- NFS ----
 
 func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, sunrpc.AcceptStat) {
+	if proc == nfsproto.ProcNull {
+		return nil, sunrpc.Success
+	}
+	if !s.admit() {
+		s.sheds.Add(1)
+		return shedReply(proc), sunrpc.Success
+	}
+	defer s.release()
 	ctx, cancel := s.opCtx()
 	defer cancel()
 	switch proc {
-	case nfsproto.ProcNull:
-		return nil, sunrpc.Success
 	case nfsproto.ProcGetattr:
 		var h nfsproto.Handle
 		if err := xdr.Unmarshal(args, &h); err != nil {
@@ -177,11 +263,13 @@ func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		// concurrent write can only make the stamp too old (a spurious
 		// revalidation miss), never too new (a masked update).
 		lease := s.lease(ctx, h)
-		attr, st := s.env.Getattr(ctx, h)
+		attr, err := s.env.Getattr(ctx, h)
 		e := xdr.NewEncoder(nil)
-		(&nfsproto.AttrStat{Status: st, Attr: attr}).MarshalXDR(e)
-		if st == nfsproto.OK {
+		(&nfsproto.AttrStat{Status: nfsproto.StatusOf(err), Attr: attr}).MarshalXDR(e)
+		if err == nil {
 			nfsproto.AppendLease(e, lease)
+		} else {
+			derr.AppendTrailer(e, err)
 		}
 		return e.Bytes(), sunrpc.Success
 
@@ -193,8 +281,8 @@ func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		if s.gw.isGatewayHandle(a.File) {
 			return s.gw.forward(proc, args, a.File)
 		}
-		attr, st := s.env.Setattr(ctx, a.File, a.Attr)
-		return xdr.Marshal(&nfsproto.AttrStat{Status: st, Attr: attr}), sunrpc.Success
+		attr, err := s.env.Setattr(ctx, a.File, a.Attr)
+		return errReply(xdr.Marshal(&nfsproto.AttrStat{Status: nfsproto.StatusOf(err), Attr: attr}), err), sunrpc.Success
 
 	case nfsproto.ProcLookup:
 		var a nfsproto.DirOpArgs
@@ -215,8 +303,8 @@ func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		// be newer than the attributes and mask a concurrent write forever.
 		// The agent populates its attribute cache from Getattr and Read
 		// replies, whose stamps are captured before the data.
-		fh, attr, st := s.env.Lookup(ctx, a.Dir, a.Name)
-		return xdr.Marshal(&nfsproto.DirOpRes{Status: st, File: fh, Attr: attr}), sunrpc.Success
+		fh, attr, err := s.env.Lookup(ctx, a.Dir, a.Name)
+		return errReply(xdr.Marshal(&nfsproto.DirOpRes{Status: nfsproto.StatusOf(err), File: fh, Attr: attr}), err), sunrpc.Success
 
 	case nfsproto.ProcReadlink:
 		var h nfsproto.Handle
@@ -226,8 +314,8 @@ func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		if s.gw.isGatewayHandle(h) {
 			return s.gw.forward(proc, args, h)
 		}
-		path, st := s.env.Readlink(ctx, h)
-		return xdr.Marshal(&nfsproto.ReadlinkRes{Status: st, Path: path}), sunrpc.Success
+		path, err := s.env.Readlink(ctx, h)
+		return errReply(xdr.Marshal(&nfsproto.ReadlinkRes{Status: nfsproto.StatusOf(err), Path: path}), err), sunrpc.Success
 
 	case nfsproto.ProcRead:
 		var a nfsproto.ReadArgs
@@ -239,11 +327,13 @@ func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		}
 		// Lease before data: see ProcGetattr.
 		lease := s.lease(ctx, a.File)
-		data, attr, st := s.env.Read(ctx, a.File, a.Offset, a.Count)
+		data, attr, err := s.env.Read(ctx, a.File, a.Offset, a.Count)
 		e := xdr.NewEncoder(nil)
-		(&nfsproto.ReadRes{Status: st, Attr: attr, Data: data}).MarshalXDR(e)
-		if st == nfsproto.OK {
+		(&nfsproto.ReadRes{Status: nfsproto.StatusOf(err), Attr: attr, Data: data}).MarshalXDR(e)
+		if err == nil {
 			nfsproto.AppendLease(e, lease)
+		} else {
+			derr.AppendTrailer(e, err)
 		}
 		return e.Bytes(), sunrpc.Success
 
@@ -255,8 +345,8 @@ func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		if s.gw.isGatewayHandle(a.File) {
 			return s.gw.forward(proc, args, a.File)
 		}
-		attr, st := s.env.Write(ctx, a.File, a.Offset, a.Data)
-		return xdr.Marshal(&nfsproto.AttrStat{Status: st, Attr: attr}), sunrpc.Success
+		attr, err := s.env.Write(ctx, a.File, a.Offset, a.Data)
+		return errReply(xdr.Marshal(&nfsproto.AttrStat{Status: nfsproto.StatusOf(err), Attr: attr}), err), sunrpc.Success
 
 	case nfsproto.ProcCreate, nfsproto.ProcMkdir:
 		var a nfsproto.CreateArgs
@@ -268,13 +358,13 @@ func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		}
 		var fh nfsproto.Handle
 		var attr nfsproto.FAttr
-		var st nfsproto.Status
+		var err error
 		if proc == nfsproto.ProcCreate {
-			fh, attr, st = s.env.Create(ctx, a.Where.Dir, a.Where.Name, a.Attr)
+			fh, attr, err = s.env.Create(ctx, a.Where.Dir, a.Where.Name, a.Attr)
 		} else {
-			fh, attr, st = s.env.Mkdir(ctx, a.Where.Dir, a.Where.Name, a.Attr)
+			fh, attr, err = s.env.Mkdir(ctx, a.Where.Dir, a.Where.Name, a.Attr)
 		}
-		return xdr.Marshal(&nfsproto.DirOpRes{Status: st, File: fh, Attr: attr}), sunrpc.Success
+		return errReply(xdr.Marshal(&nfsproto.DirOpRes{Status: nfsproto.StatusOf(err), File: fh, Attr: attr}), err), sunrpc.Success
 
 	case nfsproto.ProcRemove, nfsproto.ProcRmdir:
 		var a nfsproto.DirOpArgs
@@ -284,13 +374,13 @@ func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		if s.gw.isGatewayHandle(a.Dir) {
 			return s.gw.forward(proc, args, a.Dir)
 		}
-		var st nfsproto.Status
+		var err error
 		if proc == nfsproto.ProcRemove {
-			st = s.env.Remove(ctx, a.Dir, a.Name)
+			err = s.env.Remove(ctx, a.Dir, a.Name)
 		} else {
-			st = s.env.Rmdir(ctx, a.Dir, a.Name)
+			err = s.env.Rmdir(ctx, a.Dir, a.Name)
 		}
-		return statusReply(st), sunrpc.Success
+		return statusReply(err), sunrpc.Success
 
 	case nfsproto.ProcRename:
 		var a nfsproto.RenameArgs
@@ -300,8 +390,8 @@ func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		if s.gw.isGatewayHandle(a.From.Dir) {
 			return s.gw.forward(proc, args, a.From.Dir)
 		}
-		st := s.env.Rename(ctx, a.From.Dir, a.From.Name, a.To.Dir, a.To.Name)
-		return statusReply(st), sunrpc.Success
+		err := s.env.Rename(ctx, a.From.Dir, a.From.Name, a.To.Dir, a.To.Name)
+		return statusReply(err), sunrpc.Success
 
 	case nfsproto.ProcLink:
 		var a nfsproto.LinkArgs
@@ -311,8 +401,8 @@ func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		if s.gw.isGatewayHandle(a.From) {
 			return s.gw.forward(proc, args, a.From)
 		}
-		st := s.env.Link(ctx, a.From, a.To.Dir, a.To.Name)
-		return statusReply(st), sunrpc.Success
+		err := s.env.Link(ctx, a.From, a.To.Dir, a.To.Name)
+		return statusReply(err), sunrpc.Success
 
 	case nfsproto.ProcSymlink:
 		var a nfsproto.SymlinkArgs
@@ -322,8 +412,8 @@ func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		if s.gw.isGatewayHandle(a.From.Dir) {
 			return s.gw.forward(proc, args, a.From.Dir)
 		}
-		st := s.env.Symlink(ctx, a.From.Dir, a.From.Name, a.To, a.Attr)
-		return statusReply(st), sunrpc.Success
+		err := s.env.Symlink(ctx, a.From.Dir, a.From.Name, a.To, a.Attr)
+		return statusReply(err), sunrpc.Success
 
 	case nfsproto.ProcReaddir:
 		var a nfsproto.ReaddirArgs
@@ -333,8 +423,8 @@ func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		if s.gw.isGatewayHandle(a.Dir) {
 			return s.gw.forward(proc, args, a.Dir)
 		}
-		res, _ := s.env.Readdir(ctx, a.Dir, a.Cookie, a.Count)
-		return xdr.Marshal(&res), sunrpc.Success
+		res, err := s.env.Readdir(ctx, a.Dir, a.Cookie, a.Count)
+		return errReply(xdr.Marshal(&res), err), sunrpc.Success
 
 	case nfsproto.ProcStatfs:
 		var h nfsproto.Handle
@@ -344,8 +434,8 @@ func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		if s.gw.isGatewayHandle(h) {
 			return s.gw.forward(proc, args, h)
 		}
-		res, _ := s.env.Statfs(ctx, h)
-		return xdr.Marshal(&res), sunrpc.Success
+		res, err := s.env.Statfs(ctx, h)
+		return errReply(xdr.Marshal(&res), err), sunrpc.Success
 
 	case nfsproto.ProcRoot, nfsproto.ProcWritecache:
 		return nil, sunrpc.ProcUnavail
@@ -361,8 +451,11 @@ func (s *Server) lease(ctx context.Context, h nfsproto.Handle) nfsproto.Lease {
 	return nfsproto.Lease{Epoch: epoch, Valid: ok}
 }
 
-func statusReply(st nfsproto.Status) []byte {
+func statusReply(err error) []byte {
 	e := xdr.NewEncoder(nil)
-	e.Uint32(uint32(st))
+	e.Uint32(uint32(nfsproto.StatusOf(err)))
+	if err != nil {
+		derr.AppendTrailer(e, err)
+	}
 	return e.Bytes()
 }

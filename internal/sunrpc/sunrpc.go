@@ -5,6 +5,7 @@
 package sunrpc
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/xdr"
 )
@@ -113,7 +115,33 @@ type Server struct {
 	ln       net.Listener
 	conns    map[net.Conn]bool
 	closed   bool
+	fault    FaultFunc
 	wg       sync.WaitGroup
+}
+
+// Fault is one injected failure at the server's reply boundary.
+type Fault int
+
+// The fault kinds an injector can return.
+const (
+	FaultNone      Fault = iota
+	FaultDrop            // swallow the reply; the client waits until its deadline
+	FaultDelay           // hold the reply for the returned duration
+	FaultError           // replace the reply with a SYSTEM_ERR accept status
+	FaultDuplicate       // send the reply twice
+)
+
+// FaultFunc decides the fate of one accepted call. It runs after the
+// handler, so server state still changes — injected faults model reply-path
+// loss and corruption, the hard cases for client retry logic.
+type FaultFunc func(prog, vers, proc uint32) (Fault, time.Duration)
+
+// SetFaultFunc installs (or, with nil, clears) the server's reply-path
+// fault injector. Test-only seam; production servers never set it.
+func (s *Server) SetFaultFunc(f FaultFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fault = f
 }
 
 // NewServer returns an empty RPC server.
@@ -215,9 +243,29 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		reply, err := s.dispatch(rec)
+		reply, ci, err := s.dispatch(rec)
 		if err != nil {
 			continue // unparseable call; nothing to reply to
+		}
+		s.mu.Lock()
+		fault := s.fault
+		s.mu.Unlock()
+		if fault != nil && ci.served {
+			switch f, d := fault(ci.prog, ci.vers, ci.proc); f {
+			case FaultDrop:
+				continue
+			case FaultDelay:
+				time.Sleep(d)
+			case FaultError:
+				reply = errorReply(ci.xid, SystemErr)
+			case FaultDuplicate:
+				writeMu.Lock()
+				err = WriteRecord(conn, reply)
+				writeMu.Unlock()
+				if err != nil {
+					return
+				}
+			}
 		}
 		writeMu.Lock()
 		err = WriteRecord(conn, reply)
@@ -228,13 +276,32 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// callInfo identifies one parsed call for the fault injector.
+type callInfo struct {
+	served           bool // an installed handler ran
+	xid              uint32
+	prog, vers, proc uint32
+}
+
+// errorReply builds an accepted reply carrying a non-Success status.
+func errorReply(xid uint32, stat AcceptStat) []byte {
+	e := xdr.NewEncoder(nil)
+	e.Uint32(xid)
+	e.Uint32(msgReply)
+	e.Uint32(replyAccepted)
+	e.Uint32(AuthNone)
+	e.Opaque(nil)
+	e.Uint32(uint32(stat))
+	return e.Bytes()
+}
+
 // dispatch parses one call record and produces the encoded reply record.
-func (s *Server) dispatch(rec []byte) ([]byte, error) {
+func (s *Server) dispatch(rec []byte) ([]byte, callInfo, error) {
 	d := xdr.NewDecoder(rec)
 	xid := d.Uint32()
 	mtype := d.Uint32()
 	if d.Err() != nil || mtype != msgCall {
-		return nil, errors.New("sunrpc: not a call")
+		return nil, callInfo{}, errors.New("sunrpc: not a call")
 	}
 	rpcvers := d.Uint32()
 	prog := d.Uint32()
@@ -245,7 +312,7 @@ func (s *Server) dispatch(rec []byte) ([]byte, error) {
 	_ = d.Uint32() // verf flavor
 	_ = d.Opaque() // verf body
 	if d.Err() != nil {
-		return nil, d.Err()
+		return nil, callInfo{}, d.Err()
 	}
 	args := make([]byte, d.Remaining())
 	copy(args, rec[len(rec)-d.Remaining():])
@@ -259,7 +326,7 @@ func (s *Server) dispatch(rec []byte) ([]byte, error) {
 		e.Uint32(0) // RPC_MISMATCH
 		e.Uint32(rpcVersion)
 		e.Uint32(rpcVersion)
-		return e.Bytes(), nil
+		return e.Bytes(), callInfo{}, nil
 	}
 
 	s.mu.Lock()
@@ -292,7 +359,8 @@ func (s *Server) dispatch(rec []byte) ([]byte, error) {
 		e.Uint32(vrange[0])
 		e.Uint32(vrange[1])
 	}
-	return e.Bytes(), nil
+	ci := callInfo{served: h != nil, xid: xid, prog: prog, vers: vers, proc: proc}
+	return e.Bytes(), ci, nil
 }
 
 // ---------------------------------------------------------------- client --
@@ -357,6 +425,14 @@ func (e *RPCError) Error() string {
 // Call invokes (prog, vers, proc) with XDR-encoded args and returns the
 // XDR-encoded result.
 func (c *Client) Call(prog, vers, proc uint32, args []byte) ([]byte, error) {
+	return c.CallCtx(context.Background(), prog, vers, proc, args)
+}
+
+// CallCtx is Call bounded by ctx: cancellation or deadline expiry abandons
+// the wait (the pending entry is dropped, so a late reply is discarded) and
+// returns ctx.Err. The deadline is how a client survives a server that
+// accepted the call but never replies.
+func (c *Client) CallCtx(ctx context.Context, prog, vers, proc uint32, args []byte) ([]byte, error) {
 	xid := c.xid.Add(1)
 	ch := make(chan []byte, 1)
 
@@ -398,17 +474,21 @@ func (c *Client) Call(prog, vers, proc uint32, args []byte) ([]byte, error) {
 		return nil, fmt.Errorf("sunrpc: %w", err)
 	}
 
-	rec, ok := <-ch
-	if !ok {
-		c.mu.Lock()
-		err := c.readErr
-		c.mu.Unlock()
-		if err == nil {
-			err = ErrClosed
+	select {
+	case rec, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.readErr
+			c.mu.Unlock()
+			if err == nil {
+				err = ErrClosed
+			}
+			return nil, err
 		}
-		return nil, err
+		return parseReply(rec)
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
-	return parseReply(rec)
 }
 
 func parseReply(rec []byte) ([]byte, error) {

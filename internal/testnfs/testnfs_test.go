@@ -1,13 +1,13 @@
 package testnfs
 
 import (
+	"repro/internal/derr"
 	"testing"
 	"time"
 
 	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/store"
-	"repro/internal/testutil"
 )
 
 // TestNFSCellSetupTeardown: the scaffolding the load harness and gateway
@@ -91,7 +91,7 @@ func TestCrashNFSSemantics(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ag.Close()
-	if err := testutil.Retry(10*time.Second, agent.IsTransient, func() error {
+	if err := derr.RetryIf(10*time.Second, agent.IsTransient, func() error {
 		return ag.WriteFile("/survivor.txt", []byte("ok"))
 	}); err != nil {
 		t.Fatalf("write after crash: %v", err)

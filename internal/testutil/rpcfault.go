@@ -1,0 +1,107 @@
+package testutil
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/sunrpc"
+)
+
+// RPCFaultRule injects one kind of fault into an op class at the SunRPC
+// reply boundary.
+type RPCFaultRule struct {
+	// Prog selects the RPC program; 0 matches every program.
+	Prog uint32
+	// Procs selects procedures within the program; nil matches all of them.
+	Procs map[uint32]bool
+	// Fault is what happens to a matching reply; Delay parameterizes
+	// FaultDelay.
+	Fault sunrpc.Fault
+	Delay time.Duration
+	// P is the injection probability in (0, 1]; zero means always.
+	P float64
+	// Max bounds how many times this rule fires; zero means unlimited.
+	Max int
+}
+
+func (r *RPCFaultRule) matches(prog, proc uint32) bool {
+	if r.Prog != 0 && r.Prog != prog {
+		return false
+	}
+	return r.Procs == nil || r.Procs[proc]
+}
+
+// RPCFaultInjector drives a fault matrix at the RPC boundary: each accepted
+// call is checked against the rules in order and the first match decides its
+// fate. It generalizes CrashInjector from the store seam to the wire seam —
+// the same countdown/probability idea, applied to replies instead of
+// fsyncs. Install with Server.SetFaultFunc(fi.Func()).
+type RPCFaultInjector struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rules    []*RPCFaultRule
+	injected []int
+	matched  int
+}
+
+// NewRPCFaultInjector returns an injector with no rules; seed drives the
+// probabilistic rules deterministically.
+func NewRPCFaultInjector(seed int64) *RPCFaultInjector {
+	return &RPCFaultInjector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add appends one rule and returns its index for per-rule accounting.
+func (fi *RPCFaultInjector) Add(r RPCFaultRule) int {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.rules = append(fi.rules, &r)
+	fi.injected = append(fi.injected, 0)
+	return len(fi.rules) - 1
+}
+
+// Func adapts the injector to the server's fault seam.
+func (fi *RPCFaultInjector) Func() sunrpc.FaultFunc { return fi.decide }
+
+func (fi *RPCFaultInjector) decide(prog, vers, proc uint32) (sunrpc.Fault, time.Duration) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	for i, r := range fi.rules {
+		if !r.matches(prog, proc) {
+			continue
+		}
+		fi.matched++
+		if r.Max > 0 && fi.injected[i] >= r.Max {
+			continue
+		}
+		if r.P > 0 && fi.rng.Float64() >= r.P {
+			continue
+		}
+		fi.injected[i]++
+		return r.Fault, r.Delay
+	}
+	return sunrpc.FaultNone, 0
+}
+
+// Injected reports how many times rule i fired.
+func (fi *RPCFaultInjector) Injected(i int) int {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.injected[i]
+}
+
+// Matched reports how many calls matched any rule (fired or not).
+func (fi *RPCFaultInjector) Matched() int {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.matched
+}
+
+// Reset drops all rules and counters.
+func (fi *RPCFaultInjector) Reset() {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.rules = nil
+	fi.injected = nil
+	fi.matched = 0
+}

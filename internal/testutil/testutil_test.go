@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"repro/internal/derr"
 	"testing"
 	"time"
 
@@ -39,7 +40,7 @@ func TestCellSetupTeardown(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Another server sees the segment: one cell, one namespace.
-	if err := RetryRetryable(func() error {
+	if err := derr.RetryIf(10*time.Second, core.IsRetryable, func() error {
 		data, _, err := c.Nodes[2].Core.Read(ctx, id, 0, 0, -1)
 		if err == nil && string(data) != "shared" {
 			return fmt.Errorf("read %q, want %q", data, "shared")
@@ -80,7 +81,7 @@ func TestCellCrashRestart(t *testing.T) {
 	}
 	// The rejoined node serves the pre-crash segment (retried while the
 	// view change and rejoin settle).
-	if err := Retry(20*time.Second, func(error) bool { return true }, func() error {
+	if err := derr.RetryIf(20*time.Second, func(error) bool { return true }, func() error {
 		data, _, err := nd.Core.Read(ctx, id, 0, 0, -1)
 		if err == nil && string(data) != "before crash" {
 			return fmt.Errorf("read %q, want %q", data, "before crash")
@@ -105,7 +106,7 @@ func TestCellRestartFreshStore(t *testing.T) {
 
 func TestRetryStopsOnSuccess(t *testing.T) {
 	calls := 0
-	err := RetryRetryable(func() error {
+	err := derr.RetryIf(10*time.Second, core.IsRetryable, func() error {
 		calls++
 		if calls < 3 {
 			return core.ErrBusy
@@ -120,7 +121,7 @@ func TestRetryStopsOnSuccess(t *testing.T) {
 func TestRetryStopsOnNonRetryable(t *testing.T) {
 	boom := errors.New("boom")
 	calls := 0
-	err := RetryRetryable(func() error { calls++; return boom })
+	err := derr.RetryIf(10*time.Second, core.IsRetryable, func() error { calls++; return boom })
 	if !errors.Is(err, boom) || calls != 1 {
 		t.Fatalf("err=%v calls=%d, want boom after exactly 1", err, calls)
 	}
@@ -128,7 +129,7 @@ func TestRetryStopsOnNonRetryable(t *testing.T) {
 
 func TestRetryHonorsDeadline(t *testing.T) {
 	start := time.Now()
-	err := Retry(60*time.Millisecond, func(error) bool { return true }, func() error {
+	err := derr.RetryIf(60*time.Millisecond, func(error) bool { return true }, func() error {
 		return core.ErrBusy
 	})
 	if !errors.Is(err, core.ErrBusy) {
@@ -141,7 +142,7 @@ func TestRetryHonorsDeadline(t *testing.T) {
 
 func TestRetryWrappedErrors(t *testing.T) {
 	calls := 0
-	err := RetryRetryable(func() error {
+	err := derr.RetryIf(10*time.Second, core.IsRetryable, func() error {
 		calls++
 		if calls < 2 {
 			return fmt.Errorf("setup step: %w", core.ErrBusy) // wrapped transient
