@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke rejoin-bench load load-smoke load-diff
+.PHONY: check fmt vet build test race bench-smoke rejoin-bench load load-smoke load-diff fuzz-smoke
 
-check: fmt vet build test bench-smoke
+check: fmt vet build test bench-smoke fuzz-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -22,6 +22,12 @@ race:
 
 bench-smoke:
 	$(GO) test -run XXX -bench BenchmarkT1 -benchtime=1x .
+
+# Short coverage-guided fuzz of the two codecs under the NFS wire path.
+# Long runs are manual: go test -fuzz FuzzWireRoundTrip ./internal/wire
+fuzz-smoke:
+	$(GO) test -run XXX -fuzz FuzzWireRoundTrip -fuzztime 10s ./internal/wire
+	$(GO) test -run XXX -fuzz FuzzXDRRoundTrip -fuzztime 10s ./internal/xdr
 
 # A8 rejoin benchmark at full scale: a server in a 10k-segment group
 # crashes, recovers its checkpoint+log store, and rejoins incrementally.

@@ -128,6 +128,9 @@ func (p *Params) MarshalWire(e *wire.Encoder) {
 	e.Bool(p.HotRead)
 }
 
+// SizeWire implements wire.Sizer.
+func (p *Params) SizeWire() int { return 8 + 8 + 1 + 1 + 1 + 8 + 1 }
+
 // UnmarshalWire implements wire.Unmarshaler.
 func (p *Params) UnmarshalWire(d *wire.Decoder) error {
 	p.MinReplicas = d.Int()

@@ -88,6 +88,18 @@ func (m *castMsg) MarshalWire(e *wire.Encoder) {
 	e.Bool(m.HasData)
 }
 
+// SizeWire implements wire.Sizer, mirroring MarshalWire field for field.
+func (m *castMsg) SizeWire() int {
+	return 1 + 8 + 8 + 8 +
+		wire.SizeBytes32(m.Data) +
+		1 +
+		m.Expect.SizeWire() + m.Pair.SizeWire() +
+		wire.SizeString(string(m.Target)) + wire.SizeString(string(m.Source)) +
+		m.Params.SizeWire() +
+		wire.SizeBytes32(m.Snapshot) +
+		1
+}
+
 // UnmarshalWire implements wire.Unmarshaler.
 func (m *castMsg) UnmarshalWire(d *wire.Decoder) error {
 	m.Op = d.Uint8()
@@ -145,6 +157,11 @@ func (r *castReply) MarshalWire(e *wire.Encoder) {
 	e.Bool(r.Stable)
 	e.Int64(r.Size)
 	e.Bool(r.HadReaders)
+}
+
+// SizeWire implements wire.Sizer.
+func (r *castReply) SizeWire() int {
+	return 1 + 2 + wire.SizeString(r.Err) + 1 + r.Pair.SizeWire() + 8 + 1 + 1 + 8 + 1
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
@@ -229,6 +246,18 @@ func (m *directMsg) MarshalWire(e *wire.Encoder) {
 	e.Bool(m.Unchanged)
 }
 
+// SizeWire implements wire.Sizer.
+func (m *directMsg) SizeWire() int {
+	return 1 + 8 + 8 + 8 + 8 + 8 +
+		wire.SizeBytes32(m.Data) +
+		m.Pair.SizeWire() +
+		2 + wire.SizeString(m.Err) + 8 +
+		wire.SizeBytes32(m.Branches) +
+		1 + 1 +
+		m.Expect.SizeWire() +
+		1 + m.Have.SizeWire() + 1
+}
+
 // UnmarshalWire implements wire.Unmarshaler.
 func (m *directMsg) UnmarshalWire(d *wire.Decoder) error {
 	m.Kind = d.Uint8()
@@ -299,6 +328,19 @@ func (s *segSnapshot) MarshalWire(e *wire.Encoder) {
 			e.String(string(r))
 		}
 	}
+}
+
+// SizeWire implements wire.Sizer.
+func (s *segSnapshot) SizeWire() int {
+	n := s.Params.SizeWire() + wire.SizeBytes32(s.Branches) + 1 + 8 + 4
+	for i := range s.Majors {
+		m := &s.Majors[i]
+		n += 8 + wire.SizeString(string(m.Holder)) + m.Pair.SizeWire() + 8 + 1 + 1 + 4
+		for _, r := range m.Replicas {
+			n += wire.SizeString(string(r))
+		}
+	}
+	return n
 }
 
 // UnmarshalWire implements wire.Unmarshaler.

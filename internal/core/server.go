@@ -585,7 +585,10 @@ func replyErr(r *castReply) error {
 	}
 }
 
-func encodeCast(m *castMsg) []byte { return wire.Marshal(m) }
+// encodeCast builds a cast payload in one exact-size allocation. The bytes
+// are retained in the isis outbox for retransmission, so they must own
+// their buffer — exact sizing (not pooling) is the steady-path win here.
+func encodeCast(m *castMsg) []byte { return wire.MarshalSized(m) }
 
 func decodeReply(data []byte) (*castReply, error) {
 	r := new(castReply)
@@ -768,7 +771,7 @@ func dataKey(id SegID, major uint64) string {
 
 func (s *Server) persistMeta(sg *segment) {
 	// Callers hold sg.mu.
-	s.stPut(sg, bucketMeta, segKey(sg.id), wire.Marshal(sg.snapshotLocked()))
+	s.stPut(sg, bucketMeta, segKey(sg.id), wire.MarshalSized(sg.snapshotLocked()))
 }
 
 func (s *Server) deleteMeta(sg *segment) {
@@ -776,7 +779,7 @@ func (s *Server) deleteMeta(sg *segment) {
 }
 
 func (s *Server) persistReplica(sg *segment, major uint64, rep *localReplica) {
-	e := wire.NewEncoder(nil)
+	e := wire.NewEncoder(make([]byte, 0, rep.pair.SizeWire()+1+wire.SizeBytes32(rep.data)))
 	rep.pair.MarshalWire(e)
 	e.Bool(rep.stable)
 	e.Bytes32(rep.data)
@@ -833,9 +836,11 @@ type segApp struct {
 func (a *segApp) Deliver(from simnet.NodeID, payload []byte) []byte {
 	var m castMsg
 	if err := wire.Unmarshal(payload, &m); err != nil {
-		return wire.Marshal(replyFail(derr.CodeInvalid, "bad message: "+err.Error()))
+		return wire.MarshalSized(replyFail(derr.CodeInvalid, "bad message: "+err.Error()))
 	}
-	return wire.Marshal(a.sg.apply(from, &m))
+	// The reply is retained by the isis layer (reply demux and possible
+	// retransmission), so it owns an exact-size buffer.
+	return wire.MarshalSized(a.sg.apply(from, &m))
 }
 
 // DeliverBatch applies a batched cast's sub-ops back to back and persists
@@ -879,7 +884,7 @@ func (a *segApp) ViewChange(v isis.View, reason isis.ViewReason) {
 		// Broadcast our (already locally merged) metadata so the whole group
 		// reconciles: divergent majors, replica sets and branch records all
 		// propagate through one totally ordered cast.
-		snap := wire.Marshal(sg.snapshotLocked())
+		snap := wire.MarshalSized(sg.snapshotLocked())
 		go sg.castReconcile(snap)
 	default:
 		if len(v.Members) > 0 {
@@ -892,7 +897,7 @@ func (a *segApp) ViewChange(v isis.View, reason isis.ViewReason) {
 func (a *segApp) Snapshot() []byte {
 	a.sg.mu.Lock()
 	defer a.sg.mu.Unlock()
-	return wire.Marshal(a.sg.snapshotLocked())
+	return wire.MarshalSized(a.sg.snapshotLocked())
 }
 
 func (a *segApp) Restore(snap []byte) {
@@ -926,7 +931,7 @@ func (sg *segment) castReconcile(snap []byte) {
 		sg.mu.Unlock()
 		if grp != nil {
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-			_, err := grp.Cast(ctx, wire.Marshal(&castMsg{Op: opReconcile, Snapshot: snap}), 1)
+			_, err := grp.Cast(ctx, wire.MarshalSized(&castMsg{Op: opReconcile, Snapshot: snap}), 1)
 			cancel()
 			if err == nil {
 				return

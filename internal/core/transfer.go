@@ -396,7 +396,7 @@ func (s *Server) directCall(ctx context.Context, to simnet.NodeID, req *directMs
 	s.pending.Store(req.ReqID, ch)
 	defer s.pending.Delete(req.ReqID)
 
-	if err := s.dtr.Send(to, wire.Marshal(req)); err != nil {
+	if err := s.dtr.Send(to, wire.MarshalSized(req)); err != nil {
 		return nil, err
 	}
 	select {
@@ -614,7 +614,7 @@ func (s *Server) serveOpen(from simnet.NodeID, req *directMsg) {
 }
 
 func (s *Server) sendDirect(to simnet.NodeID, m *directMsg) {
-	if err := s.dtr.Send(to, wire.Marshal(m)); err != nil {
+	if err := s.dtr.Send(to, wire.MarshalSized(m)); err != nil {
 		// Best-effort: the requester will time out and retry.
 		_ = fmt.Sprintf("%v", err)
 	}

@@ -44,6 +44,10 @@ const (
 	CodeNameTooLong Code = 4
 	// CodeNotSymlink reports a readlink on a non-symlink.
 	CodeNotSymlink Code = 5
+	// CodeIncompatible reports a connection-setup handshake rejected for a
+	// wire-protocol major version mismatch. The caller cannot retry its way
+	// out of a flag-day incompatibility; one side must be upgraded.
+	CodeIncompatible Code = 6
 
 	// CodeNotFound reports a name or version that does not resolve: the
 	// container exists, the entry does not.
@@ -153,6 +157,7 @@ var codeTable = map[Code]codeInfo{
 	CodeIsDir:            {"is-dir", Invalid, false},
 	CodeNameTooLong:      {"name-too-long", Invalid, false},
 	CodeNotSymlink:       {"not-symlink", Invalid, false},
+	CodeIncompatible:     {"incompatible", Invalid, false},
 	CodeNotFound:         {"not-found", NotFound, false},
 	CodeExists:           {"exists", Conflict, false},
 	CodeNotEmpty:         {"not-empty", Conflict, false},

@@ -151,16 +151,22 @@ func (g *gstate) newBatchCast(payloads [][]byte) []*Call {
 	req := &env{
 		Kind: kCastReq, Flags: flagBatchCast, Group: g.name,
 		MsgID: id, Origin: g.me(), Inc: g.p.inc,
-		Payload: encodeBatchFrame(payloads),
+		Payload: EncodeBatchFrame(payloads),
 	}
 	g.outbox[id] = &outboxEntry{req: req, sent: time.Now()}
 	g.routeCastReq(req)
 	return bs.ops
 }
 
-// encodeBatchFrame packs sub-payloads into one wire buffer.
-func encodeBatchFrame(payloads [][]byte) []byte {
-	e := wire.NewEncoder(nil)
+// EncodeBatchFrame packs sub-payloads into one exact-size wire buffer. The
+// frame lives in the cast outbox until the sequencer acknowledges it, so it
+// must own its allocation (no pooling), but it never reallocates mid-encode.
+func EncodeBatchFrame(payloads [][]byte) []byte {
+	n := 4
+	for _, p := range payloads {
+		n += wire.SizeBytes32(p)
+	}
+	e := wire.NewEncoder(make([]byte, 0, n))
 	e.Uint32(uint32(len(payloads)))
 	for _, p := range payloads {
 		e.Bytes32(p)

@@ -384,7 +384,7 @@ func (g *gstate) deliverRec(rec *seqRecord) {
 					outs[i] = app.Deliver(origin, sp)
 				}
 			}
-			reply = encodeBatchFrame(outs)
+			reply = EncodeBatchFrame(outs)
 		} else {
 			reply = app.Deliver(origin, payload)
 		}
@@ -396,9 +396,9 @@ func (g *gstate) deliverRec(rec *seqRecord) {
 		}
 		// Reply directly to the origin; safe to use the transport from the
 		// delivery goroutine since the destination is never ourselves.
-		_ = p.tr.Send(origin, encodeEnv(&env{
+		_ = sendPooled(p.tr, origin, &env{
 			Kind: kReply, Group: name, MsgID: msgID, Payload: reply,
-		}))
+		})
 	})
 }
 

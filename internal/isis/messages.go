@@ -95,6 +95,29 @@ func (m *env) MarshalWire(e *wire.Encoder) {
 	}
 }
 
+// SizeWire mirrors MarshalWire field for field; wire.MarshalSized asserts
+// the two stay in lockstep.
+func (m *env) SizeWire() int {
+	n := 1 + 1 + // Kind, Flags
+		wire.SizeString(m.Group) +
+		8 + 8 + // ViewID, Seq
+		wire.SizeString(string(m.Origin)) +
+		8 + 8 + 8 + // MsgID, Inc, Acked
+		wire.SizeBytes32(m.Payload) +
+		wire.SizeBytes32(m.Snapshot)
+	n += 4
+	for _, id := range m.Members {
+		n += wire.SizeString(string(id))
+	}
+	n += wire.SizeUint64Slice(m.Seqs)
+	n += 4
+	for i := range m.Batch {
+		r := &m.Batch[i]
+		n += 8 + wire.SizeString(string(r.Origin)) + 8 + 8 + 1 + wire.SizeBytes32(r.Payload)
+	}
+	return n
+}
+
 func (m *env) UnmarshalWire(d *wire.Decoder) error {
 	m.Kind = d.Uint8()
 	m.Flags = d.Uint8()
@@ -143,7 +166,23 @@ func (m *env) String() string {
 		m.Kind, m.Group, m.ViewID, m.Seq, m.Origin, m.MsgID)
 }
 
-func encodeEnv(m *env) []byte { return wire.Marshal(m) }
+// encodeEnv encodes an envelope into one exact-size buffer the caller may
+// retain (lookup retransmission keeps the bytes across ticks). Transient
+// send paths use sendPooled instead.
+func encodeEnv(m *env) []byte { return wire.MarshalSized(m) }
+
+// sendPooled encodes m into a pooled encoder, hands the bytes to the
+// transport — both transports finish with the buffer before Send returns
+// (the simulated network copies, the TCP transport writes synchronously) —
+// and returns the encoder to the pool. The steady cast path allocates
+// nothing here.
+func sendPooled(tr simnet.Transport, to simnet.NodeID, m *env) error {
+	e := wire.GetEncoder()
+	m.MarshalWire(e)
+	err := tr.Send(to, e.Bytes())
+	wire.PutEncoder(e)
+	return err
+}
 
 func decodeEnv(data []byte) (*env, error) {
 	m := new(env)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/simnet"
+	"repro/internal/wire"
 )
 
 // Process is one node's membership in the ISIS world. All Deceit group
@@ -158,7 +159,7 @@ func (p *Process) sendEnv(to simnet.NodeID, m *env) {
 		p.selfq = append(p.selfq, m)
 		return
 	}
-	_ = p.tr.Send(to, encodeEnv(m))
+	_ = sendPooled(p.tr, to, m)
 }
 
 func (p *Process) drainSelf() {
@@ -258,11 +259,15 @@ func (p *Process) tick() {
 			}
 		}
 	}
+	// One pooled encode serves every heartbeat fan-out target; both
+	// transports are done with the bytes when Send returns.
 	hb := &env{Kind: kHeartbeat}
-	data := encodeEnv(hb)
+	e := wire.GetEncoder()
+	hb.MarshalWire(e)
 	for id := range targets {
-		_ = p.tr.Send(id, data)
+		_ = p.tr.Send(id, e.Bytes())
 	}
+	wire.PutEncoder(e)
 
 	// Suspect silent co-members.
 	for id := range targets {

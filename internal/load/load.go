@@ -27,6 +27,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/testnfs"
 	"repro/internal/testutil"
+	"repro/internal/wire"
 )
 
 // Config parameterizes one harness run. Zero values take defaults (see
@@ -45,6 +46,12 @@ type Config struct {
 	// NoAgentCache disables the agents' lease-backed caches; default is the
 	// production shape, caches on.
 	NoAgentCache bool
+
+	// VersionSkew runs every odd-numbered server's RPC endpoint one wire-
+	// protocol minor behind the dialing agents (same major), so the run
+	// doubles as the mixed-version compatibility proof: a skewed replica
+	// group must serve traffic and pass the chaos gates unchanged.
+	VersionSkew bool
 
 	// DrainTimeout bounds how long the run waits for queued arrivals after
 	// generation ends; arrivals still queued at the deadline are shed and
@@ -181,6 +188,15 @@ func Run(cfg Config) (*Result, error) {
 	}
 	defer cell.Close()
 
+	if cfg.VersionSkew {
+		for i, nd := range cell.Nodes {
+			if i%2 == 1 {
+				nd.Server.RPC().SetProtocolVersion(wire.ProtocolMajor, wire.ProtocolMinor-1)
+			}
+		}
+		cfg.Logf("load: version skew on: odd servers at v%d.%d", wire.ProtocolMajor, wire.ProtocolMinor-1)
+	}
+
 	fx, err := newFixture(cell, cfg)
 	if err != nil {
 		return nil, err
@@ -202,6 +218,11 @@ func Run(cfg Config) (*Result, error) {
 		cfg.Logf("load: mix %s: %.1f ops/s, p99 %.2fms, %d errors",
 			mix.Name, mr.Throughput, mr.Overall.P99Ms, mr.Errored)
 		res.Mixes = append(res.Mixes, *mr)
+	}
+	res.Micro = RunMicro()
+	for _, m := range res.Micro {
+		cfg.Logf("load: micro %s: %.0f ns/op, %.0f allocs/op, %.0f B/op",
+			m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp)
 	}
 	if cfg.Chaos != nil {
 		cr, err := runChaos(cell, fx, cfg, vlog)

@@ -84,6 +84,9 @@ func TestChaosGracefulDegradation(t *testing.T) {
 		DrainTimeout: 20 * time.Second,
 		Mixes:        []Mix{}, // chaos run only
 		Chaos:        DefaultChaos(),
+		// The cell runs version-skewed (srv1 one wire minor behind), so this
+		// gate is also the mixed-version compatibility proof.
+		VersionSkew: true,
 	}.withDefaults()
 	cfg.Mixes = cfg.Mixes[:1] // one quick sanity mix before the chaos pass
 	cfg.Mixes[0] = Mix{Name: "warm", Weights: map[OpClass]int{OpRead: 80, OpWrite: 20}}

@@ -20,6 +20,7 @@ type Result struct {
 	Seed   int64         `json:"seed"`
 	Config ConfigSummary `json:"config"`
 	Mixes  []MixResult   `json:"mixes"`
+	Micro  []MicroResult `json:"micro,omitempty"` // wire-path allocation benches
 	Chaos  *ChaosResult  `json:"chaos,omitempty"`
 }
 
@@ -127,6 +128,10 @@ type CompareOpts struct {
 	// CI runners cannot trip the gate.
 	MaxP99Growth float64
 	P99SlackMs   float64
+	// MaxAllocGrowth fails a micro bench whose allocs/op grew by more than
+	// this many allocations over the previous run. Allocation counts are
+	// deterministic, so the slack only absorbs size-class boundary effects.
+	MaxAllocGrowth float64
 }
 
 // DefaultCompareOpts is the CI gate: >20% regressions fail. The absolute
@@ -137,7 +142,7 @@ type CompareOpts struct {
 // into the seconds, far past any slack; throughput (which is stable run
 // to run) gates the rest.
 func DefaultCompareOpts() CompareOpts {
-	return CompareOpts{MaxThroughputDrop: 0.20, MaxP99Growth: 0.20, P99SlackMs: 250}
+	return CompareOpts{MaxThroughputDrop: 0.20, MaxP99Growth: 0.20, P99SlackMs: 250, MaxAllocGrowth: 2}
 }
 
 // Comparison is the outcome of diffing two results.
@@ -209,5 +214,50 @@ func Compare(prev, cur *Result, opts CompareOpts) *Comparison {
 			c.Regressions = append(c.Regressions, fmt.Sprintf("%s: mix disappeared from the new result", name))
 		}
 	}
+	compareMicro(prev, cur, opts, c)
 	return c
+}
+
+// compareMicro gates the wire-path allocation benches. A baseline predating
+// the micro section is skipped, not failed, so the trajectory can grow the
+// section without a flag day.
+func compareMicro(prev, cur *Result, opts CompareOpts, c *Comparison) {
+	if len(prev.Micro) == 0 {
+		if len(cur.Micro) > 0 {
+			c.Skipped = append(c.Skipped, "micro: no baseline allocation benches; gate arms next run")
+		}
+		return
+	}
+	prevByName := make(map[string]*MicroResult, len(prev.Micro))
+	for i := range prev.Micro {
+		prevByName[prev.Micro[i].Name] = &prev.Micro[i]
+	}
+	for i := range cur.Micro {
+		cm := &cur.Micro[i]
+		pm, ok := prevByName[cm.Name]
+		if !ok {
+			c.Skipped = append(c.Skipped, fmt.Sprintf("micro %s: no previous result", cm.Name))
+			continue
+		}
+		ceil := pm.AllocsPerOp + opts.MaxAllocGrowth
+		c.Checked = append(c.Checked, fmt.Sprintf(
+			"micro %s: %.0f -> %.0f allocs/op (ceiling %.0f), %.0f -> %.0f B/op",
+			cm.Name, pm.AllocsPerOp, cm.AllocsPerOp, ceil, pm.BytesPerOp, cm.BytesPerOp))
+		if cm.AllocsPerOp > ceil {
+			c.Regressions = append(c.Regressions, fmt.Sprintf(
+				"micro %s: allocs/op regressed %.0f -> %.0f (gate is +%.0f)",
+				cm.Name, pm.AllocsPerOp, cm.AllocsPerOp, opts.MaxAllocGrowth))
+		}
+	}
+	for name := range prevByName {
+		found := false
+		for i := range cur.Micro {
+			if cur.Micro[i].Name == name {
+				found = true
+			}
+		}
+		if !found {
+			c.Regressions = append(c.Regressions, fmt.Sprintf("micro %s: bench disappeared from the new result", name))
+		}
+	}
 }

@@ -136,3 +136,73 @@ func TestCompareSchemaChangeSkips(t *testing.T) {
 		t.Errorf("schema change must skip, got regressions=%v skipped=%v", cmp.Regressions, cmp.Skipped)
 	}
 }
+
+func withMicro(r *Result) *Result {
+	r.Micro = []MicroResult{
+		{Name: "hot-read-reply", NsPerOp: 80, AllocsPerOp: 0, BytesPerOp: 0},
+		{Name: "batched-write-frame", NsPerOp: 900, AllocsPerOp: 1, BytesPerOp: 4864},
+	}
+	return r
+}
+
+func TestCompareMicroAllocGate(t *testing.T) {
+	prev, cur := withMicro(sampleResult()), withMicro(sampleResult())
+	// Within slack: +2 allocs/op passes.
+	cur.Micro[0].AllocsPerOp = 2
+	cmp := Compare(prev, cur, DefaultCompareOpts())
+	if !cmp.OK() {
+		t.Fatalf("+2 allocs/op must pass: %v", cmp.Regressions)
+	}
+	// Past slack: +3 allocs/op fails.
+	cur.Micro[0].AllocsPerOp = 3
+	cmp = Compare(prev, cur, DefaultCompareOpts())
+	if cmp.OK() {
+		t.Fatal("+3 allocs/op must fail the gate")
+	}
+	found := false
+	for _, r := range cmp.Regressions {
+		if strings.Contains(r, "hot-read-reply") && strings.Contains(r, "allocs/op") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("regression does not name the bench: %v", cmp.Regressions)
+	}
+}
+
+func TestCompareMicroMissingBaselineSkips(t *testing.T) {
+	prev, cur := sampleResult(), withMicro(sampleResult())
+	cmp := Compare(prev, cur, DefaultCompareOpts())
+	if !cmp.OK() {
+		t.Fatalf("baseline without micro section must skip, got %v", cmp.Regressions)
+	}
+	found := false
+	for _, s := range cmp.Skipped {
+		if strings.Contains(s, "micro") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("skip not reported: %v", cmp.Skipped)
+	}
+	// And a bench vanishing from the new result is a regression.
+	prev2, cur2 := withMicro(sampleResult()), withMicro(sampleResult())
+	cur2.Micro = cur2.Micro[:1]
+	if cmp := Compare(prev2, cur2, DefaultCompareOpts()); cmp.OK() {
+		t.Fatal("a micro bench disappearing must fail the gate")
+	}
+}
+
+// TestMicroAllocCeiling is the PR's acceptance bar: the steady-state
+// hot-read reply and batched-write staging encodes stay at <= 2 allocs/op.
+func TestMicroAllocCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro benches take a few seconds")
+	}
+	for _, m := range RunMicro() {
+		t.Logf("%s: %.0f ns/op, %.0f allocs/op, %.0f B/op", m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp)
+		if m.AllocsPerOp > 2 {
+			t.Errorf("%s: %.0f allocs/op, want <= 2", m.Name, m.AllocsPerOp)
+		}
+	}
+}

@@ -203,25 +203,27 @@ func (r *CtlStatRes) UnmarshalXDR(d *xdr.Decoder) error {
 	return d.Err()
 }
 
-func (s *Server) handleCtl(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, sunrpc.AcceptStat) {
+func (s *Server) handleCtl(proc uint32, cred sunrpc.Cred, args []byte, reply *xdr.Encoder) sunrpc.AcceptStat {
 	ctx, cancel := s.opCtx()
 	defer cancel()
 	switch proc {
 	case CtlNull:
-		return nil, sunrpc.Success
+		return sunrpc.Success
 
 	case CtlStat:
 		var h nfsproto.Handle
 		if err := xdr.Unmarshal(args, &h); err != nil {
-			return nil, sunrpc.GarbageArgs
+			return sunrpc.GarbageArgs
 		}
 		seg, _, ok := envelope.UnpackHandle(h)
 		if !ok {
-			return xdr.Marshal(&CtlStatRes{Status: uint32(nfsproto.ErrStale)}), sunrpc.Success
+			(&CtlStatRes{Status: uint32(nfsproto.ErrStale)}).MarshalXDR(reply)
+			return sunrpc.Success
 		}
 		info, err := s.core.Stat(ctx, seg)
 		if err != nil {
-			return xdr.Marshal(&CtlStatRes{Status: uint32(nfsproto.ErrIO)}), sunrpc.Success
+			(&CtlStatRes{Status: uint32(nfsproto.ErrIO)}).MarshalXDR(reply)
+			return sunrpc.Success
 		}
 		res := CtlStatRes{}
 		res.Params.FromCore(info.Params)
@@ -240,70 +242,74 @@ func (s *Server) handleCtl(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 			}
 			res.Versions = append(res.Versions, cv)
 		}
-		return xdr.Marshal(&res), sunrpc.Success
+		res.MarshalXDR(reply)
+		return sunrpc.Success
 
 	case CtlSetParams:
 		d := xdr.NewDecoder(args)
 		var h nfsproto.Handle
 		if err := h.UnmarshalXDR(d); err != nil {
-			return nil, sunrpc.GarbageArgs
+			return sunrpc.GarbageArgs
 		}
 		var p CtlParams
 		if err := p.UnmarshalXDR(d); err != nil {
-			return nil, sunrpc.GarbageArgs
+			return sunrpc.GarbageArgs
 		}
 		seg, _, ok := envelope.UnpackHandle(h)
 		if !ok {
-			return statusReply(errStaleCtl), sunrpc.Success
+			statusInto(reply, errStaleCtl)
+			return sunrpc.Success
 		}
-		if err := s.core.SetParams(ctx, seg, p.ToCore()); err != nil {
-			return statusReply(err), sunrpc.Success
-		}
-		return statusReply(nil), sunrpc.Success
+		statusInto(reply, s.core.SetParams(ctx, seg, p.ToCore()))
+		return sunrpc.Success
 
 	case CtlGetParams:
 		var h nfsproto.Handle
 		if err := xdr.Unmarshal(args, &h); err != nil {
-			return nil, sunrpc.GarbageArgs
+			return sunrpc.GarbageArgs
 		}
 		seg, _, ok := envelope.UnpackHandle(h)
 		if !ok {
-			return statusReply(errStaleCtl), sunrpc.Success
+			statusInto(reply, errStaleCtl)
+			return sunrpc.Success
 		}
 		params, err := s.core.GetParams(ctx, seg)
 		if err != nil {
-			return statusReply(err), sunrpc.Success
+			statusInto(reply, err)
+			return sunrpc.Success
 		}
-		e := xdr.NewEncoder(nil)
-		e.Uint32(uint32(nfsproto.OK))
+		reply.Uint32(uint32(nfsproto.OK))
 		var p CtlParams
 		p.FromCore(params)
-		p.MarshalXDR(e)
-		return e.Bytes(), sunrpc.Success
+		p.MarshalXDR(reply)
+		return sunrpc.Success
 
 	case CtlAddReplica, CtlRemoveReplica:
 		d := xdr.NewDecoder(args)
 		var h nfsproto.Handle
 		if err := h.UnmarshalXDR(d); err != nil {
-			return nil, sunrpc.GarbageArgs
+			return sunrpc.GarbageArgs
 		}
 		idx := d.Uint32()
 		target := d.String()
 		if d.Err() != nil {
-			return nil, sunrpc.GarbageArgs
+			return sunrpc.GarbageArgs
 		}
 		seg, _, ok := envelope.UnpackHandle(h)
 		if !ok {
-			return statusReply(errStaleCtl), sunrpc.Success
+			statusInto(reply, errStaleCtl)
+			return sunrpc.Success
 		}
 		major := uint64(0)
 		if idx > 0 {
 			info, err := s.core.Stat(ctx, seg)
 			if err != nil {
-				return statusReply(err), sunrpc.Success
+				statusInto(reply, err)
+				return sunrpc.Success
 			}
 			if int(idx) > len(info.Versions) {
-				return statusReply(derr.New(derr.CodeNotFound, "ctl: no such version")), sunrpc.Success
+				statusInto(reply, derr.New(derr.CodeNotFound, "ctl: no such version"))
+				return sunrpc.Success
 			}
 			major = info.Versions[idx-1].Major
 		}
@@ -313,36 +319,32 @@ func (s *Server) handleCtl(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		} else {
 			err = s.core.RemoveReplica(ctx, seg, major, simnet.NodeID(target))
 		}
-		if err != nil {
-			return statusReply(err), sunrpc.Success
-		}
-		return statusReply(nil), sunrpc.Success
+		statusInto(reply, err)
+		return sunrpc.Success
 
 	case CtlConflicts:
 		// §3.6: conflicts are "logged into a well known file"; the control
 		// program is that well-known place in this implementation.
 		confs := s.core.Conflicts()
-		e := xdr.NewEncoder(nil)
-		e.Uint32(uint32(nfsproto.OK))
-		e.Uint32(uint32(len(confs)))
+		reply.Uint32(uint32(nfsproto.OK))
+		reply.Uint32(uint32(len(confs)))
 		for _, c := range confs {
-			e.String(c.String())
+			reply.String(c.String())
 		}
-		return e.Bytes(), sunrpc.Success
+		return sunrpc.Success
 
 	case CtlReconcileDir:
 		var h nfsproto.Handle
 		if err := xdr.Unmarshal(args, &h); err != nil {
-			return nil, sunrpc.GarbageArgs
+			return sunrpc.GarbageArgs
 		}
 		merged, rerr := s.env.ReconcileDir(ctx, h)
-		e := xdr.NewEncoder(nil)
-		e.Uint32(uint32(nfsproto.StatusOf(rerr)))
-		e.Uint32(uint32(merged))
+		reply.Uint32(uint32(nfsproto.StatusOf(rerr)))
+		reply.Uint32(uint32(merged))
 		if rerr != nil {
-			derr.AppendTrailer(e, rerr)
+			derr.AppendTrailer(reply, rerr)
 		}
-		return e.Bytes(), sunrpc.Success
+		return sunrpc.Success
 
 	case CtlLease:
 		// The agent's cache revalidation: the client sends the handle and
@@ -356,36 +358,34 @@ func (s *Server) handleCtl(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		// future miss), never too new (a masked update).
 		var a CtlLeaseArgs
 		if err := xdr.Unmarshal(args, &a); err != nil {
-			return nil, sunrpc.GarbageArgs
+			return sunrpc.GarbageArgs
 		}
 		lease := s.lease(ctx, a.File)
-		e := xdr.NewEncoder(nil)
-		e.Uint32(uint32(nfsproto.OK))
-		e.Uint64(lease.Epoch)
-		e.Bool(lease.Valid)
+		reply.Uint32(uint32(nfsproto.OK))
+		reply.Uint64(lease.Epoch)
+		reply.Bool(lease.Valid)
 		if lease.Valid && lease.Epoch == a.Epoch {
-			e.Bool(false) // entry still good: no attributes needed
+			reply.Bool(false) // entry still good: no attributes needed
 		} else if attr, aerr := s.env.Getattr(ctx, a.File); aerr == nil {
-			e.Bool(true)
-			attr.MarshalXDR(e)
+			reply.Bool(true)
+			attr.MarshalXDR(reply)
 		} else {
-			e.Bool(false)
+			reply.Bool(false)
 		}
-		return e.Bytes(), sunrpc.Success
+		return sunrpc.Success
 
 	case CtlServerInfo:
-		e := xdr.NewEncoder(nil)
-		e.Uint32(uint32(nfsproto.OK))
-		e.String(string(s.ID()))
+		reply.Uint32(uint32(nfsproto.OK))
+		reply.String(string(s.ID()))
 		peers := s.proc.Peers()
-		e.Uint32(uint32(len(peers)))
+		reply.Uint32(uint32(len(peers)))
 		for _, p := range peers {
-			e.String(string(p))
+			reply.String(string(p))
 		}
-		return e.Bytes(), sunrpc.Success
+		return sunrpc.Success
 
 	default:
-		return nil, sunrpc.ProcUnavail
+		return sunrpc.ProcUnavail
 	}
 }
 

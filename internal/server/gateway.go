@@ -155,38 +155,46 @@ func (g *gateway) mount(addr string) *nfsproto.DirOpRes {
 }
 
 // forward relays one NFS call whose primary handle routes to a remote cell,
-// translating handles in both directions.
-func (g *gateway) forward(proc uint32, args []byte, primary nfsproto.Handle) ([]byte, sunrpc.AcceptStat) {
+// translating handles in both directions. The reply is encoded into the
+// connection's reply encoder like any locally-served call.
+func (g *gateway) forward(proc uint32, args []byte, primary nfsproto.Handle, reply *xdr.Encoder) sunrpc.AcceptStat {
 	addr, _, ok := g.unwrap(primary)
 	if !ok {
-		return staleFor(proc), sunrpc.Success
+		staleInto(reply, proc)
+		return sunrpc.Success
 	}
 	remoteArgs, ok := g.translateArgs(proc, args, addr)
 	if !ok {
-		return staleFor(proc), sunrpc.Success
+		staleInto(reply, proc)
+		return sunrpc.Success
 	}
 	c, err := g.client(addr)
 	if err != nil {
-		return staleFor(proc), sunrpc.Success
+		staleInto(reply, proc)
+		return sunrpc.Success
 	}
 	raw, err := c.Call(nfsproto.NFSProgram, nfsproto.NFSVersion, proc, remoteArgs)
 	if err != nil {
 		g.dropClient(addr)
-		return staleFor(proc), sunrpc.Success
+		staleInto(reply, proc)
+		return sunrpc.Success
 	}
 	// Wrap any handle in the result.
 	switch proc {
 	case nfsproto.ProcLookup, nfsproto.ProcCreate, nfsproto.ProcMkdir:
 		var res nfsproto.DirOpRes
 		if err := xdr.Unmarshal(raw, &res); err != nil {
-			return staleFor(proc), sunrpc.Success
+			staleInto(reply, proc)
+			return sunrpc.Success
 		}
 		if res.Status == nfsproto.OK {
 			res.File = g.wrap(addr, res.File)
 		}
-		return xdr.Marshal(&res), sunrpc.Success
+		res.MarshalXDR(reply)
+		return sunrpc.Success
 	default:
-		return raw, sunrpc.Success
+		reply.Raw(raw)
+		return sunrpc.Success
 	}
 }
 
@@ -318,20 +326,20 @@ func (g *gateway) translateArgs(proc uint32, args []byte, addr string) ([]byte, 
 	}
 }
 
-// staleFor builds a minimal NFSERR_STALE reply appropriate to the proc.
-func staleFor(proc uint32) []byte {
+// staleInto encodes a minimal NFSERR_STALE reply appropriate to the proc.
+func staleInto(e *xdr.Encoder, proc uint32) {
 	switch proc {
 	case nfsproto.ProcLookup, nfsproto.ProcCreate, nfsproto.ProcMkdir:
-		return xdr.Marshal(&nfsproto.DirOpRes{Status: nfsproto.ErrStale})
+		(&nfsproto.DirOpRes{Status: nfsproto.ErrStale}).MarshalXDR(e)
 	case nfsproto.ProcRead:
-		return xdr.Marshal(&nfsproto.ReadRes{Status: nfsproto.ErrStale})
+		(&nfsproto.ReadRes{Status: nfsproto.ErrStale}).MarshalXDR(e)
 	case nfsproto.ProcReaddir:
-		return xdr.Marshal(&nfsproto.ReaddirRes{Status: nfsproto.ErrStale})
+		(&nfsproto.ReaddirRes{Status: nfsproto.ErrStale}).MarshalXDR(e)
 	case nfsproto.ProcReadlink:
-		return xdr.Marshal(&nfsproto.ReadlinkRes{Status: nfsproto.ErrStale})
+		(&nfsproto.ReadlinkRes{Status: nfsproto.ErrStale}).MarshalXDR(e)
 	case nfsproto.ProcGetattr, nfsproto.ProcSetattr, nfsproto.ProcWrite:
-		return xdr.Marshal(&nfsproto.AttrStat{Status: nfsproto.ErrStale})
+		(&nfsproto.AttrStat{Status: nfsproto.ErrStale}).MarshalXDR(e)
 	default:
-		return statusReply(errStaleCtl)
+		statusInto(e, errStaleCtl)
 	}
 }

@@ -172,14 +172,13 @@ func (s *Server) admit() bool {
 
 func (s *Server) release() { s.inflight.Add(-1) }
 
-// shedReply builds the correctly-shaped error reply for proc: the legacy
-// status word degrades to ErrIO, and the derr trailer carries the typed
-// Overloaded code plus a retry-after hint.
-func shedReply(proc uint32) []byte {
+// shedReplyInto encodes the correctly-shaped error reply for proc: the
+// legacy status word degrades to ErrIO, and the derr trailer carries the
+// typed Overloaded code plus a retry-after hint.
+func shedReplyInto(e *xdr.Encoder, proc uint32) {
 	err := derr.New(derr.CodeOverloaded, "server: too many in-flight requests").
 		WithRetryAfter(shedRetryAfter)
 	st := nfsproto.StatusOf(err)
-	e := xdr.NewEncoder(nil)
 	switch proc {
 	case nfsproto.ProcGetattr, nfsproto.ProcSetattr, nfsproto.ProcWrite:
 		(&nfsproto.AttrStat{Status: st}).MarshalXDR(e)
@@ -197,55 +196,51 @@ func shedReply(proc uint32) []byte {
 		e.Uint32(uint32(st))
 	}
 	derr.AppendTrailer(e, err)
-	return e.Bytes()
 }
 
-// errReply appends the derr trailer to an already-marshaled reply body when
-// the operation failed, so the typed code survives the lossy NFS status
+// errInto appends the derr trailer to the reply being built when the
+// operation failed, so the typed code survives the lossy NFS status
 // projection.
-func errReply(body []byte, err error) []byte {
-	if err == nil {
-		return body
+func errInto(e *xdr.Encoder, err error) {
+	if err != nil {
+		derr.AppendTrailer(e, err)
 	}
-	e := xdr.NewEncoder(body)
-	derr.AppendTrailer(e, err)
-	return e.Bytes()
 }
 
 // ------------------------------------------------------------- MOUNT ----
 
-func (s *Server) handleMount(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, sunrpc.AcceptStat) {
+func (s *Server) handleMount(proc uint32, cred sunrpc.Cred, args []byte, reply *xdr.Encoder) sunrpc.AcceptStat {
 	switch proc {
 	case nfsproto.MountProcNull:
-		return nil, sunrpc.Success
+		return sunrpc.Success
 	case nfsproto.MountProcMnt:
 		d := xdr.NewDecoder(args)
 		_ = d.String() // dirpath; a Deceit server exports exactly one tree
 		if d.Err() != nil {
-			return nil, sunrpc.GarbageArgs
+			return sunrpc.GarbageArgs
 		}
-		res := nfsproto.FHStatus{Status: 0, Handle: s.env.Root()}
-		return xdr.Marshal(&res), sunrpc.Success
+		(&nfsproto.FHStatus{Status: 0, Handle: s.env.Root()}).MarshalXDR(reply)
+		return sunrpc.Success
 	case nfsproto.MountProcUmnt, nfsproto.MountProcUmntAll:
-		return nil, sunrpc.Success
+		return sunrpc.Success
 	case nfsproto.MountProcExport, nfsproto.MountProcDump:
-		e := xdr.NewEncoder(nil)
-		e.Bool(false) // empty list terminator
-		return e.Bytes(), sunrpc.Success
+		reply.Bool(false) // empty list terminator
+		return sunrpc.Success
 	default:
-		return nil, sunrpc.ProcUnavail
+		return sunrpc.ProcUnavail
 	}
 }
 
 // --------------------------------------------------------------- NFS ----
 
-func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, sunrpc.AcceptStat) {
+func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte, reply *xdr.Encoder) sunrpc.AcceptStat {
 	if proc == nfsproto.ProcNull {
-		return nil, sunrpc.Success
+		return sunrpc.Success
 	}
 	if !s.admit() {
 		s.sheds.Add(1)
-		return shedReply(proc), sunrpc.Success
+		shedReplyInto(reply, proc)
+		return sunrpc.Success
 	}
 	defer s.release()
 	ctx, cancel := s.opCtx()
@@ -254,49 +249,50 @@ func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 	case nfsproto.ProcGetattr:
 		var h nfsproto.Handle
 		if err := xdr.Unmarshal(args, &h); err != nil {
-			return nil, sunrpc.GarbageArgs
+			return sunrpc.GarbageArgs
 		}
 		if s.gw.isGatewayHandle(h) {
-			return s.gw.forward(proc, args, h)
+			return s.gw.forward(proc, args, h, reply)
 		}
 		// The lease is captured before the attributes are read, so a
 		// concurrent write can only make the stamp too old (a spurious
 		// revalidation miss), never too new (a masked update).
 		lease := s.lease(ctx, h)
 		attr, err := s.env.Getattr(ctx, h)
-		e := xdr.NewEncoder(nil)
-		(&nfsproto.AttrStat{Status: nfsproto.StatusOf(err), Attr: attr}).MarshalXDR(e)
+		(&nfsproto.AttrStat{Status: nfsproto.StatusOf(err), Attr: attr}).MarshalXDR(reply)
 		if err == nil {
-			nfsproto.AppendLease(e, lease)
+			nfsproto.AppendLease(reply, lease)
 		} else {
-			derr.AppendTrailer(e, err)
+			derr.AppendTrailer(reply, err)
 		}
-		return e.Bytes(), sunrpc.Success
+		return sunrpc.Success
 
 	case nfsproto.ProcSetattr:
 		var a nfsproto.SAttrArgs
 		if err := xdr.Unmarshal(args, &a); err != nil {
-			return nil, sunrpc.GarbageArgs
+			return sunrpc.GarbageArgs
 		}
 		if s.gw.isGatewayHandle(a.File) {
-			return s.gw.forward(proc, args, a.File)
+			return s.gw.forward(proc, args, a.File, reply)
 		}
 		attr, err := s.env.Setattr(ctx, a.File, a.Attr)
-		return errReply(xdr.Marshal(&nfsproto.AttrStat{Status: nfsproto.StatusOf(err), Attr: attr}), err), sunrpc.Success
+		(&nfsproto.AttrStat{Status: nfsproto.StatusOf(err), Attr: attr}).MarshalXDR(reply)
+		errInto(reply, err)
+		return sunrpc.Success
 
 	case nfsproto.ProcLookup:
 		var a nfsproto.DirOpArgs
 		if err := xdr.Unmarshal(args, &a); err != nil {
-			return nil, sunrpc.GarbageArgs
+			return sunrpc.GarbageArgs
 		}
 		// Inter-cell access: "@host:port" mounts the foreign cell rooted
 		// at that server (§2.2's global root directory).
 		if strings.HasPrefix(a.Name, GatewayPrefix) && !s.gw.isGatewayHandle(a.Dir) {
-			res := s.gw.mount(a.Name[len(GatewayPrefix):])
-			return xdr.Marshal(res), sunrpc.Success
+			s.gw.mount(a.Name[len(GatewayPrefix):]).MarshalXDR(reply)
+			return sunrpc.Success
 		}
 		if s.gw.isGatewayHandle(a.Dir) {
-			return s.gw.forward(proc, args, a.Dir)
+			return s.gw.forward(proc, args, a.Dir, reply)
 		}
 		// Lookup replies carry no lease trailer: the child handle is only
 		// known after its attributes were read, so a stamp taken here could
@@ -304,57 +300,62 @@ func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		// The agent populates its attribute cache from Getattr and Read
 		// replies, whose stamps are captured before the data.
 		fh, attr, err := s.env.Lookup(ctx, a.Dir, a.Name)
-		return errReply(xdr.Marshal(&nfsproto.DirOpRes{Status: nfsproto.StatusOf(err), File: fh, Attr: attr}), err), sunrpc.Success
+		(&nfsproto.DirOpRes{Status: nfsproto.StatusOf(err), File: fh, Attr: attr}).MarshalXDR(reply)
+		errInto(reply, err)
+		return sunrpc.Success
 
 	case nfsproto.ProcReadlink:
 		var h nfsproto.Handle
 		if err := xdr.Unmarshal(args, &h); err != nil {
-			return nil, sunrpc.GarbageArgs
+			return sunrpc.GarbageArgs
 		}
 		if s.gw.isGatewayHandle(h) {
-			return s.gw.forward(proc, args, h)
+			return s.gw.forward(proc, args, h, reply)
 		}
 		path, err := s.env.Readlink(ctx, h)
-		return errReply(xdr.Marshal(&nfsproto.ReadlinkRes{Status: nfsproto.StatusOf(err), Path: path}), err), sunrpc.Success
+		(&nfsproto.ReadlinkRes{Status: nfsproto.StatusOf(err), Path: path}).MarshalXDR(reply)
+		errInto(reply, err)
+		return sunrpc.Success
 
 	case nfsproto.ProcRead:
 		var a nfsproto.ReadArgs
 		if err := xdr.Unmarshal(args, &a); err != nil {
-			return nil, sunrpc.GarbageArgs
+			return sunrpc.GarbageArgs
 		}
 		if s.gw.isGatewayHandle(a.File) {
-			return s.gw.forward(proc, args, a.File)
+			return s.gw.forward(proc, args, a.File, reply)
 		}
 		// Lease before data: see ProcGetattr.
 		lease := s.lease(ctx, a.File)
 		data, attr, err := s.env.Read(ctx, a.File, a.Offset, a.Count)
-		e := xdr.NewEncoder(nil)
-		(&nfsproto.ReadRes{Status: nfsproto.StatusOf(err), Attr: attr, Data: data}).MarshalXDR(e)
+		(&nfsproto.ReadRes{Status: nfsproto.StatusOf(err), Attr: attr, Data: data}).MarshalXDR(reply)
 		if err == nil {
-			nfsproto.AppendLease(e, lease)
+			nfsproto.AppendLease(reply, lease)
 		} else {
-			derr.AppendTrailer(e, err)
+			derr.AppendTrailer(reply, err)
 		}
-		return e.Bytes(), sunrpc.Success
+		return sunrpc.Success
 
 	case nfsproto.ProcWrite:
 		var a nfsproto.WriteArgs
 		if err := xdr.Unmarshal(args, &a); err != nil {
-			return nil, sunrpc.GarbageArgs
+			return sunrpc.GarbageArgs
 		}
 		if s.gw.isGatewayHandle(a.File) {
-			return s.gw.forward(proc, args, a.File)
+			return s.gw.forward(proc, args, a.File, reply)
 		}
 		attr, err := s.env.Write(ctx, a.File, a.Offset, a.Data)
-		return errReply(xdr.Marshal(&nfsproto.AttrStat{Status: nfsproto.StatusOf(err), Attr: attr}), err), sunrpc.Success
+		(&nfsproto.AttrStat{Status: nfsproto.StatusOf(err), Attr: attr}).MarshalXDR(reply)
+		errInto(reply, err)
+		return sunrpc.Success
 
 	case nfsproto.ProcCreate, nfsproto.ProcMkdir:
 		var a nfsproto.CreateArgs
 		if err := xdr.Unmarshal(args, &a); err != nil {
-			return nil, sunrpc.GarbageArgs
+			return sunrpc.GarbageArgs
 		}
 		if s.gw.isGatewayHandle(a.Where.Dir) {
-			return s.gw.forward(proc, args, a.Where.Dir)
+			return s.gw.forward(proc, args, a.Where.Dir, reply)
 		}
 		var fh nfsproto.Handle
 		var attr nfsproto.FAttr
@@ -364,15 +365,17 @@ func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		} else {
 			fh, attr, err = s.env.Mkdir(ctx, a.Where.Dir, a.Where.Name, a.Attr)
 		}
-		return errReply(xdr.Marshal(&nfsproto.DirOpRes{Status: nfsproto.StatusOf(err), File: fh, Attr: attr}), err), sunrpc.Success
+		(&nfsproto.DirOpRes{Status: nfsproto.StatusOf(err), File: fh, Attr: attr}).MarshalXDR(reply)
+		errInto(reply, err)
+		return sunrpc.Success
 
 	case nfsproto.ProcRemove, nfsproto.ProcRmdir:
 		var a nfsproto.DirOpArgs
 		if err := xdr.Unmarshal(args, &a); err != nil {
-			return nil, sunrpc.GarbageArgs
+			return sunrpc.GarbageArgs
 		}
 		if s.gw.isGatewayHandle(a.Dir) {
-			return s.gw.forward(proc, args, a.Dir)
+			return s.gw.forward(proc, args, a.Dir, reply)
 		}
 		var err error
 		if proc == nfsproto.ProcRemove {
@@ -380,67 +383,75 @@ func (s *Server) handleNFS(proc uint32, cred sunrpc.Cred, args []byte) ([]byte, 
 		} else {
 			err = s.env.Rmdir(ctx, a.Dir, a.Name)
 		}
-		return statusReply(err), sunrpc.Success
+		statusInto(reply, err)
+		return sunrpc.Success
 
 	case nfsproto.ProcRename:
 		var a nfsproto.RenameArgs
 		if err := xdr.Unmarshal(args, &a); err != nil {
-			return nil, sunrpc.GarbageArgs
+			return sunrpc.GarbageArgs
 		}
 		if s.gw.isGatewayHandle(a.From.Dir) {
-			return s.gw.forward(proc, args, a.From.Dir)
+			return s.gw.forward(proc, args, a.From.Dir, reply)
 		}
 		err := s.env.Rename(ctx, a.From.Dir, a.From.Name, a.To.Dir, a.To.Name)
-		return statusReply(err), sunrpc.Success
+		statusInto(reply, err)
+		return sunrpc.Success
 
 	case nfsproto.ProcLink:
 		var a nfsproto.LinkArgs
 		if err := xdr.Unmarshal(args, &a); err != nil {
-			return nil, sunrpc.GarbageArgs
+			return sunrpc.GarbageArgs
 		}
 		if s.gw.isGatewayHandle(a.From) {
-			return s.gw.forward(proc, args, a.From)
+			return s.gw.forward(proc, args, a.From, reply)
 		}
 		err := s.env.Link(ctx, a.From, a.To.Dir, a.To.Name)
-		return statusReply(err), sunrpc.Success
+		statusInto(reply, err)
+		return sunrpc.Success
 
 	case nfsproto.ProcSymlink:
 		var a nfsproto.SymlinkArgs
 		if err := xdr.Unmarshal(args, &a); err != nil {
-			return nil, sunrpc.GarbageArgs
+			return sunrpc.GarbageArgs
 		}
 		if s.gw.isGatewayHandle(a.From.Dir) {
-			return s.gw.forward(proc, args, a.From.Dir)
+			return s.gw.forward(proc, args, a.From.Dir, reply)
 		}
 		err := s.env.Symlink(ctx, a.From.Dir, a.From.Name, a.To, a.Attr)
-		return statusReply(err), sunrpc.Success
+		statusInto(reply, err)
+		return sunrpc.Success
 
 	case nfsproto.ProcReaddir:
 		var a nfsproto.ReaddirArgs
 		if err := xdr.Unmarshal(args, &a); err != nil {
-			return nil, sunrpc.GarbageArgs
+			return sunrpc.GarbageArgs
 		}
 		if s.gw.isGatewayHandle(a.Dir) {
-			return s.gw.forward(proc, args, a.Dir)
+			return s.gw.forward(proc, args, a.Dir, reply)
 		}
 		res, err := s.env.Readdir(ctx, a.Dir, a.Cookie, a.Count)
-		return errReply(xdr.Marshal(&res), err), sunrpc.Success
+		res.MarshalXDR(reply)
+		errInto(reply, err)
+		return sunrpc.Success
 
 	case nfsproto.ProcStatfs:
 		var h nfsproto.Handle
 		if err := xdr.Unmarshal(args, &h); err != nil {
-			return nil, sunrpc.GarbageArgs
+			return sunrpc.GarbageArgs
 		}
 		if s.gw.isGatewayHandle(h) {
-			return s.gw.forward(proc, args, h)
+			return s.gw.forward(proc, args, h, reply)
 		}
 		res, err := s.env.Statfs(ctx, h)
-		return errReply(xdr.Marshal(&res), err), sunrpc.Success
+		res.MarshalXDR(reply)
+		errInto(reply, err)
+		return sunrpc.Success
 
 	case nfsproto.ProcRoot, nfsproto.ProcWritecache:
-		return nil, sunrpc.ProcUnavail
+		return sunrpc.ProcUnavail
 	default:
-		return nil, sunrpc.ProcUnavail
+		return sunrpc.ProcUnavail
 	}
 }
 
@@ -451,11 +462,11 @@ func (s *Server) lease(ctx context.Context, h nfsproto.Handle) nfsproto.Lease {
 	return nfsproto.Lease{Epoch: epoch, Valid: ok}
 }
 
-func statusReply(err error) []byte {
-	e := xdr.NewEncoder(nil)
+// statusInto encodes a bare NFS status word, plus the derr trailer on
+// failure so the typed code survives the lossy status projection.
+func statusInto(e *xdr.Encoder, err error) {
 	e.Uint32(uint32(nfsproto.StatusOf(err)))
 	if err != nil {
 		derr.AppendTrailer(e, err)
 	}
-	return e.Bytes()
 }

@@ -7,12 +7,26 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/derr"
+	"repro/internal/wire"
 )
 
 // TCPTransport implements Transport over real TCP connections, for running
-// multiple Deceit servers as separate processes on one box or a LAN. Frames
-// are length-prefixed: a 4-byte big-endian length, then a length-prefixed
-// sender identity on the first frame of a connection, then payload frames.
+// multiple Deceit servers as separate processes on one box or a LAN. Each
+// connection opens with a version handshake — the dialer sends a raw
+// wire.Meta ("meta" magic + major/minor), the acceptor answers with its
+// own — then frames flow: a 4-byte big-endian length, a length-prefixed
+// sender identity on the first frame, then payload frames.
+//
+// A major-version mismatch is a flag day: the acceptor closes the
+// connection after answering, and the dialer surfaces a typed
+// derr.CodeIncompatible from Send (cached, so every subsequent Send to
+// that peer fails fast instead of re-dialing). Minor versions negotiate
+// down to the minimum of the two sides. A peer that does not open with
+// the magic is served as a legacy (version 0) connection — the magic read
+// as a frame length exceeds maxFrame, so the two openings cannot be
+// confused.
 //
 // Connections are dialed lazily per destination and re-dialed on failure.
 // Like the simulated network, Send is asynchronous and best-effort.
@@ -20,6 +34,7 @@ type TCPTransport struct {
 	id       NodeID
 	listener net.Listener
 	inbox    chan Message
+	meta     wire.Meta
 
 	mu       sync.Mutex
 	conns    map[NodeID]*tcpConn
@@ -31,9 +46,15 @@ type TCPTransport struct {
 // maxFrame bounds a single TCP frame to defend against corrupt prefixes.
 const maxFrame = 1 << 28
 
+// handshakeTimeout bounds the meta exchange on a freshly dialed
+// connection so a stalled peer cannot wedge Send forever.
+const handshakeTimeout = 2 * time.Second
+
 type tcpConn struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu    sync.Mutex
+	conn  net.Conn
+	minor uint16 // negotiated session minor
+	err   error  // sticky handshake rejection (derr.CodeIncompatible)
 }
 
 // ListenTCP starts a TCP transport on addr. The node's identity is its
@@ -48,12 +69,28 @@ func ListenTCP(addr string) (*TCPTransport, error) {
 		id:       NodeID(l.Addr().String()),
 		listener: l,
 		inbox:    make(chan Message, 4096),
+		meta:     wire.CurrentMeta(),
 		conns:    make(map[NodeID]*tcpConn),
 		accepted: make(map[net.Conn]struct{}),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
+}
+
+// SetProtocolVersion overrides the advertised wire protocol version. Call
+// before the first Send; existing connections keep their negotiated
+// session. Tests use it to stand up mixed-version and incompatible peers.
+func (t *TCPTransport) SetProtocolVersion(major, minor uint16) {
+	t.mu.Lock()
+	t.meta = wire.Meta{Major: major, Minor: minor}
+	t.mu.Unlock()
+}
+
+func (t *TCPTransport) localMeta() wire.Meta {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.meta
 }
 
 // Local implements Transport.
@@ -92,7 +129,9 @@ func (t *TCPTransport) Close() error {
 	return nil
 }
 
-// Send implements Transport.
+// Send implements Transport. A peer that rejected our major version makes
+// Send return a typed derr.CodeIncompatible (cached per peer); other
+// transport failures stay best-effort, like the simulated network.
 func (t *TCPTransport) Send(to NodeID, data []byte) error {
 	t.mu.Lock()
 	if t.closed {
@@ -108,24 +147,81 @@ func (t *TCPTransport) Send(to NodeID, data []byte) error {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
 	if c.conn == nil {
-		conn, err := net.DialTimeout("tcp", string(to), 2*time.Second)
+		conn, minor, err := t.dial(to)
 		if err != nil {
+			if derr.CodeOf(err) == derr.CodeIncompatible {
+				c.err = err // flag day: fail fast on every later Send
+				return err
+			}
 			return nil // unreachable peer: best-effort drop
 		}
-		// First frame on a dialed connection announces our identity so the
-		// receiver can attribute inbound messages.
-		if err := writeFrame(conn, []byte(t.id)); err != nil {
-			conn.Close()
-			return nil
-		}
-		c.conn = conn
+		c.conn, c.minor = conn, minor
 	}
 	if err := writeFrame(c.conn, data); err != nil {
 		c.conn.Close()
 		c.conn = nil // re-dial on next Send
 	}
 	return nil
+}
+
+// dial opens a connection to a peer: TCP connect, meta handshake, then the
+// identity frame. Returns the negotiated session minor.
+func (t *TCPTransport) dial(to NodeID) (net.Conn, uint16, error) {
+	conn, err := net.DialTimeout("tcp", string(to), 2*time.Second)
+	if err != nil {
+		return nil, 0, err
+	}
+	local := t.localMeta()
+	deadline := time.Now().Add(handshakeTimeout)
+	conn.SetDeadline(deadline)
+	if _, err := conn.Write(wire.EncodeMeta(local)); err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	var buf [wire.MetaLen]byte
+	if _, err := io.ReadFull(conn, buf[:]); err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	peer, ok := wire.DecodeMeta(buf[:])
+	if !ok {
+		conn.Close()
+		return nil, 0, fmt.Errorf("simnet: %s answered handshake with garbage", to)
+	}
+	if !local.Compatible(peer) {
+		conn.Close()
+		return nil, 0, derr.Newf(derr.CodeIncompatible,
+			"simnet: peer %s speaks wire protocol %s, we speak %s", to, peer, local)
+	}
+	conn.SetDeadline(time.Time{})
+	// First frame on a dialed connection announces our identity so the
+	// receiver can attribute inbound messages.
+	if err := writeFrame(conn, []byte(t.id)); err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	return conn, wire.NegotiateMinor(local, peer), nil
+}
+
+// PeerVersion reports the negotiated session minor for a live dialed
+// connection to a peer; ok is false when no such connection exists.
+func (t *TCPTransport) PeerVersion(to NodeID) (minor uint16, ok bool) {
+	t.mu.Lock()
+	c := t.conns[to]
+	t.mu.Unlock()
+	if c == nil {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return 0, false
+	}
+	return c.minor, true
 }
 
 func (t *TCPTransport) acceptLoop() {
@@ -156,7 +252,40 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		delete(t.accepted, conn)
 		t.mu.Unlock()
 	}()
-	ident, err := readFrame(conn)
+
+	// Sniff the opening bytes: a handshake meta, or (legacy peer) the
+	// frame header of the identity frame.
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	var head [4]byte
+	if _, err := io.ReadFull(conn, head[:]); err != nil {
+		return
+	}
+	var preread []byte // legacy: already-consumed frame-header bytes
+	if wire.IsMetaPrefix(head[:]) {
+		var rest [wire.MetaLen - 4]byte
+		if _, err := io.ReadFull(conn, rest[:]); err != nil {
+			return
+		}
+		peer, ok := wire.DecodeMeta(append(head[:], rest[:]...))
+		if !ok {
+			return
+		}
+		local := t.localMeta()
+		// Answer with our own meta either way: on a mismatch the dialer
+		// needs it to produce a typed, named rejection rather than a bare
+		// connection reset.
+		if _, err := conn.Write(wire.EncodeMeta(local)); err != nil {
+			return
+		}
+		if !local.Compatible(peer) {
+			return // close: flag-day rejection
+		}
+	} else {
+		preread = head[:]
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	ident, err := readFrameHead(conn, preread)
 	if err != nil {
 		return
 	}
@@ -180,19 +309,39 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 	}
 }
 
+// writeFrame writes the length header and payload as one vectored write
+// (writev) so the kernel sees a single burst instead of two tiny writes.
+// The iovec scratch is pooled: WriteTo takes its receiver's address, which
+// would otherwise heap-allocate a slice header and backing per frame.
 func writeFrame(w io.Writer, data []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(data)
+	s := frameScratchPool.Get().(*frameScratch)
+	binary.BigEndian.PutUint32(s.hdr[:], uint32(len(data)))
+	s.arr[0], s.arr[1] = s.hdr[:], data
+	s.bufs = net.Buffers(s.arr[:])
+	_, err := s.bufs.WriteTo(w)
+	s.arr[1] = nil // don't pin the caller's payload in the pool
+	frameScratchPool.Put(s)
 	return err
 }
 
+type frameScratch struct {
+	hdr  [4]byte
+	arr  [2][]byte
+	bufs net.Buffers
+}
+
+var frameScratchPool = sync.Pool{New: func() any { return new(frameScratch) }}
+
 func readFrame(r io.Reader) ([]byte, error) {
+	return readFrameHead(r, nil)
+}
+
+// readFrameHead reads one frame, with head holding any already-consumed
+// prefix of the 4-byte length header (the acceptor's handshake sniff).
+func readFrameHead(r io.Reader, head []byte) ([]byte, error) {
 	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	copy(hdr[:], head)
+	if _, err := io.ReadFull(r, hdr[len(head):]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])

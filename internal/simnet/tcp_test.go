@@ -6,6 +6,9 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/derr"
+	"repro/internal/wire"
 )
 
 func listenT(t *testing.T) *TCPTransport {
@@ -139,5 +142,38 @@ func TestTCPCloseIsIdempotentAndUnblocksRecv(t *testing.T) {
 	}
 	if err := a.Send("127.0.0.1:9", []byte("x")); err == nil {
 		t.Error("send after close succeeded")
+	}
+}
+
+func TestTCPHandshakeVersions(t *testing.T) {
+	a, b := listenT(t), listenT(t)
+	b.SetProtocolVersion(wire.ProtocolMajor, wire.ProtocolMinor+2)
+	if err := a.Send(b.Local(), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	recvOneTCP(t, b, 5*time.Second)
+	// The dialer negotiated the session minor: min of the two sides.
+	minor, ok := a.PeerVersion(b.Local())
+	if !ok {
+		t.Fatal("no negotiated version recorded for peer")
+	}
+	if minor != wire.ProtocolMinor {
+		t.Errorf("negotiated minor = %d, want %d", minor, wire.ProtocolMinor)
+	}
+}
+
+func TestTCPHandshakeMajorMismatch(t *testing.T) {
+	a, b := listenT(t), listenT(t)
+	b.SetProtocolVersion(wire.ProtocolMajor+1, 0)
+	err := a.Send(b.Local(), []byte("hello"))
+	if err == nil {
+		t.Fatal("send to incompatible peer succeeded")
+	}
+	if derr.CodeOf(err) != derr.CodeIncompatible {
+		t.Fatalf("err = %v, want CodeIncompatible", err)
+	}
+	// The incompatibility is cached: later sends fail fast the same way.
+	if err := a.Send(b.Local(), []byte("again")); derr.CodeOf(err) != derr.CodeIncompatible {
+		t.Fatalf("second send err = %v, want cached CodeIncompatible", err)
 	}
 }

@@ -1,0 +1,94 @@
+package sunrpc
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/derr"
+	"repro/internal/wire"
+	"repro/internal/xdr"
+)
+
+// TestVersionMatrix drives every pairing of client and server wire-protocol
+// versions through a live connection: equal-major pairs must serve traffic
+// (negotiating the lower minor for the session), and a major mismatch must
+// fail at dial time with the typed incompatibility error.
+func TestVersionMatrix(t *testing.T) {
+	versions := []wire.Meta{
+		{Major: wire.ProtocolMajor, Minor: wire.ProtocolMinor},
+		{Major: wire.ProtocolMajor, Minor: wire.ProtocolMinor + 3},
+		{Major: wire.ProtocolMajor + 1, Minor: 0},
+	}
+	for _, sv := range versions {
+		for _, cv := range versions {
+			srv := NewServer()
+			srv.SetProtocolVersion(sv.Major, sv.Minor)
+			srv.Register(testProg, testVers, echoHandler)
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := DialVersion(addr, cv)
+			if sv.Major != cv.Major {
+				if err == nil {
+					c.Close()
+					t.Errorf("dial %v->%v succeeded, want incompatibility", cv, sv)
+				} else if derr.CodeOf(err) != derr.CodeIncompatible {
+					t.Errorf("dial %v->%v: err = %v, want CodeIncompatible", cv, sv, err)
+				}
+				srv.Close()
+				continue
+			}
+			if err != nil {
+				t.Fatalf("dial %v->%v: %v", cv, sv, err)
+			}
+			want := wire.NegotiateMinor(sv, cv)
+			if got := c.SessionMinor(); got != want {
+				t.Errorf("dial %v->%v: session minor = %d, want %d", cv, sv, got, want)
+			}
+			if _, err := c.Call(testProg, testVers, 0, nil); err != nil {
+				t.Errorf("call %v->%v: %v", cv, sv, err)
+			}
+			c.Close()
+			srv.Close()
+		}
+	}
+}
+
+// TestLegacyClientServed proves the handshake is optional: a client that
+// never sends a meta frame — a stock NFS client predating versioning — is
+// served as before, its first record header standing in for the greeting.
+func TestLegacyClientServed(t *testing.T) {
+	addr, _ := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	e := xdr.NewEncoder(nil)
+	e.Uint32(7) // xid
+	e.Uint32(msgCall)
+	e.Uint32(rpcVersion)
+	e.Uint32(testProg)
+	e.Uint32(testVers)
+	e.Uint32(0) // proc null
+	e.Uint32(0) // cred flavor
+	e.Uint32(0)
+	e.Uint32(0) // verf flavor
+	e.Uint32(0)
+	if err := WriteRecord(conn, e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ReadRecord(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := xdr.NewDecoder(rec)
+	if xid := d.Uint32(); xid != 7 {
+		t.Errorf("xid = %d", xid)
+	}
+	if mt := d.Uint32(); mt != msgReply {
+		t.Errorf("mtype = %d", mt)
+	}
+}

@@ -2,6 +2,19 @@
 // 2 (RFC 1057), over TCP with record marking. Deceit serves the standard
 // NFS and MOUNT programs over this layer so that stock NFS clients need no
 // modification (§2.1).
+//
+// Deceit-aware clients additionally open each connection with a version
+// handshake (a raw wire.Meta: "meta" magic + major/minor). The server
+// sniffs the first four bytes of a connection — the magic, read as a
+// record-marking header, names an over-limit fragment, so the two openings
+// cannot collide — and serves stock clients that skip the handshake
+// exactly as before. A major mismatch is answered with the server's meta
+// and a close; the dialer surfaces it as a typed derr.CodeIncompatible.
+//
+// The steady path is allocation-free: each connection reuses one record
+// buffer and one reply encoder, handlers append their results directly
+// into the reply (args are views into the record buffer, valid only for
+// the duration of the call), and records go out as one vectored write.
 package sunrpc
 
 import (
@@ -15,6 +28,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/derr"
+	"repro/internal/wire"
 	"repro/internal/xdr"
 )
 
@@ -99,9 +114,12 @@ func MarshalUnixCred(u UnixCred) []byte {
 	return e.Bytes()
 }
 
-// Handler serves one RPC program version. It returns the XDR-encoded result
-// and an accept status; on a non-Success status the result is ignored.
-type Handler func(proc uint32, cred Cred, args []byte) ([]byte, AcceptStat)
+// Handler serves one RPC program version. It appends the XDR-encoded
+// result to reply and returns an accept status; on a non-Success status
+// whatever was appended is discarded. Both args and the reply buffer are
+// owned by the connection: args is a view into the record buffer and
+// neither may be retained past the handler's return.
+type Handler func(proc uint32, cred Cred, args []byte, reply *xdr.Encoder) AcceptStat
 
 type progVers struct {
 	prog, vers uint32
@@ -112,6 +130,7 @@ type Server struct {
 	mu       sync.Mutex
 	handlers map[progVers]Handler
 	versions map[uint32][2]uint32 // prog -> [low, high]
+	meta     wire.Meta
 	ln       net.Listener
 	conns    map[net.Conn]bool
 	closed   bool
@@ -149,8 +168,24 @@ func NewServer() *Server {
 	return &Server{
 		handlers: make(map[progVers]Handler),
 		versions: make(map[uint32][2]uint32),
+		meta:     wire.CurrentMeta(),
 		conns:    make(map[net.Conn]bool),
 	}
+}
+
+// SetProtocolVersion overrides the wire protocol version the server
+// advertises in the connection handshake. Existing connections keep their
+// negotiated session; tests use it to stand up mixed-version cells.
+func (s *Server) SetProtocolVersion(major, minor uint16) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.meta = wire.Meta{Major: major, Minor: minor}
+}
+
+func (s *Server) localMeta() wire.Meta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.meta
 }
 
 // Register installs a handler for one (program, version).
@@ -237,13 +272,53 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	var writeMu sync.Mutex
+
+	// Sniff the connection opening: a Deceit-aware client leads with a
+	// handshake meta; a stock NFS client leads with its first record.
+	var head [4]byte
+	if _, err := io.ReadFull(conn, head[:]); err != nil {
+		return
+	}
+	var preread []byte
+	if wire.IsMetaPrefix(head[:]) {
+		var rest [wire.MetaLen - 4]byte
+		if _, err := io.ReadFull(conn, rest[:]); err != nil {
+			return
+		}
+		peer, ok := wire.DecodeMeta(append(head[:], rest[:]...))
+		if !ok {
+			return
+		}
+		local := s.localMeta()
+		// Answer with our meta even on a mismatch, so the dialer can name
+		// the incompatibility instead of seeing a bare reset.
+		if _, err := conn.Write(wire.EncodeMeta(local)); err != nil {
+			return
+		}
+		if !local.Compatible(peer) {
+			return // flag-day rejection: close after answering
+		}
+	} else {
+		preread = head[:] // legacy client: bytes are the first record header
+	}
+
+	// Per-connection reusable state: calls on one connection are handled
+	// sequentially, so the record buffer (args views point into it) and the
+	// reply encoder are exclusively ours between reads.
+	var (
+		writeMu sync.Mutex
+		recBuf  []byte
+		reply   = xdr.NewEncoder(nil)
+	)
 	for {
-		rec, err := ReadRecord(conn)
+		rec, err := readRecordBuf(conn, recBuf[:0], preread)
+		preread = nil
 		if err != nil {
 			return
 		}
-		reply, ci, err := s.dispatch(rec)
+		recBuf = rec
+		reply.Reset()
+		ci, err := s.dispatch(rec, reply)
 		if err != nil {
 			continue // unparseable call; nothing to reply to
 		}
@@ -257,10 +332,11 @@ func (s *Server) serveConn(conn net.Conn) {
 			case FaultDelay:
 				time.Sleep(d)
 			case FaultError:
-				reply = errorReply(ci.xid, SystemErr)
+				reply.Reset()
+				errorReplyInto(reply, ci.xid, SystemErr)
 			case FaultDuplicate:
 				writeMu.Lock()
-				err = WriteRecord(conn, reply)
+				err = WriteRecord(conn, reply.Bytes())
 				writeMu.Unlock()
 				if err != nil {
 					return
@@ -268,7 +344,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 		}
 		writeMu.Lock()
-		err = WriteRecord(conn, reply)
+		err = WriteRecord(conn, reply.Bytes())
 		writeMu.Unlock()
 		if err != nil {
 			return
@@ -283,25 +359,26 @@ type callInfo struct {
 	prog, vers, proc uint32
 }
 
-// errorReply builds an accepted reply carrying a non-Success status.
-func errorReply(xid uint32, stat AcceptStat) []byte {
-	e := xdr.NewEncoder(nil)
+// errorReplyInto encodes an accepted reply carrying a non-Success status.
+func errorReplyInto(e *xdr.Encoder, xid uint32, stat AcceptStat) {
 	e.Uint32(xid)
 	e.Uint32(msgReply)
 	e.Uint32(replyAccepted)
 	e.Uint32(AuthNone)
 	e.Opaque(nil)
 	e.Uint32(uint32(stat))
-	return e.Bytes()
 }
 
-// dispatch parses one call record and produces the encoded reply record.
-func (s *Server) dispatch(rec []byte) ([]byte, callInfo, error) {
+// dispatch parses one call record and encodes the reply record into e. The
+// reply header is laid down with a provisional Success status, the handler
+// appends its result directly after it, and a non-Success status truncates
+// the body and patches the status word in place — one buffer, no joins.
+func (s *Server) dispatch(rec []byte, e *xdr.Encoder) (callInfo, error) {
 	d := xdr.NewDecoder(rec)
 	xid := d.Uint32()
 	mtype := d.Uint32()
 	if d.Err() != nil || mtype != msgCall {
-		return nil, callInfo{}, errors.New("sunrpc: not a call")
+		return callInfo{}, errors.New("sunrpc: not a call")
 	}
 	rpcvers := d.Uint32()
 	prog := d.Uint32()
@@ -312,21 +389,21 @@ func (s *Server) dispatch(rec []byte) ([]byte, callInfo, error) {
 	_ = d.Uint32() // verf flavor
 	_ = d.Opaque() // verf body
 	if d.Err() != nil {
-		return nil, callInfo{}, d.Err()
+		return callInfo{}, d.Err()
 	}
-	args := make([]byte, d.Remaining())
-	copy(args, rec[len(rec)-d.Remaining():])
+	// args is a view into the connection's record buffer; the handler runs
+	// before the next record is read into it, so the lifetime is safe.
+	args := rec[len(rec)-d.Remaining():]
 
 	if rpcvers != rpcVersion {
 		// RPC version mismatch is a denied reply.
-		e := xdr.NewEncoder(nil)
 		e.Uint32(xid)
 		e.Uint32(msgReply)
 		e.Uint32(replyDenied)
 		e.Uint32(0) // RPC_MISMATCH
 		e.Uint32(rpcVersion)
 		e.Uint32(rpcVersion)
-		return e.Bytes(), callInfo{}, nil
+		return callInfo{}, nil
 	}
 
 	s.mu.Lock()
@@ -334,33 +411,34 @@ func (s *Server) dispatch(rec []byte) ([]byte, callInfo, error) {
 	vrange, progKnown := s.versions[prog]
 	s.mu.Unlock()
 
-	var result []byte
-	var stat AcceptStat
-	switch {
-	case h != nil:
-		result, stat = h(proc, Cred{Flavor: credFlavor, Body: credBody}, args)
-	case progKnown:
-		stat = ProgMismatch
-	default:
-		stat = ProgUnavail
-	}
-
-	e := xdr.NewEncoder(nil)
 	e.Uint32(xid)
 	e.Uint32(msgReply)
 	e.Uint32(replyAccepted)
 	e.Uint32(AuthNone) // verf
 	e.Opaque(nil)
-	e.Uint32(uint32(stat))
-	switch stat {
-	case Success:
-		e.Raw(result) // result is already XDR-encoded; append verbatim
-	case ProgMismatch:
-		e.Uint32(vrange[0])
-		e.Uint32(vrange[1])
+	statOff := e.Len()
+	e.Uint32(uint32(Success)) // provisional; patched below if not
+	bodyOff := e.Len()
+
+	var stat AcceptStat
+	switch {
+	case h != nil:
+		stat = h(proc, Cred{Flavor: credFlavor, Body: credBody}, args, e)
+	case progKnown:
+		stat = ProgMismatch
+	default:
+		stat = ProgUnavail
+	}
+	if stat != Success {
+		e.Truncate(bodyOff)
+		e.PatchUint32(statOff, uint32(stat))
+		if stat == ProgMismatch {
+			e.Uint32(vrange[0])
+			e.Uint32(vrange[1])
+		}
 	}
 	ci := callInfo{served: h != nil, xid: xid, prog: prog, vers: vers, proc: proc}
-	return e.Bytes(), ci, nil
+	return ci, nil
 }
 
 // ---------------------------------------------------------------- client --
@@ -368,9 +446,10 @@ func (s *Server) dispatch(rec []byte) ([]byte, callInfo, error) {
 // Client is a TCP RPC client. It is safe for concurrent use; calls are
 // matched to replies by xid.
 type Client struct {
-	conn net.Conn
-	xid  atomic.Uint32
-	cred Cred
+	conn  net.Conn
+	xid   atomic.Uint32
+	cred  Cred
+	minor uint16 // negotiated session minor (min of the two sides)
 
 	writeMu sync.Mutex
 	mu      sync.Mutex
@@ -379,14 +458,48 @@ type Client struct {
 	readErr error
 }
 
-// Dial connects to an RPC server.
+// handshakeTimeout bounds the client's meta exchange so a wedged server
+// cannot stall Dial forever.
+const handshakeTimeout = 5 * time.Second
+
+// Dial connects to an RPC server, negotiating the wire protocol version.
+// An incompatible server (different handshake major) fails with a typed
+// derr.CodeIncompatible error.
 func Dial(addr string) (*Client, error) {
+	return DialVersion(addr, wire.CurrentMeta())
+}
+
+// DialVersion is Dial advertising an explicit protocol version; tests use
+// it to exercise the compatibility matrix.
+func DialVersion(addr string, local wire.Meta) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("sunrpc: %w", err)
 	}
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	if _, err := conn.Write(wire.EncodeMeta(local)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("sunrpc: handshake: %w", err)
+	}
+	var buf [wire.MetaLen]byte
+	if _, err := io.ReadFull(conn, buf[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("sunrpc: handshake: %w", err)
+	}
+	peer, ok := wire.DecodeMeta(buf[:])
+	if !ok {
+		conn.Close()
+		return nil, errors.New("sunrpc: handshake: server answered with garbage")
+	}
+	if !local.Compatible(peer) {
+		conn.Close()
+		return nil, derr.Newf(derr.CodeIncompatible,
+			"sunrpc: server %s speaks wire protocol %s, we speak %s", addr, peer, local)
+	}
+	conn.SetDeadline(time.Time{})
 	c := &Client{
 		conn:    conn,
+		minor:   wire.NegotiateMinor(local, peer),
 		pending: make(map[uint32]chan []byte),
 		cred:    Cred{Flavor: AuthNone},
 	}
@@ -394,6 +507,9 @@ func Dial(addr string) (*Client, error) {
 	go c.readLoop()
 	return c, nil
 }
+
+// SessionMinor reports the negotiated session minor version.
+func (c *Client) SessionMinor() uint16 { return c.minor }
 
 // SetUnixCred attaches an AUTH_UNIX credential to subsequent calls.
 func (c *Client) SetUnixCred(u UnixCred) {
@@ -454,7 +570,9 @@ func (c *Client) CallCtx(ctx context.Context, prog, vers, proc uint32, args []by
 		c.mu.Unlock()
 	}()
 
-	e := xdr.NewEncoder(nil)
+	// Pooled call-record assembly: the vectored write under writeMu is done
+	// with the buffer before PutEncoder.
+	e := xdr.GetEncoder()
 	e.Uint32(xid)
 	e.Uint32(msgCall)
 	e.Uint32(rpcVersion)
@@ -470,6 +588,7 @@ func (c *Client) CallCtx(ctx context.Context, prog, vers, proc uint32, args []by
 	c.writeMu.Lock()
 	err := WriteRecord(c.conn, e.Bytes())
 	c.writeMu.Unlock()
+	xdr.PutEncoder(e)
 	if err != nil {
 		return nil, fmt.Errorf("sunrpc: %w", err)
 	}
@@ -508,9 +627,10 @@ func parseReply(rec []byte) ([]byte, error) {
 		if stat != Success {
 			return nil, &RPCError{Stat: stat}
 		}
-		out := make([]byte, d.Remaining())
-		copy(out, rec[len(rec)-d.Remaining():])
-		return out, nil
+		// The record was allocated by readLoop for this reply alone and
+		// ownership transfers to the caller, so the result can be a view —
+		// no defensive copy.
+		return rec[len(rec)-d.Remaining():], nil
 	case replyDenied:
 		return nil, errors.New("sunrpc: call denied")
 	default:
@@ -554,23 +674,51 @@ const maxRecord = 1 << 26
 
 // WriteRecord writes one RPC record with record marking (RFC 1057 §10):
 // a 4-byte header whose high bit marks the final fragment and whose low 31
-// bits give the fragment length.
+// bits give the fragment length. Header and payload go out as one vectored
+// write (writev), so the kernel sees a single burst.
 func WriteRecord(w io.Writer, data []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(data))|0x80000000)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(data)
+	s := recScratchPool.Get().(*recScratch)
+	binary.BigEndian.PutUint32(s.hdr[:], uint32(len(data))|0x80000000)
+	s.arr[0], s.arr[1] = s.hdr[:], data
+	s.bufs = net.Buffers(s.arr[:])
+	_, err := s.bufs.WriteTo(w)
+	s.arr[1] = nil // don't pin the caller's payload in the pool
+	recScratchPool.Put(s)
 	return err
 }
 
-// ReadRecord reads one possibly-fragmented RPC record.
+// recScratch holds one vectored record write's header and iovec so the
+// steady-state write path allocates nothing: net.Buffers.WriteTo takes the
+// address of its receiver, which would otherwise force a fresh slice header
+// and backing array to the heap on every record.
+type recScratch struct {
+	hdr  [4]byte
+	arr  [2][]byte
+	bufs net.Buffers
+}
+
+var recScratchPool = sync.Pool{New: func() any { return new(recScratch) }}
+
+// ReadRecord reads one possibly-fragmented RPC record into a fresh buffer
+// the caller owns.
 func ReadRecord(r io.Reader) ([]byte, error) {
-	var out []byte
-	for {
+	return readRecordBuf(r, nil, nil)
+}
+
+// readRecordBuf reads one record, appending fragments into buf (which the
+// caller may recycle across records — the server's per-connection path) and
+// reading each fragment directly into place instead of through a scratch
+// allocation. pre holds up to 4 already-consumed bytes of the first
+// fragment header, from the connection-opening handshake sniff.
+func readRecordBuf(r io.Reader, buf []byte, pre []byte) ([]byte, error) {
+	out := buf[:0]
+	for first := true; ; first = false {
 		var hdr [4]byte
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		take := copy(hdr[:], pre)
+		if !first {
+			take = 0
+		}
+		if _, err := io.ReadFull(r, hdr[take:]); err != nil {
 			return nil, err
 		}
 		h := binary.BigEndian.Uint32(hdr[:])
@@ -579,11 +727,17 @@ func ReadRecord(r io.Reader) ([]byte, error) {
 		if n+len(out) > maxRecord {
 			return nil, errors.New("sunrpc: record too large")
 		}
-		frag := make([]byte, n)
-		if _, err := io.ReadFull(r, frag); err != nil {
+		start := len(out)
+		if cap(out) >= start+n {
+			out = out[:start+n] // recycled buffer: steady path, no alloc
+		} else {
+			grown := make([]byte, start+n)
+			copy(grown, out)
+			out = grown
+		}
+		if _, err := io.ReadFull(r, out[start:]); err != nil {
 			return nil, err
 		}
-		out = append(out, frag...)
 		if last {
 			return out, nil
 		}

@@ -15,29 +15,33 @@ const (
 )
 
 // echoHandler returns its args; proc 2 reverses them; proc 99 is unknown.
-func echoHandler(proc uint32, cred Cred, args []byte) ([]byte, AcceptStat) {
+func echoHandler(proc uint32, cred Cred, args []byte, reply *xdr.Encoder) AcceptStat {
 	switch proc {
 	case 0: // null
-		return nil, Success
+		return Success
 	case 1:
-		return args, Success
+		reply.Raw(args)
+		return Success
 	case 2:
 		out := make([]byte, len(args))
 		for i := range args {
 			out[i] = args[len(args)-1-i]
 		}
-		return out, Success
+		reply.Raw(out)
+		return Success
 	case 3: // who am I (AUTH_UNIX check)
 		u, ok := cred.ParseUnix()
 		if !ok {
-			return nil, SystemErr
+			return SystemErr
 		}
-		e := xdr.NewEncoder(nil)
-		e.Uint32(u.UID)
-		e.String(u.MachineName)
-		return e.Bytes(), Success
+		reply.Uint32(u.UID)
+		reply.String(u.MachineName)
+		return Success
+	case 4: // partial body then failure: exercises truncate-on-error
+		reply.Uint32(0xdeadbeef)
+		return SystemErr
 	default:
-		return nil, ProcUnavail
+		return ProcUnavail
 	}
 }
 
@@ -94,6 +98,25 @@ func TestProcProgVersErrors(t *testing.T) {
 	_, err = c.Call(999999, 1, 0, nil)
 	if !asRPCError(err, &rpcErr) || rpcErr.Stat != ProgUnavail {
 		t.Errorf("unknown prog err = %v", err)
+	}
+}
+
+func TestPartialBodyDiscardedOnError(t *testing.T) {
+	// A handler that appended body bytes before failing must not leak them:
+	// the reply carries only the (patched) error stat.
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Call(testProg, testVers, 4, nil)
+	var rpcErr *RPCError
+	if !asRPCError(err, &rpcErr) || rpcErr.Stat != SystemErr {
+		t.Fatalf("err = %v, want SystemErr", err)
+	}
+	if len(res) != 0 {
+		t.Errorf("partial body leaked: %x", res)
 	}
 }
 

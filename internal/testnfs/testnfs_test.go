@@ -8,6 +8,8 @@ import (
 	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/store"
+	"repro/internal/sunrpc"
+	"repro/internal/wire"
 )
 
 // TestNFSCellSetupTeardown: the scaffolding the load harness and gateway
@@ -198,5 +200,60 @@ func TestRestartNFSNodeFreshStore(t *testing.T) {
 	}
 	if string(data) != "kept" {
 		t.Fatalf("read through wiped-and-restarted node = %q (err %v), want %q", data, err, "kept")
+	}
+}
+
+// TestMixedVersionCellServesTraffic is the quick half of the compatibility
+// matrix: one server in a live cell advertises an older (same-major) wire
+// protocol, agents negotiate the lower session minor against it, and writes
+// replicated through the skewed node read back through every other node.
+// The slow half — the same skew surviving the full chaos schedule — runs in
+// the load package's TestChaosGracefulDegradation.
+func TestMixedVersionCellServesTraffic(t *testing.T) {
+	c, err := NewNFSCell(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	skewed := c.Nodes[1]
+	skewed.Server.RPC().SetProtocolVersion(wire.ProtocolMajor, wire.ProtocolMinor-1)
+
+	cl, err := sunrpc.Dial(skewed.Addr)
+	if err != nil {
+		t.Fatalf("dial skewed node: %v", err)
+	}
+	if got := cl.SessionMinor(); got != wire.ProtocolMinor-1 {
+		t.Errorf("session minor with skewed node = %d, want %d", got, wire.ProtocolMinor-1)
+	}
+	cl.Close()
+
+	agW, err := agent.Mount([]string{skewed.Addr}, agent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agW.Close()
+	if err := agW.WriteFile("/mixed.txt", []byte("mixed-version cell up")); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 2} {
+		agR, err := agent.Mount([]string{c.Nodes[i].Addr}, agent.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := agR.ReadFile("/mixed.txt")
+		agR.Close()
+		if err != nil {
+			t.Fatalf("read via node %d: %v", i, err)
+		}
+		if string(data) != "mixed-version cell up" {
+			t.Fatalf("read via node %d = %q", i, data)
+		}
+	}
+
+	// An agent from a hypothetical next major must be refused up front with
+	// the typed incompatibility, not a hung or garbled session.
+	_, err = sunrpc.DialVersion(c.Nodes[0].Addr, wire.Meta{Major: wire.ProtocolMajor + 1})
+	if derr.CodeOf(err) != derr.CodeIncompatible {
+		t.Fatalf("next-major dial err = %v, want CodeIncompatible", err)
 	}
 }

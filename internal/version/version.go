@@ -45,6 +45,9 @@ func (p *Pair) MarshalWire(e *wire.Encoder) {
 	e.Uint64(p.Sub)
 }
 
+// SizeWire implements wire.Sizer.
+func (p *Pair) SizeWire() int { return 8 + 8 }
+
 // UnmarshalWire implements wire.Unmarshaler.
 func (p *Pair) UnmarshalWire(d *wire.Decoder) error {
 	p.Major = d.Uint64()

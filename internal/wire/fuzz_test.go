@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWireRoundTrip drives the codec from both ends: structured values must
+// survive encode→decode unchanged, and the same bytes fed back through an
+// arbitrary decode sequence must fail cleanly (sticky error) rather than
+// panic or alias out-of-range memory.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(uint8(1), true, uint16(2), uint32(3), uint64(4), int64(-5), "hello", []byte{6, 7})
+	f.Add(uint8(0), false, uint16(0), uint32(0), uint64(0), int64(0), "", []byte(nil))
+	f.Add(uint8(255), true, uint16(65535), uint32(1<<31), uint64(1)<<63, int64(1)<<62, "\x00\xff", bytes.Repeat([]byte{0xAA}, 100))
+	f.Fuzz(func(t *testing.T, u8 uint8, b bool, u16 uint16, u32 uint32, u64 uint64, i64 int64, s string, blob []byte) {
+		e := NewEncoder(nil)
+		e.Uint8(u8)
+		e.Bool(b)
+		e.Uint16(u16)
+		e.Uint32(u32)
+		e.Uint64(u64)
+		e.Int64(i64)
+		e.String(s)
+		e.Bytes32(blob)
+
+		d := NewDecoder(e.Bytes())
+		if got := d.Uint8(); got != u8 {
+			t.Fatalf("u8 = %d, want %d", got, u8)
+		}
+		if got := d.Bool(); got != b {
+			t.Fatalf("bool = %v, want %v", got, b)
+		}
+		if got := d.Uint16(); got != u16 {
+			t.Fatalf("u16 = %d, want %d", got, u16)
+		}
+		if got := d.Uint32(); got != u32 {
+			t.Fatalf("u32 = %d, want %d", got, u32)
+		}
+		if got := d.Uint64(); got != u64 {
+			t.Fatalf("u64 = %d, want %d", got, u64)
+		}
+		if got := d.Int64(); got != i64 {
+			t.Fatalf("i64 = %d, want %d", got, i64)
+		}
+		if got := d.String(); got != s {
+			t.Fatalf("string = %q, want %q", got, s)
+		}
+		if got := d.Bytes32(); !bytes.Equal(got, blob) {
+			t.Fatalf("bytes = %x, want %x", got, blob)
+		}
+		if d.Err() != nil || d.Remaining() != 0 {
+			t.Fatalf("clean decode: err=%v remaining=%d", d.Err(), d.Remaining())
+		}
+
+		// Adversarial pass: decode the blob itself with every op. Errors are
+		// expected; panics and non-sticky errors are not.
+		ad := NewDecoder(blob)
+		_ = ad.Uint64()
+		_ = ad.Bytes32()
+		_ = ad.String()
+		_ = ad.Uint8()
+		if ad.Err() != nil {
+			before := ad.Err()
+			_ = ad.Uint32()
+			if ad.Err() != before {
+				t.Fatal("decoder error is not sticky")
+			}
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package wire_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// hotPackages are the packages on the steady-state wire path: every encode
+// there must either reuse a pooled/per-connection encoder or state its exact
+// size up front (MarshalSized), so the allocation discipline the perf
+// trajectory measures cannot decay one convenience call at a time.
+var hotPackages = []string{"isis", "sunrpc", "core", "server"}
+
+// exemptFiles are slow paths inside hot packages where a fresh buffer per
+// call is the right shape: the gateway forwards cross-cell traffic over a
+// client connection, off the local serve loop.
+var exemptFiles = map[string]bool{
+	"gateway.go": true,
+}
+
+// bannedMarshals are the size-oblivious convenience constructors: they grow
+// a fresh buffer by doubling instead of reusing one or allocating exactly.
+var bannedMarshals = map[string]map[string]bool{
+	"wire": {"Marshal": true},
+	"xdr":  {"Marshal": true},
+}
+
+// TestHotPathUsesSizedEncoders parses the non-test sources of every hot
+// package and fails on any bare wire.Marshal / xdr.Marshal call. Use
+// wire.MarshalSized / xdr.MarshalSized for retained buffers, or a pooled
+// (wire.GetEncoder) / per-connection encoder for transient ones.
+func TestHotPathUsesSizedEncoders(t *testing.T) {
+	var violations []string
+	for _, pkg := range hotPackages {
+		dir := filepath.Join("..", pkg)
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go") && !exemptFiles[fi.Name()]
+		}, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", dir, err)
+		}
+		for _, p := range pkgs {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					recv, ok := sel.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if bannedMarshals[recv.Name][sel.Sel.Name] {
+						violations = append(violations, fmt.Sprintf("%s: bare %s.%s on the wire hot path",
+							fset.Position(call.Pos()), recv.Name, sel.Sel.Name))
+					}
+					return true
+				})
+			}
+		}
+	}
+	for _, v := range violations {
+		t.Errorf("%s (use MarshalSized, a pooled encoder, or the connection's reply encoder)", v)
+	}
+}

@@ -1,0 +1,43 @@
+package wire
+
+import "sync"
+
+// Encoder pooling for transient encodes: messages that are written to a
+// transport (which either copies them, as simnet.Endpoint.Send does, or
+// completes the write synchronously, as the TCP transport's framed writes
+// do) and are not retained afterwards.
+//
+// Ownership rules:
+//
+//   - GetEncoder hands the caller exclusive use of the encoder and its
+//     buffer until PutEncoder.
+//   - The caller must not retain e.Bytes() (or any view into it) past
+//     PutEncoder — retained payloads (cast outboxes, store staging) must
+//     use MarshalSized, which allocates exactly once and transfers
+//     ownership.
+//   - Oversized buffers are dropped on Put rather than pooled, so one huge
+//     message cannot pin its capacity forever.
+
+// maxPooledBuf bounds the capacity a pooled encoder may retain. Buffers
+// that grew past it are released to the GC on PutEncoder.
+const maxPooledBuf = 1 << 16 // 64 KiB
+
+var encoderPool = sync.Pool{
+	New: func() any { return NewEncoder(make([]byte, 0, 512)) },
+}
+
+// GetEncoder returns an empty pooled encoder.
+func GetEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// PutEncoder returns an encoder to the pool. The caller must not touch the
+// encoder or any slice obtained from it afterwards.
+func PutEncoder(e *Encoder) {
+	if e == nil || cap(e.buf) > maxPooledBuf {
+		return
+	}
+	encoderPool.Put(e)
+}

@@ -1,0 +1,82 @@
+package wire
+
+import "fmt"
+
+// Connection-setup handshake metadata, after yggdrasil's version_metadata:
+// a fixed "meta" magic followed by a major and a minor protocol version.
+// Both the SunRPC listener and the inter-server TCP transport exchange one
+// Meta frame per connection before any records flow.
+//
+// Compatibility rule: two peers interoperate iff their majors are equal;
+// the session then runs at the minimum of the two minors. A major bump is
+// a flag day; a minor bump is a rolling-upgrade-safe format extension.
+//
+// The magic doubles as a discriminator against pre-handshake peers: read
+// as a SunRPC record-marking header, "meta" (0x6d657461) has the
+// last-fragment bit clear and a fragment length far above maxRecord, and
+// read as a TCP transport frame header it exceeds the frame cap — so a
+// listener can sniff the first four bytes and fall back to serving a
+// legacy connection at version 0.
+
+// Current wire protocol version.
+const (
+	ProtocolMajor uint16 = 1
+	ProtocolMinor uint16 = 1
+)
+
+// MetaLen is the exact encoded size of a Meta: magic + major + minor.
+const MetaLen = 4 + 2 + 2
+
+var metaMagic = [4]byte{'m', 'e', 't', 'a'}
+
+// Meta is one side's handshake advertisement.
+type Meta struct {
+	Major uint16
+	Minor uint16
+}
+
+// CurrentMeta returns this build's advertisement.
+func CurrentMeta() Meta { return Meta{Major: ProtocolMajor, Minor: ProtocolMinor} }
+
+// EncodeMeta encodes m into exactly MetaLen bytes, asserting the length in
+// the MarshalSized style.
+func EncodeMeta(m Meta) []byte {
+	e := NewEncoder(make([]byte, 0, MetaLen))
+	e.buf = append(e.buf, metaMagic[:]...)
+	e.Uint16(m.Major)
+	e.Uint16(m.Minor)
+	if e.Len() != MetaLen {
+		panic(fmt.Sprintf("wire: meta encoded %d bytes, want %d", e.Len(), MetaLen))
+	}
+	return e.Bytes()
+}
+
+// DecodeMeta decodes a Meta from exactly MetaLen bytes. ok is false when
+// the buffer is short or the magic is foreign.
+func DecodeMeta(b []byte) (m Meta, ok bool) {
+	if len(b) < MetaLen || !IsMetaPrefix(b) {
+		return Meta{}, false
+	}
+	d := NewDecoder(b[4:MetaLen])
+	m.Major = d.Uint16()
+	m.Minor = d.Uint16()
+	return m, d.Err() == nil
+}
+
+// IsMetaPrefix reports whether b begins with the handshake magic.
+func IsMetaPrefix(b []byte) bool {
+	return len(b) >= 4 && string(b[:4]) == string(metaMagic[:])
+}
+
+// Compatible reports whether peers advertising m and peer may talk.
+func (m Meta) Compatible(peer Meta) bool { return m.Major == peer.Major }
+
+// NegotiateMinor returns the session minor for two compatible peers.
+func NegotiateMinor(a, b Meta) uint16 {
+	if a.Minor < b.Minor {
+		return a.Minor
+	}
+	return b.Minor
+}
+
+func (m Meta) String() string { return fmt.Sprintf("v%d.%d", m.Major, m.Minor) }

@@ -109,6 +109,14 @@ type Marshaler interface {
 	MarshalWire(e *Encoder)
 }
 
+// Sizer is implemented by Marshalers that can report their exact encoded
+// length up front, enabling single right-sized allocations on the steady
+// path (the yggdrasil getMetaLength/encode idiom).
+type Sizer interface {
+	Marshaler
+	SizeWire() int
+}
+
 // Unmarshaler is implemented by message types that can decode themselves.
 type Unmarshaler interface {
 	UnmarshalWire(d *Decoder) error
@@ -120,6 +128,42 @@ func Marshal(m Marshaler) []byte {
 	m.MarshalWire(e)
 	return e.Bytes()
 }
+
+// MarshalSized encodes m into one buffer of exactly m.SizeWire() bytes and
+// panics if the size pass and the encode pass disagree — a drifted SizeWire
+// is a bug that would otherwise silently reintroduce growth reallocations.
+// Use it for payloads that are retained (cast outboxes, store staging);
+// transient encodes should use a pooled Encoder instead.
+func MarshalSized(m Sizer) []byte {
+	n := m.SizeWire()
+	e := NewEncoder(make([]byte, 0, n))
+	m.MarshalWire(e)
+	if e.Len() != n {
+		panic(fmt.Sprintf("wire: %T SizeWire()=%d but encoded %d bytes", m, n, e.Len()))
+	}
+	return e.Bytes()
+}
+
+// Size helpers for SizeWire implementations: each mirrors the encoding of
+// the Encoder method of the same name.
+
+// SizeBytes32 returns the encoded size of Encoder.Bytes32(b).
+func SizeBytes32(b []byte) int { return 4 + len(b) }
+
+// SizeString returns the encoded size of Encoder.String(s).
+func SizeString(s string) int { return 4 + len(s) }
+
+// SizeStringSlice returns the encoded size of Encoder.StringSlice(ss).
+func SizeStringSlice(ss []string) int {
+	n := 4
+	for _, s := range ss {
+		n += 4 + len(s)
+	}
+	return n
+}
+
+// SizeUint64Slice returns the encoded size of Encoder.Uint64Slice(vs).
+func SizeUint64Slice(vs []uint64) int { return 4 + 8*len(vs) }
 
 // Unmarshal decodes data into m and fails if bytes remain.
 func Unmarshal(data []byte, m Unmarshaler) error {
@@ -161,7 +205,7 @@ func (d *Decoder) take(n int) []byte {
 	if d.err != nil {
 		return nil
 	}
-	if d.Remaining() < n {
+	if n < 0 || d.Remaining() < n {
 		d.fail(ErrTruncated)
 		return nil
 	}

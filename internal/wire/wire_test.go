@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -209,3 +210,37 @@ func TestQuickNoOverread(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDecoderNegativeLengthGuard(t *testing.T) {
+	// A length that goes negative after int conversion must fail with
+	// ErrTruncated, not panic or alias memory via buf[off : off+n].
+	d := NewDecoder([]byte{1, 2, 3, 4})
+	if b := d.take(-1); b != nil {
+		t.Fatalf("take(-1) = %v, want nil", b)
+	}
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", d.Err())
+	}
+}
+
+func TestMarshalSizedExact(t *testing.T) {
+	m := &Meta{Major: 3, Minor: 9}
+	_ = m
+	p := &sizedPair{A: 7, B: "hello"}
+	b := MarshalSized(p)
+	if len(b) != p.SizeWire() {
+		t.Fatalf("len = %d, want %d", len(b), p.SizeWire())
+	}
+	d := NewDecoder(b)
+	if d.Uint64() != 7 || d.String() != "hello" || d.Err() != nil {
+		t.Fatal("round trip failed")
+	}
+}
+
+type sizedPair struct {
+	A uint64
+	B string
+}
+
+func (p *sizedPair) MarshalWire(e *Encoder) { e.Uint64(p.A); e.String(p.B) }
+func (p *sizedPair) SizeWire() int          { return 8 + SizeString(p.B) }

@@ -1,0 +1,56 @@
+package xdr
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzXDRRoundTrip checks that structured values survive encode→decode with
+// RFC 1014 padding intact, and that arbitrary bytes decode without panicking.
+func FuzzXDRRoundTrip(f *testing.F) {
+	f.Add(uint32(1), uint64(2), int32(-3), true, "hi", []byte{4, 5, 6})
+	f.Add(uint32(0), uint64(0), int32(0), false, "", []byte(nil))
+	f.Add(uint32(1<<31), uint64(1)<<63, int32(-1<<31), true, "pad-me\x00", bytes.Repeat([]byte{7}, 33))
+	f.Fuzz(func(t *testing.T, u32 uint32, u64 uint64, i32 int32, b bool, s string, blob []byte) {
+		e := NewEncoder(nil)
+		e.Uint32(u32)
+		e.Uint64(u64)
+		e.Int32(i32)
+		e.Bool(b)
+		e.String(s)
+		e.Opaque(blob)
+		if e.Len()%4 != 0 {
+			t.Fatalf("encoding is not 4-byte aligned: %d", e.Len())
+		}
+
+		d := NewDecoder(e.Bytes())
+		if got := d.Uint32(); got != u32 {
+			t.Fatalf("u32 = %d, want %d", got, u32)
+		}
+		if got := d.Uint64(); got != u64 {
+			t.Fatalf("u64 = %d, want %d", got, u64)
+		}
+		if got := d.Int32(); got != i32 {
+			t.Fatalf("i32 = %d, want %d", got, i32)
+		}
+		if got := d.Bool(); got != b {
+			t.Fatalf("bool = %v, want %v", got, b)
+		}
+		if got := d.String(); got != s {
+			t.Fatalf("string = %q, want %q", got, s)
+		}
+		if got := d.Opaque(); !bytes.Equal(got, blob) {
+			t.Fatalf("opaque = %x, want %x", got, blob)
+		}
+		if d.Err() != nil {
+			t.Fatalf("clean decode failed: %v", d.Err())
+		}
+
+		// Adversarial pass: arbitrary bytes must fail cleanly, never panic.
+		ad := NewDecoder(blob)
+		_ = ad.Opaque()
+		_ = ad.String()
+		_ = ad.Uint64()
+		_ = ad.Err()
+	})
+}

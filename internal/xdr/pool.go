@@ -1,0 +1,34 @@
+package xdr
+
+import "sync"
+
+// Encoder pooling for transient XDR encodes: RPC reply construction and
+// call-record assembly, where the encoded bytes are written to a socket
+// synchronously and never retained. Ownership mirrors internal/wire:
+// between GetEncoder and PutEncoder the caller owns the buffer; after
+// PutEncoder no view into it may survive. Replies that must outlive the
+// write (none today) must copy before Put.
+
+// maxPooledBuf bounds the capacity a pooled encoder may retain, so one
+// huge READ reply cannot pin megabytes in the pool.
+const maxPooledBuf = 1 << 16 // 64 KiB
+
+var encoderPool = sync.Pool{
+	New: func() any { return NewEncoder(make([]byte, 0, 512)) },
+}
+
+// GetEncoder returns an empty pooled encoder.
+func GetEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// PutEncoder returns an encoder to the pool. The caller must not touch the
+// encoder or any slice obtained from it afterwards.
+func PutEncoder(e *Encoder) {
+	if e == nil || cap(e.buf) > maxPooledBuf {
+		return
+	}
+	encoderPool.Put(e)
+}

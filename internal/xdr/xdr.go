@@ -35,6 +35,21 @@ func (e *Encoder) Bytes() []byte { return e.buf }
 // Len returns the current encoded length.
 func (e *Encoder) Len() int { return len(e.buf) }
 
+// Reset discards all encoded data but keeps the underlying capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Truncate shortens the buffer to n bytes; it panics if n is beyond the
+// current length. The RPC server uses it to discard a partially encoded
+// reply body when a handler reports a non-success status.
+func (e *Encoder) Truncate(n int) { e.buf = e.buf[:n] }
+
+// PatchUint32 overwrites the 32-bit word previously encoded at byte offset
+// off. It exists for reply headers whose status word is known only after
+// the body is encoded into the same buffer.
+func (e *Encoder) PatchUint32(off int, v uint32) {
+	binary.BigEndian.PutUint32(e.buf[off:off+4], v)
+}
+
 // Uint32 encodes an unsigned 32-bit integer.
 func (e *Encoder) Uint32(v uint32) {
 	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
@@ -79,14 +94,30 @@ func (e *Encoder) Raw(b []byte) {
 	e.buf = append(e.buf, b...)
 }
 
+// checkOpaque panics with ErrTooLong when a variable-length field exceeds
+// MaxOpaque. The decoder has always rejected such lengths; enforcing the
+// cap at encode time keeps the two sides symmetric — an encoder must not
+// produce bytes its own decoder refuses. Panic rather than a sticky error:
+// a too-long field is a programming error (an unbounded caller), not a
+// runtime condition.
+func checkOpaque(n int) {
+	if n > MaxOpaque {
+		panic(fmt.Errorf("xdr: encoding %d-byte field: %w", n, ErrTooLong))
+	}
+}
+
 // Opaque encodes variable-length opaque data: length then padded bytes.
+// It panics with ErrTooLong if len(b) exceeds MaxOpaque.
 func (e *Encoder) Opaque(b []byte) {
+	checkOpaque(len(b))
 	e.Uint32(uint32(len(b)))
 	e.FixedOpaque(b)
 }
 
-// String encodes a string as variable-length opaque.
+// String encodes a string as variable-length opaque. It panics with
+// ErrTooLong if len(s) exceeds MaxOpaque.
 func (e *Encoder) String(s string) {
+	checkOpaque(len(s))
 	e.Uint32(uint32(len(s)))
 	e.buf = append(e.buf, s...)
 	e.pad(len(s))
@@ -198,6 +229,29 @@ func (d *Decoder) Skip(n int) { d.take(pad4(n)) }
 // Marshaler is implemented by types that encode themselves as XDR.
 type Marshaler interface {
 	MarshalXDR(e *Encoder)
+}
+
+// Sizer is implemented by Marshalers that can report their exact encoded
+// length up front (wire.Sizer's XDR twin).
+type Sizer interface {
+	Marshaler
+	SizeXDR() int
+}
+
+// SizeOpaque returns the encoded size of Encoder.Opaque(b): the length
+// word plus the payload padded to a 4-byte boundary.
+func SizeOpaque(n int) int { return 4 + pad4(n) }
+
+// MarshalSized encodes m into one buffer of exactly m.SizeXDR() bytes and
+// panics if the size pass and the encode pass disagree.
+func MarshalSized(m Sizer) []byte {
+	n := m.SizeXDR()
+	e := NewEncoder(make([]byte, 0, n))
+	m.MarshalXDR(e)
+	if e.Len() != n {
+		panic(fmt.Sprintf("xdr: %T SizeXDR()=%d but encoded %d bytes", m, n, e.Len()))
+	}
+	return e.Bytes()
 }
 
 // Unmarshaler is implemented by types that decode themselves from XDR.

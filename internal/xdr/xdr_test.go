@@ -2,6 +2,7 @@ package xdr
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -182,5 +183,41 @@ func TestQuickDecoderNoOverread(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestEncodeOversizedOpaquePanics(t *testing.T) {
+	// Satellite of the zero-allocation wire path: the encoder enforces
+	// MaxOpaque so an oversized field is caught at the producer, not by the
+	// peer's decoder.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("encoding an oversized opaque did not panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrTooLong) {
+			t.Fatalf("panic value = %v, want ErrTooLong", r)
+		}
+	}()
+	e := NewEncoder(nil)
+	e.Opaque(make([]byte, MaxOpaque+1))
+}
+
+func TestEncoderTruncatePatch(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uint32(1)
+	off := e.Len()
+	e.Uint32(2)
+	body := e.Len()
+	e.Uint32(3)
+	e.Truncate(body)
+	e.PatchUint32(off, 9)
+	d := NewDecoder(e.Bytes())
+	if a, b := d.Uint32(), d.Uint32(); a != 1 || b != 9 {
+		t.Fatalf("got %d %d, want 1 9", a, b)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("leftover bytes after truncate: %d", d.Remaining())
 	}
 }
